@@ -1,0 +1,102 @@
+//! Ablation benches A1–A4: the cost side of each design choice.
+//! (The quality side is reported by `exp_ablations`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hera_baselines::NestLoopVerifier;
+use hera_core::{BoundMode, Hera, HeraConfig, InstanceVerifier, SuperRecord};
+use hera_index::ValuePairIndex;
+use hera_join::{JoinConfig, SimilarityJoin};
+use hera_sim::TypeDispatch;
+
+fn bench_ablations(c: &mut Criterion) {
+    let ds = hera_datagen::table1_dataset("dm1");
+    let metric = TypeDispatch::paper_default();
+    let pairs = SimilarityJoin::new(JoinConfig::new(0.5), &metric).join_dataset(&ds);
+    let index = ValuePairIndex::build(pairs.clone());
+    let supers: Vec<SuperRecord> = ds
+        .iter()
+        .map(|r| SuperRecord::from_record(&ds, r))
+        .collect();
+    let sample: Vec<(u32, u32)> = index.record_pairs().take(500).collect();
+
+    // ---- A1: indexed vs nest-loop verification (Prop. 4's speedup).
+    {
+        let mut g = c.benchmark_group("ablation_a1_verification");
+        let verifier = InstanceVerifier::new(&metric, 0.5, true);
+        g.bench_function("indexed_500_pairs", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(i, j) in &sample {
+                    acc += verifier
+                        .verify(
+                            &index,
+                            &supers[i as usize],
+                            &supers[j as usize],
+                            &ds.registry,
+                            None,
+                        )
+                        .sim;
+                }
+                acc
+            })
+        });
+        let nest = NestLoopVerifier::new(0.5);
+        g.sample_size(10);
+        g.bench_function("nest_loop_500_pairs", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(i, j) in &sample {
+                    acc += nest.similarity(&supers[i as usize], &supers[j as usize], &metric);
+                }
+                acc
+            })
+        });
+        g.finish();
+    }
+
+    // ---- A2 + A3 + A4: full runs under each toggle.
+    {
+        let mut g = c.benchmark_group("ablation_full_runs");
+        g.sample_size(10);
+        let variants: Vec<(&str, HeraConfig)> = vec![
+            ("baseline", HeraConfig::new(0.5, 0.5)),
+            (
+                "a2_greedy_matching",
+                HeraConfig::new(0.5, 0.5).with_greedy_matching(),
+            ),
+            (
+                "a3_no_schema_voting",
+                HeraConfig::new(0.5, 0.5).without_schema_voting(),
+            ),
+            (
+                "a4_paper_bounds",
+                HeraConfig::new(0.5, 0.5).with_bound_mode(BoundMode::Paper),
+            ),
+        ];
+        for (name, cfg) in variants {
+            g.bench_function(name, |b| {
+                b.iter(|| Hera::new(cfg.clone()).run_with_pairs(&ds, pairs.clone()))
+            });
+        }
+        g.finish();
+    }
+
+    // ---- Join ablation: prefix filter on/off.
+    {
+        let mut g = c.benchmark_group("ablation_join_prefix_filter");
+        g.sample_size(10);
+        g.bench_function("with_prefix_filter", |b| {
+            b.iter(|| SimilarityJoin::new(JoinConfig::new(0.5), &metric).join_dataset(&ds))
+        });
+        g.bench_function("without_prefix_filter", |b| {
+            b.iter(|| {
+                SimilarityJoin::new(JoinConfig::new(0.5).without_prefix_filter(), &metric)
+                    .join_dataset(&ds)
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

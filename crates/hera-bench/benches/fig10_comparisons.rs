@@ -1,0 +1,55 @@
+//! Fig. 10 bench: candidate generation — the scan that classifies every
+//! record pair into pruned / directly-decided / candidate via Algorithm 1
+//! bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hera_core::SuperRecord;
+use hera_index::{BoundMode, ValuePairIndex};
+use hera_join::{JoinConfig, SimilarityJoin};
+use hera_sim::TypeDispatch;
+
+fn bench_candidate_generation(c: &mut Criterion) {
+    let ds = hera_datagen::table1_dataset("dm1");
+    let metric = TypeDispatch::paper_default();
+    let pairs = SimilarityJoin::new(JoinConfig::new(0.5), &metric).join_dataset(&ds);
+    let index = ValuePairIndex::build(pairs);
+    let supers: Vec<SuperRecord> = ds
+        .iter()
+        .map(|r| SuperRecord::from_record(&ds, r))
+        .collect();
+    let keys: Vec<(u32, u32)> = index.record_pairs().collect();
+
+    let mut g = c.benchmark_group("fig10_candidate_generation");
+    for delta in [0.2, 0.5, 0.8] {
+        g.bench_with_input(
+            BenchmarkId::new("classify_all_groups", format!("delta_{delta:.1}")),
+            &delta,
+            |b, &delta| {
+                b.iter(|| {
+                    let (mut pruned, mut direct, mut cand) = (0usize, 0usize, 0usize);
+                    for &(i, j) in &keys {
+                        let bo = index.bounds(
+                            i,
+                            j,
+                            supers[i as usize].size(),
+                            supers[j as usize].size(),
+                            BoundMode::Sound,
+                        );
+                        if bo.up < delta {
+                            pruned += 1;
+                        } else if bo.is_exact() {
+                            direct += 1;
+                        } else {
+                            cand += 1;
+                        }
+                    }
+                    (pruned, direct, cand)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_candidate_generation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 11 bench: each system end-to-end on the D_m1 workload — HERA on
+//! the heterogeneous records, the baselines on the exchanged -S data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hera_baselines::{CollectiveEr, CorrelationClustering, RSwoosh, Resolver};
+use hera_core::{Hera, HeraConfig};
+use hera_sim::TypeDispatch;
+
+fn bench_systems(c: &mut Criterion) {
+    let ds = hera_datagen::table1_dataset("dm1");
+    let (homo, _) = hera_exchange::exchange_small(&ds, 1);
+    let metric = TypeDispatch::paper_default();
+    let pairs = Hera::new(HeraConfig::new(0.5, 0.5)).join(&ds);
+
+    let mut g = c.benchmark_group("fig11_systems");
+    g.sample_size(10);
+    g.bench_function("hera_hetero_dm1", |b| {
+        b.iter(|| Hera::new(HeraConfig::new(0.5, 0.5)).run_with_pairs(&ds, pairs.clone()))
+    });
+    g.bench_function("rswoosh_dm1_s", |b| {
+        b.iter(|| RSwoosh::new(0.5, 0.5).resolve(&homo, &metric))
+    });
+    g.bench_function("cc_kwikcluster_dm1_s", |b| {
+        b.iter(|| CorrelationClustering::new(0.5, 0.5, 7).resolve(&homo, &metric))
+    });
+    g.bench_function("cr_collective_dm1_s", |b| {
+        b.iter(|| CollectiveEr::new(0.5, 0.5, 0.25).resolve(&homo, &metric))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_systems);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 12 bench: HERA's resolve phase across dataset sizes (the index is
+//! built once per size, offline per Prop. 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hera_core::{Hera, HeraConfig};
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_runtime");
+    g.sample_size(10);
+    for name in ["dm1", "dm2"] {
+        let ds = hera_datagen::table1_dataset(name);
+        let pairs = Hera::new(HeraConfig::new(0.5, 0.5)).join(&ds);
+        for delta in [0.5, 0.8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("resolve_{name}"), format!("delta_{delta:.1}")),
+                &delta,
+                |b, &delta| {
+                    b.iter(|| {
+                        Hera::new(HeraConfig::new(delta, 0.5)).run_with_pairs(&ds, pairs.clone())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 9 bench: one full HERA resolution (the quality path) at the three
+//! representative thresholds of the sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hera_core::{Hera, HeraConfig};
+
+fn bench_quality_sweep(c: &mut Criterion) {
+    let ds = hera_datagen::table1_dataset("dm1");
+    let pairs = Hera::new(HeraConfig::new(0.5, 0.5)).join(&ds);
+
+    let mut g = c.benchmark_group("fig9_quality_sweep");
+    g.sample_size(10);
+    for delta in [0.3, 0.5, 0.8] {
+        g.bench_with_input(
+            BenchmarkId::new("hera_dm1_delta", format!("{delta:.1}")),
+            &delta,
+            |b, &delta| {
+                b.iter(|| Hera::new(HeraConfig::new(delta, 0.5)).run_with_pairs(&ds, pairs.clone()))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_quality_sweep);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table I bench: generating the heterogeneous datasets.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hera_datagen::{presets, Generator};
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_datagen");
+    g.sample_size(10);
+    g.bench_function("generate_dm1_1000_records", |b| {
+        b.iter_batched(
+            || Generator::new(presets::dm1()),
+            |gen| gen.generate(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("generate_dm2_2000_records", |b| {
+        b.iter_batched(
+            || Generator::new(presets::dm2()),
+            |gen| gen.generate(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_datagen);
+criterion_main!(benches);

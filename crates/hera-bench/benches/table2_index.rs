@@ -1,0 +1,91 @@
+//! Table II bench: the value-pair index — similarity join, build, group
+//! lookup, bound computation, and merge maintenance.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hera_core::SuperRecord;
+use hera_index::{BoundMode, FlatIndex, ValuePairIndex};
+use hera_join::{JoinConfig, SimilarityJoin};
+use hera_sim::TypeDispatch;
+use hera_types::Label;
+
+fn bench_index(c: &mut Criterion) {
+    let ds = hera_datagen::table1_dataset("dm1");
+    let metric = TypeDispatch::paper_default();
+    let pairs = SimilarityJoin::new(JoinConfig::new(0.5), &metric).join_dataset(&ds);
+    let index = ValuePairIndex::build(pairs.clone());
+    let supers: Vec<SuperRecord> = ds
+        .iter()
+        .map(|r| SuperRecord::from_record(&ds, r))
+        .collect();
+    let keys: Vec<(u32, u32)> = index.record_pairs().collect();
+
+    let mut g = c.benchmark_group("table2_index");
+    g.sample_size(10);
+
+    g.bench_function("similarity_join_dm1", |b| {
+        b.iter(|| SimilarityJoin::new(JoinConfig::new(0.5), &metric).join_dataset(&ds))
+    });
+    g.bench_function("index_build_from_join", |b| {
+        b.iter_batched(
+            || pairs.clone(),
+            ValuePairIndex::build,
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("flat_index_build_from_join", |b| {
+        b.iter_batched(|| pairs.clone(), FlatIndex::build, BatchSize::LargeInput)
+    });
+    g.bench_function("group_lookup_all", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for &(i, j) in &keys {
+                n += index.group(i, j).len();
+            }
+            n
+        })
+    });
+    g.bench_function("bounds_all_groups_sound", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(i, j) in &keys {
+                let b = index.bounds(
+                    i,
+                    j,
+                    supers[i as usize].size(),
+                    supers[j as usize].size(),
+                    BoundMode::Sound,
+                );
+                acc += b.up;
+            }
+            acc
+        })
+    });
+    g.bench_function("merge_maintenance_100_merges", |b| {
+        b.iter_batched(
+            || (ValuePairIndex::build(pairs.clone()), supers.clone()),
+            |(mut idx, mut sup)| {
+                // Merge 100 adjacent record pairs with a simple remap.
+                let mut merged = 0;
+                let ks: Vec<(u32, u32)> = idx.record_pairs().collect();
+                for (i, j) in ks {
+                    if merged >= 100 {
+                        break;
+                    }
+                    if sup[i as usize].members.len() > 1 || sup[j as usize].members.len() > 1 {
+                        continue;
+                    }
+                    let right = sup[j as usize].clone();
+                    let remap = sup[i as usize].absorb(&right, &[]);
+                    idx.merge(i, j, i, |l: Label| remap.apply(l));
+                    merged += 1;
+                }
+                idx.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 10(a) — number of comparisons versus δ.
+//!
+//! "As we increase δ, the number of comparisons in HERA declines"
+//! because higher thresholds shrink the candidate set. We report both
+//! the full verifications (Kuhn–Munkres runs) and the total record-pair
+//! examinations (bounds computed), whose pruned fraction grows with δ.
+
+use hera_bench::{header, row, run_at_delta, shared_join, DELTA_SWEEP};
+
+fn main() {
+    println!("# Fig 10: comparisons vs δ (ξ = 0.5)\n");
+    header(&[
+        "dataset",
+        "δ",
+        "verifications",
+        "direct decisions",
+        "pruned",
+        "examined",
+    ]);
+    for ds in hera_bench::datasets() {
+        let pairs = shared_join(&ds);
+        for &delta in &DELTA_SWEEP {
+            let (result, _) = run_at_delta(&ds, &pairs, delta);
+            let s = &result.stats;
+            let examined = s.comparisons + s.direct_decisions + s.pruned;
+            row(&[
+                ds.name.clone(),
+                format!("{delta:.1}"),
+                s.comparisons.to_string(),
+                s.direct_decisions.to_string(),
+                s.pruned.to_string(),
+                examined.to_string(),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal dependency-free argument parsing: `--flag value` pairs and
+//! bare `--switch`es after a subcommand.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    flags: BTreeMap<String, Vec<String>>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// Grammar: `<command> (--key value | --switch)*`. A `--key` followed
+    /// by another `--…` token or end of input is a switch.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = raw.into_iter().peekable();
+        match it.next() {
+            Some(c) if !c.starts_with("--") => out.command = c,
+            Some(c) => return Err(format!("expected a subcommand, got flag {c}")),
+            None => return Err("no subcommand given (try `hera help`)".into()),
+        }
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {tok:?}"));
+            };
+            if key.is_empty() {
+                return Err("empty flag name".into());
+            }
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    out.flags
+                        .entry(key.to_owned())
+                        .or_default()
+                        .push(it.next().unwrap());
+                }
+                _ => out.switches.push(key.to_owned()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// String flag (last occurrence wins when repeated).
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .get(key)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// All occurrences of a repeatable flag, in order.
+    pub fn get_all(&self, key: &str) -> &[String] {
+        self.flags.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// Float flag with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
+    /// Integer flag with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// Boolean switch.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn command_and_flags() {
+        let a = parse("resolve --input x.json --delta 0.6 --eval").unwrap();
+        assert_eq!(a.command, "resolve");
+        assert_eq!(a.get("input"), Some("x.json"));
+        assert_eq!(a.get_f64("delta", 0.5).unwrap(), 0.6);
+        assert_eq!(a.get_f64("xi", 0.5).unwrap(), 0.5);
+        assert!(a.has("eval"));
+        assert!(!a.has("quiet"));
+    }
+
+    #[test]
+    fn missing_command_is_error() {
+        assert!(parse("").is_err());
+        assert!(parse("--input x").is_err());
+    }
+
+    #[test]
+    fn positional_after_command_is_error() {
+        assert!(parse("resolve stray").is_err());
+    }
+
+    #[test]
+    fn require_and_type_errors() {
+        let a = parse("generate --seed nope").unwrap();
+        assert!(a.require("preset").is_err());
+        assert!(a.get_u64("seed", 1).is_err());
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = parse("demo --verbose").unwrap();
+        assert!(a.has("verbose"));
+    }
+
+    #[test]
+    fn repeated_flags_collect_in_order() {
+        let a = parse("import --source a=1.csv --source b=2.csv --out x").unwrap();
+        assert_eq!(a.get_all("source"), &["a=1.csv".to_string(), "b=2.csv".to_string()]);
+        // get() yields the last occurrence.
+        assert_eq!(a.get("source"), Some("b=2.csv"));
+        assert!(a.get_all("missing").is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use hera_baselines::{CollectiveEr, CorrelationClustering, RSwoosh, Resolver};
+use hera_core::{Hera, HeraConfig};
+use hera_eval::{bcubed, PairMetrics};
+use hera_sim::TypeDispatch;
+use hera_types::Dataset;
+use std::fs;
+
+/// Help text.
+pub const USAGE: &str = "\
+hera-cli — entity resolution on heterogeneous records (HERA, ICDE 2020)
+
+USAGE:
+  hera-cli import   --source NAME=FILE.csv [--source …] [--entity-column COL]
+                [--name NAME] [--out FILE]
+  hera-cli generate --preset <dm1|dm2|dm3|dm4> [--seed N] [--out FILE]
+  hera-cli resolve  --input FILE [--delta 0.5] [--xi 0.5] [--labels FILE] [--eval] [--matchings]
+  hera-cli exchange --input FILE [--fraction 0.333] [--seed N] [--out FILE]
+  hera-cli fuse     --input FILE --labels FILE [--fraction 1.0] [--seed N] [--out FILE]
+  hera-cli baseline --input FILE --system <rswoosh|cc|cr> [--delta 0.5] [--xi 0.5] [--eval]
+  hera-cli demo
+  hera-cli help
+
+Datasets are JSON (hera_types::Dataset). Labels are CSV `record_id,entity`.
+";
+
+/// Routes a parsed command line.
+pub fn dispatch(args: &Args) -> Result<(), String> {
+    match args.command.as_str() {
+        "import" => import(args),
+        "generate" => generate(args),
+        "resolve" => resolve(args),
+        "exchange" => exchange(args),
+        "fuse" => fuse(args),
+        "baseline" => baseline(args),
+        "demo" => demo(),
+        other => Err(format!("unknown subcommand {other:?} (try `hera-cli help`)")),
+    }
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Dataset::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn write_out(path: Option<&str>, content: &str) -> Result<(), String> {
+    match path {
+        Some(p) => fs::write(p, content).map_err(|e| format!("writing {p}: {e}")),
+        None => {
+            println!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn import(args: &Args) -> Result<(), String> {
+    let sources = args.get_all("source");
+    if sources.is_empty() {
+        return Err("import needs at least one --source NAME=FILE.csv".into());
+    }
+    let mut importer = hera_types::CsvImporter::new(args.get("name").unwrap_or("imported"));
+    if let Some(col) = args.get("entity-column") {
+        importer = importer.with_entity_column(col);
+    }
+    for spec in sources {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--source expects NAME=FILE.csv, got {spec:?}"))?;
+        let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        importer = importer.add_source(name, text);
+    }
+    let ds = importer.build().map_err(|e| e.to_string())?;
+    eprintln!(
+        "imported {}: {} records under {} schemas ({} distinct attributes)",
+        ds.name,
+        ds.len(),
+        ds.registry.len(),
+        ds.truth.distinct_attr_count()
+    );
+    let json = ds.to_json().map_err(|e| e.to_string())?;
+    write_out(args.get("out"), &json)
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let preset = args.require("preset")?;
+    let mut cfg = match preset {
+        "dm1" => hera_datagen::presets::dm1(),
+        "dm2" => hera_datagen::presets::dm2(),
+        "dm3" => hera_datagen::presets::dm3(),
+        "dm4" => hera_datagen::presets::dm4(),
+        other => return Err(format!("unknown preset {other:?} (expected dm1..dm4)")),
+    };
+    if let Some(seed) = args.get("seed") {
+        cfg.seed = seed
+            .parse()
+            .map_err(|_| format!("--seed expects an integer, got {seed:?}"))?;
+    }
+    let ds = hera_datagen::Generator::new(cfg).generate();
+    eprintln!(
+        "generated {}: {} records, {} entities, {} distinct attributes",
+        ds.name,
+        ds.len(),
+        ds.truth.entity_count(),
+        ds.truth.distinct_attr_count()
+    );
+    let json = ds.to_json().map_err(|e| e.to_string())?;
+    write_out(args.get("out"), &json)
+}
+
+fn resolve(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("input")?)?;
+    let delta = args.get_f64("delta", 0.5)?;
+    let xi = args.get_f64("xi", 0.5)?;
+    let result = Hera::new(HeraConfig::new(delta, xi)).run(&ds);
+    eprintln!(
+        "resolved {} records into {} entities ({} iterations, {} merges, {:?})",
+        ds.len(),
+        result.entity_count(),
+        result.stats.iterations,
+        result.stats.merges,
+        result.stats.total_time()
+    );
+    if args.has("eval") {
+        let m = PairMetrics::score(&result.clusters(), &ds.truth);
+        let (bp, br, bf) = bcubed(&result.clusters(), &ds.truth);
+        eprintln!("pairwise: {m}");
+        eprintln!("b-cubed:  P={bp:.3} R={br:.3} F1={bf:.3}");
+    }
+    if args.has("matchings") {
+        for m in &result.schema_matchings {
+            eprintln!(
+                "matching: {} ≈ {} (confidence {:.2})",
+                ds.registry.attr_qualified_name(m.attr),
+                ds.registry.attr_qualified_name(m.partner),
+                m.confidence
+            );
+        }
+    }
+    let mut csv = String::from("record_id,entity\n");
+    for (rid, &e) in result.entity_of.iter().enumerate() {
+        csv.push_str(&format!("{rid},{e}\n"));
+    }
+    write_out(args.get("labels"), &csv)
+}
+
+fn exchange(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("input")?)?;
+    let fraction = args.get_f64("fraction", 1.0 / 3.0)?;
+    let seed = args.get_u64("seed", 1)?;
+    let plan = hera_exchange::plan_exchange_ensuring(
+        &ds,
+        fraction,
+        seed,
+        &[hera_types::CanonAttrId::new(0)],
+    );
+    let out = hera_exchange::chase(&ds, &plan, format!("{}-X", ds.name));
+    eprintln!(
+        "exchanged into {} target attributes; {} source values dropped",
+        plan.target_attrs.len(),
+        plan.dropped_value_count
+    );
+    let json = out.to_json().map_err(|e| e.to_string())?;
+    write_out(args.get("out"), &json)
+}
+
+fn parse_labels(path: &str, n: usize) -> Result<Vec<u32>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut labels = vec![u32::MAX; n];
+    for (lineno, line) in text.lines().enumerate() {
+        if lineno == 0 && line.starts_with("record_id") {
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let rid: usize = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| format!("{path}:{}: bad record id", lineno + 1))?;
+        let ent: u32 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| format!("{path}:{}: bad entity", lineno + 1))?;
+        if rid >= n {
+            return Err(format!(
+                "{path}:{}: record id {rid} out of range",
+                lineno + 1
+            ));
+        }
+        labels[rid] = ent;
+    }
+    if let Some(missing) = labels.iter().position(|&l| l == u32::MAX) {
+        return Err(format!("{path}: no label for record {missing}"));
+    }
+    Ok(labels)
+}
+
+fn fuse(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("input")?)?;
+    let labels = parse_labels(args.require("labels")?, ds.len())?;
+    let fraction = args.get_f64("fraction", 1.0)?;
+    let seed = args.get_u64("seed", 1)?;
+    let plan = hera_exchange::plan_exchange_ensuring(
+        &ds,
+        fraction,
+        seed,
+        &[hera_types::CanonAttrId::new(0)],
+    );
+    let fused = hera_exchange::fuse_entities(&ds, &labels, &plan, format!("{}-fused", ds.name));
+    eprintln!(
+        "fused {} records into {} entity records under {} target attributes",
+        ds.len(),
+        fused.len(),
+        plan.target_attrs.len()
+    );
+    let json = fused.to_json().map_err(|e| e.to_string())?;
+    write_out(args.get("out"), &json)
+}
+
+fn baseline(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("input")?)?;
+    if ds.registry.len() != 1 {
+        return Err(format!(
+            "baselines need a homogeneous dataset (one schema), got {} — run `hera exchange` first",
+            ds.registry.len()
+        ));
+    }
+    let delta = args.get_f64("delta", 0.5)?;
+    let xi = args.get_f64("xi", 0.5)?;
+    let system: Box<dyn Resolver> = match args.require("system")? {
+        "rswoosh" => Box::new(RSwoosh::new(delta, xi)),
+        "cc" => Box::new(CorrelationClustering::new(
+            delta,
+            xi,
+            args.get_u64("seed", 7)?,
+        )),
+        "cr" => Box::new(CollectiveEr::new(delta, xi, args.get_f64("alpha", 0.25)?)),
+        other => return Err(format!("unknown system {other:?} (rswoosh|cc|cr)")),
+    };
+    let metric = TypeDispatch::paper_default();
+    let clusters = system.resolve(&ds, &metric);
+    eprintln!(
+        "{} resolved {} records into {} clusters",
+        system.name(),
+        ds.len(),
+        clusters.len()
+    );
+    if args.has("eval") {
+        let m = PairMetrics::score(&clusters, &ds.truth);
+        eprintln!("pairwise: {m}");
+    }
+    let mut csv = String::from("record_id,entity\n");
+    for (label, cluster) in clusters.iter().enumerate() {
+        for &rid in cluster {
+            csv.push_str(&format!("{rid},{label}\n"));
+        }
+    }
+    write_out(args.get("labels"), &csv)
+}
+
+fn demo() -> Result<(), String> {
+    let ds = hera_types::motivating_example();
+    println!("The paper's Fig. 1 scenario: six customer records, three schemas.\n");
+    for rec in ds.iter() {
+        let schema = ds.registry.schema(rec.schema);
+        println!("  r{} [{}] {:?}", rec.id.raw() + 1, schema.name, rec.values);
+    }
+    let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+    println!(
+        "\nHERA (δ = ξ = 0.5) finds {} entities:",
+        result.entity_count()
+    );
+    for cluster in result.clusters() {
+        let names: Vec<String> = cluster.iter().map(|r| format!("r{}", r + 1)).collect();
+        println!("  {{{}}}", names.join(", "));
+    }
+    let m = PairMetrics::score(&result.clusters(), &ds.truth);
+    println!("\nagainst ground truth: {m}");
+    Ok(())
+}

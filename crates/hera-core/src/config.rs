@@ -1,0 +1,130 @@
+//! HERA configuration.
+
+use hera_index::BoundMode;
+
+/// Tuning knobs for [`Hera`](crate::Hera) (Algorithm 2's inputs plus the
+/// engineering options the paper leaves implicit).
+#[derive(Debug, Clone)]
+pub struct HeraConfig {
+    /// Record-similarity threshold δ: super records with `Sim ≥ δ` merge.
+    pub delta: f64,
+    /// Value-similarity threshold ξ: value pairs below ξ are not indexed
+    /// and field pairs below ξ are not matching candidates.
+    pub xi: f64,
+    /// Bound derivation for candidate generation (Algorithm 1 flavor).
+    pub bound_mode: BoundMode,
+    /// Run the schema-based method (§IV-B). Disable for the A3 ablation.
+    pub schema_voting: bool,
+    /// Prior `p = Pr(x = x*)` of Theorem 2 — the assumed probability that
+    /// a single field-matching prediction is correct. The paper's worked
+    /// example uses 0.8.
+    pub vote_prior: f64,
+    /// Error-probability threshold ρ: a majority vote is promoted to a
+    /// decided schema matching once `UP_error < ρ`.
+    pub vote_error_threshold: f64,
+    /// Minimum number of votes before a matching can be decided (guards
+    /// the bound's small-`n` regime).
+    pub vote_min_n: u32,
+    /// Safety cap on compare-and-merge iterations (`k` in Table II stays
+    /// well below this on the paper's workloads).
+    pub max_iterations: usize,
+    /// Run Kuhn–Munkres after graph simplification (true, the paper) or
+    /// fall back to greedy matching (the A2 ablation's cheap arm).
+    pub use_kuhn_munkres: bool,
+    /// Use the q-gram prefix filter inside the similarity join.
+    pub prefix_filter: bool,
+    /// Run full index-invariant checks after every iteration (normalized
+    /// keys, similarity-descending groups, partner symmetry, counts).
+    /// Costs a full index scan per iteration — for tests and debugging.
+    pub validate_index: bool,
+}
+
+impl HeraConfig {
+    /// Creates a config with the two thresholds of Algorithm 2 and paper
+    /// defaults everywhere else (ξ/δ both 0.5 in the worked example; prior
+    /// 0.8 and the 0.6 error threshold come from the §IV-B example).
+    pub fn new(delta: f64, xi: f64) -> Self {
+        assert!((0.0..=1.0).contains(&delta), "delta must be in [0,1]");
+        assert!((0.0..=1.0).contains(&xi), "xi must be in [0,1]");
+        Self {
+            delta,
+            xi,
+            bound_mode: BoundMode::Sound,
+            schema_voting: true,
+            vote_prior: 0.8,
+            vote_error_threshold: 0.6,
+            vote_min_n: 3,
+            max_iterations: 64,
+            use_kuhn_munkres: true,
+            prefix_filter: true,
+            validate_index: false,
+        }
+    }
+
+    /// Paper's worked-example configuration: δ = ξ = 0.5.
+    pub fn paper_example() -> Self {
+        Self::new(0.5, 0.5)
+    }
+
+    /// Selects the bound mode.
+    pub fn with_bound_mode(mut self, mode: BoundMode) -> Self {
+        self.bound_mode = mode;
+        self
+    }
+
+    /// Disables the schema-based method.
+    pub fn without_schema_voting(mut self) -> Self {
+        self.schema_voting = false;
+        self
+    }
+
+    /// Replaces Kuhn–Munkres with greedy matching in verification.
+    pub fn with_greedy_matching(mut self) -> Self {
+        self.use_kuhn_munkres = false;
+        self
+    }
+
+    /// Enables per-iteration index-invariant validation (tests/debug).
+    pub fn with_index_validation(mut self) -> Self {
+        self.validate_index = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = HeraConfig::paper_example();
+        assert_eq!(c.delta, 0.5);
+        assert_eq!(c.xi, 0.5);
+        assert_eq!(c.bound_mode, BoundMode::Sound);
+        assert!(c.schema_voting);
+        assert!(c.use_kuhn_munkres);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn bad_delta() {
+        HeraConfig::new(1.5, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "xi")]
+    fn bad_xi() {
+        HeraConfig::new(0.5, -0.1);
+    }
+
+    #[test]
+    fn builder_toggles() {
+        let c = HeraConfig::paper_example()
+            .without_schema_voting()
+            .with_greedy_matching()
+            .with_bound_mode(BoundMode::Paper);
+        assert!(!c.schema_voting);
+        assert!(!c.use_kuhn_munkres);
+        assert_eq!(c.bound_mode, BoundMode::Paper);
+    }
+}

@@ -1,0 +1,457 @@
+//! The HERA driver — Algorithm 2 (§V).
+
+use crate::config::HeraConfig;
+use crate::stats::RunStats;
+use crate::super_record::SuperRecord;
+use crate::verify::InstanceVerifier;
+use crate::voter::{DecidedMatching, SchemaVoter};
+use hera_index::{UnionFind, ValuePairIndex};
+use hera_join::{JoinConfig, SimilarityJoin};
+use hera_sim::{TypeDispatch, ValueSimilarity};
+use hera_types::Dataset;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Output of one HERA run.
+#[derive(Debug, Clone)]
+pub struct HeraResult {
+    /// `entity_of[rid]` — the entity label of each base record: the rid of
+    /// the super record it was folded into (Algorithm 2 lines 11–12).
+    pub entity_of: Vec<u32>,
+    /// Run counters (Table II / Fig. 10 / Fig. 12 inputs).
+    pub stats: RunStats,
+    /// Schema matchings decided by the schema-based method — a useful
+    /// by-product ("HERA can generate some high-reliable schema
+    /// matchings", §I).
+    pub schema_matchings: Vec<DecidedMatching>,
+}
+
+impl HeraResult {
+    /// Number of predicted entities.
+    pub fn entity_count(&self) -> usize {
+        let mut labels = self.entity_of.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+
+    /// Records grouped by predicted entity, ordered by entity label.
+    pub fn clusters(&self) -> Vec<Vec<u32>> {
+        let mut by_label: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+        for (rid, &label) in self.entity_of.iter().enumerate() {
+            by_label.entry(label).or_default().push(rid as u32);
+        }
+        by_label.into_values().collect()
+    }
+
+    /// True if two base records were resolved to the same entity.
+    pub fn same_entity(&self, a: u32, b: u32) -> bool {
+        self.entity_of[a as usize] == self.entity_of[b as usize]
+    }
+}
+
+/// The Heterogeneous Entity Resolution Algorithm.
+pub struct Hera {
+    config: HeraConfig,
+    metric: Arc<dyn ValueSimilarity>,
+}
+
+impl Hera {
+    /// Creates a runner with the paper's default metric stack
+    /// ([`TypeDispatch::paper_default`]).
+    pub fn new(config: HeraConfig) -> Self {
+        Self {
+            config,
+            metric: Arc::new(TypeDispatch::paper_default()),
+        }
+    }
+
+    /// Creates a runner with a custom black-box value similarity.
+    pub fn with_metric(config: HeraConfig, metric: Arc<dyn ValueSimilarity>) -> Self {
+        Self { config, metric }
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &HeraConfig {
+        &self.config
+    }
+
+    /// Runs the similarity join that feeds the index (Algorithm 2 line 1,
+    /// buildable offline per Prop. 1). The result can be shared across
+    /// [`Hera::run_with_pairs`] calls — δ-sweeps reuse one join.
+    pub fn join(&self, ds: &Dataset) -> Vec<hera_join::ValuePair> {
+        let mut join_cfg = JoinConfig::new(self.config.xi);
+        join_cfg.prefix_filter = self.config.prefix_filter;
+        SimilarityJoin::new(join_cfg, self.metric.as_ref()).join_dataset(ds)
+    }
+
+    /// Runs Algorithm 2 on a dataset.
+    pub fn run(&self, ds: &Dataset) -> HeraResult {
+        let t0 = Instant::now();
+        let pairs = self.join(ds);
+        let join_time = t0.elapsed();
+        let mut result = self.run_with_pairs(ds, pairs);
+        result.stats.index_build_time += join_time;
+        result
+    }
+
+    /// Runs Algorithm 2 with a precomputed similarity-join result (must
+    /// come from [`Hera::join`] on the same dataset with the same ξ).
+    pub fn run_with_pairs(&self, ds: &Dataset, pairs: Vec<hera_join::ValuePair>) -> HeraResult {
+        let mut stats = RunStats::default();
+        let cfg = &self.config;
+
+        // ---- Line 1: build index (offline, Prop. 1).
+        let t0 = Instant::now();
+        let mut index = ValuePairIndex::build(pairs);
+        stats.index_size = index.len();
+        stats.index_build_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let n = ds.len();
+        let mut uf = UnionFind::new(n);
+        let mut supers: FxHashMap<u32, SuperRecord> = ds
+            .iter()
+            .map(|r| (r.id.raw(), SuperRecord::from_record(ds, r)))
+            .collect();
+        let mut voter = SchemaVoter::new();
+        let verifier = InstanceVerifier::new(self.metric.as_ref(), cfg.xi, cfg.use_kuhn_munkres);
+
+        // ---- Lines 2–10: iterate until no two super records merge.
+        //
+        // Dirty tracking: a group whose two records did not change since
+        // the last scan has unchanged bounds (its entries and both record
+        // sizes are untouched), so a pair pruned or rejected once only
+        // needs re-examination after one of its sides merges. The first
+        // iteration scans everything; later iterations scan only groups
+        // touching a record merged in the previous iteration.
+        let mut dirty: Option<FxHashSet<u32>> = None;
+        loop {
+            if stats.iterations >= cfg.max_iterations {
+                break;
+            }
+            stats.iterations += 1;
+            let mut merged_any = false;
+            let mut merged_rids: FxHashSet<u32> = FxHashSet::default();
+
+            // Candidate generation (line 3): scan every record pair that
+            // shares at least one similar value. Groups snapshot — merges
+            // re-home groups mid-iteration, so pairs are re-resolved
+            // through union–find before use.
+            let groups: Vec<(u32, u32)> = match &dirty {
+                None => index.record_pairs().collect(),
+                Some(d) => index
+                    .record_pairs()
+                    .filter(|(i, j)| d.contains(i) || d.contains(j))
+                    .collect(),
+            };
+            let mut direct: Vec<(u32, u32)> = Vec::new();
+            let mut candidates: Vec<(u32, u32)> = Vec::new();
+            for (i, j) in groups {
+                let (si, sj) = (supers[&i].informative_size(), supers[&j].informative_size());
+                let b = index.bounds(i, j, si, sj, cfg.bound_mode);
+                if b.up < cfg.delta {
+                    stats.pruned += 1;
+                } else if b.is_exact() {
+                    stats.direct_decisions += 1;
+                    if b.up >= cfg.delta {
+                        direct.push((i, j));
+                    }
+                } else {
+                    candidates.push((i, j));
+                }
+            }
+
+            // Lines 4–5: merge the directly-decided pairs.
+            let mut processed: FxHashSet<(u32, u32)> = FxHashSet::default();
+            for (i, j) in direct {
+                let (ri, rj) = (uf.find(i), uf.find(j));
+                if ri == rj {
+                    continue;
+                }
+                let key = (ri.min(rj), ri.max(rj));
+                if !processed.insert(key) {
+                    continue;
+                }
+                // The exact-bound case has a conflict-free similar-field-
+                // pair set whose greedy matching is the optimum; when the
+                // pair moved under other roots mid-iteration, fall through
+                // to a full verification instead of trusting stale bounds.
+                if (ri, rj) == (i.min(j), i.max(j)) {
+                    let v = self.verify_pair(&verifier, &index, &supers, ds, &voter, key.0, key.1);
+                    stats.simplified_nodes_sum += v.simplified_nodes;
+                    stats.graph_nodes_sum += v.graph_nodes;
+                    stats.matchings_run += 1;
+                    // Directly-decided similar pairs are just as much
+                    // evidence for schema matchings as verified ones: the
+                    // schema-based method consumes every field matching of
+                    // a pair judged to co-refer (§IV-B).
+                    if cfg.schema_voting {
+                        self.cast_votes(&mut voter, &supers, ds, key.0, key.1, &v.predicted);
+                        let fresh =
+                            voter.decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
+                        stats.schema_matchings_decided += fresh.len();
+                    }
+                    self.merge_pair(
+                        &mut index,
+                        &mut supers,
+                        &mut uf,
+                        key.0,
+                        key.1,
+                        &v.matching,
+                        &mut stats,
+                    );
+                    merged_any = true;
+                    merged_rids.insert(key.0);
+                } else {
+                    candidates.push(key);
+                }
+            }
+
+            // Lines 6–10: verify candidates, vote, merge.
+            for (i, j) in candidates {
+                let (ri, rj) = (uf.find(i), uf.find(j));
+                if ri == rj {
+                    continue;
+                }
+                let key = (ri.min(rj), ri.max(rj));
+                if !processed.insert(key) {
+                    continue;
+                }
+                let v = self.verify_pair(&verifier, &index, &supers, ds, &voter, key.0, key.1);
+                stats.comparisons += 1;
+                stats.simplified_nodes_sum += v.simplified_nodes;
+                stats.graph_nodes_sum += v.graph_nodes;
+                stats.matchings_run += 1;
+                if v.sim >= cfg.delta {
+                    // Line 9: schema-based method on the new predictions.
+                    if cfg.schema_voting {
+                        self.cast_votes(&mut voter, &supers, ds, key.0, key.1, &v.predicted);
+                        let fresh =
+                            voter.decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
+                        stats.schema_matchings_decided += fresh.len();
+                    }
+                    // Line 10: merge.
+                    self.merge_pair(
+                        &mut index,
+                        &mut supers,
+                        &mut uf,
+                        key.0,
+                        key.1,
+                        &v.matching,
+                        &mut stats,
+                    );
+                    merged_any = true;
+                    merged_rids.insert(key.0);
+                }
+            }
+
+            if cfg.validate_index {
+                index.check_invariants().unwrap_or_else(|e| {
+                    panic!(
+                        "index invariant broken after iteration {}: {e}",
+                        stats.iterations
+                    )
+                });
+            }
+
+            if !merged_any {
+                break;
+            }
+            dirty = Some(merged_rids);
+        }
+
+        stats.final_index_size = index.len();
+        stats.resolve_time = t1.elapsed();
+
+        // ---- Lines 11–12: entity labels via union–find.
+        let entity_of: Vec<u32> = (0..n as u32).map(|r| uf.find(r)).collect();
+        HeraResult {
+            entity_of,
+            stats,
+            schema_matchings: voter.decided(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn verify_pair(
+        &self,
+        verifier: &InstanceVerifier<'_>,
+        index: &ValuePairIndex,
+        supers: &FxHashMap<u32, SuperRecord>,
+        ds: &Dataset,
+        voter: &SchemaVoter,
+        i: u32,
+        j: u32,
+    ) -> crate::verify::Verification {
+        let voter_opt = self.config.schema_voting.then_some(voter);
+        verifier.verify(index, &supers[&i], &supers[&j], &ds.registry, voter_opt)
+    }
+
+    /// Casts schema-matching votes for every attribute pair aggregated by
+    /// a predicted field matching.
+    fn cast_votes(
+        &self,
+        voter: &mut SchemaVoter,
+        supers: &FxHashMap<u32, SuperRecord>,
+        ds: &Dataset,
+        i: u32,
+        j: u32,
+        predicted: &[(u32, u32, f64)],
+    ) {
+        let (li, rj) = (&supers[&i], &supers[&j]);
+        for &(lf, rf, _) in predicted {
+            for &a in &li.fields[lf as usize].attrs {
+                for &b in &rj.fields[rf as usize].attrs {
+                    voter.add_vote(&ds.registry, a, b);
+                }
+            }
+        }
+    }
+
+    /// Merges super records `i` and `j` (roots, `i < j`) using the field
+    /// matching, and maintains the index (§III-B2).
+    #[allow(clippy::too_many_arguments)]
+    fn merge_pair(
+        &self,
+        index: &mut ValuePairIndex,
+        supers: &mut FxHashMap<u32, SuperRecord>,
+        uf: &mut UnionFind,
+        i: u32,
+        j: u32,
+        matching: &[(u32, u32, f64)],
+        stats: &mut RunStats,
+    ) {
+        debug_assert!(i < j);
+        let k = uf.union(i, j);
+        debug_assert_eq!(k, i, "union keeps the smaller root");
+        let loser = supers.remove(&j).expect("loser super record exists");
+        let winner = supers.get_mut(&i).expect("winner super record exists");
+        let field_matching: Vec<(u32, u32)> = matching.iter().map(|&(l, r, _)| (l, r)).collect();
+        let remap = winner.absorb(&loser, &field_matching);
+        index.merge(i, j, k, |l| remap.apply(l));
+        stats.merges += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hera_index::BoundMode;
+    use hera_types::{motivating_example, CanonAttrId, DatasetBuilder, EntityId, Value};
+
+    #[test]
+    fn motivating_example_resolves_correctly() {
+        // The paper's end-to-end walkthrough (Fig. 8): with ξ = δ = 0.5,
+        // {r1, r2, r4, r6} and {r3, r5} (1-based) form the two entities.
+        let ds = motivating_example();
+        let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+        assert_eq!(result.entity_count(), 2, "labels: {:?}", result.entity_of);
+        // 0-based: {0, 1, 3, 5} and {2, 4}.
+        assert!(result.same_entity(0, 1));
+        assert!(result.same_entity(0, 3));
+        assert!(result.same_entity(0, 5));
+        assert!(result.same_entity(2, 4));
+        assert!(!result.same_entity(0, 2));
+        assert!(result.stats.merges == 4);
+        assert!(result.stats.iterations >= 2);
+    }
+
+    #[test]
+    fn high_threshold_merges_nothing_dissimilar() {
+        let ds = motivating_example();
+        let result = Hera::new(HeraConfig::new(0.99, 0.9)).run(&ds);
+        // At δ=0.99 only near-identical records merge; r3/r5 do not.
+        assert!(!result.same_entity(2, 4));
+    }
+
+    #[test]
+    fn zero_iteration_on_empty_dataset() {
+        let ds = DatasetBuilder::new("empty").build();
+        let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+        assert!(result.entity_of.is_empty());
+        assert_eq!(result.entity_count(), 0);
+    }
+
+    #[test]
+    fn singleton_records_stay_singletons() {
+        let mut b = DatasetBuilder::new("t");
+        let s = b.add_schema("S", [("x", CanonAttrId::new(0))]);
+        b.add_record(s, vec![Value::from("alpha")], EntityId::new(0))
+            .unwrap();
+        b.add_record(s, vec![Value::from("omega")], EntityId::new(1))
+            .unwrap();
+        let ds = b.build();
+        let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+        assert_eq!(result.entity_count(), 2);
+        assert_eq!(result.stats.merges, 0);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let ds = motivating_example();
+        let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+        let s = &result.stats;
+        assert!(s.index_size > 0);
+        assert!(s.iterations >= 1);
+        assert!(s.final_index_size <= s.index_size);
+        assert!(s.merges >= s.comparisons.min(s.merges));
+    }
+
+    #[test]
+    fn description_difference_needs_iterations() {
+        // r1 and r2 share only "name"-ish evidence (Bush vs John — none!).
+        // They can only merge after r1⊕r6 and r2⊕r4 exist. Verify the
+        // run needed more than one iteration.
+        let ds = motivating_example();
+        let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+        assert!(result.stats.iterations >= 2);
+        assert!(result.same_entity(0, 1), "description difference resolved");
+    }
+
+    #[test]
+    fn paper_bound_mode_also_resolves_example() {
+        let ds = motivating_example();
+        let cfg = HeraConfig::paper_example().with_bound_mode(BoundMode::Paper);
+        let result = Hera::new(cfg).run(&ds);
+        assert_eq!(result.entity_count(), 2);
+    }
+
+    #[test]
+    fn greedy_matching_mode_runs() {
+        let ds = motivating_example();
+        let cfg = HeraConfig::paper_example().with_greedy_matching();
+        let result = Hera::new(cfg).run(&ds);
+        assert_eq!(result.entity_count(), 2);
+    }
+
+    #[test]
+    fn voting_disabled_still_resolves_example() {
+        let ds = motivating_example();
+        let cfg = HeraConfig::paper_example().without_schema_voting();
+        let result = Hera::new(cfg).run(&ds);
+        assert_eq!(result.entity_count(), 2);
+        assert!(result.schema_matchings.is_empty());
+    }
+
+    #[test]
+    fn index_invariants_hold_throughout_run() {
+        let ds = motivating_example();
+        let cfg = HeraConfig::paper_example().with_index_validation();
+        let result = Hera::new(cfg).run(&ds);
+        assert_eq!(result.entity_count(), 2);
+    }
+
+    #[test]
+    fn clusters_partition_records() {
+        let ds = motivating_example();
+        let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+        let clusters = result.clusters();
+        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, ds.len());
+        let mut all: Vec<u32> = clusters.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<u32>>());
+    }
+}

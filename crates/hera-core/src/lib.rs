@@ -1,0 +1,49 @@
+//! HERA — the Heterogeneous Entity Resolution Algorithm (§II–§V).
+//!
+//! This crate assembles the substrates (`hera-sim`, `hera-join`,
+//! `hera-index`, `hera-matching`) into the paper's system:
+//!
+//! * [`SuperRecord`] — the merged representation of co-referring records
+//!   (Definition 2) with the `⊕` merge operation (Example 2);
+//! * [`InstanceVerifier`] — record similarity without schema matchings
+//!   (§IV-A): index-assisted similar-field-pair retrieval, graph
+//!   simplification, Kuhn–Munkres field matching, Definition 5 scoring;
+//! * [`SchemaVoter`] — majority voting over field-matching predictions
+//!   with the Chernoff-style error bound of Theorem 2 (§IV-B), feeding
+//!   decided attribute matchings back into verification;
+//! * [`Hera`] — the iterative compare-and-merge driver (Algorithm 2) with
+//!   candidate generation, direct decisions, verification, merging, and
+//!   index maintenance;
+//! * [`RunStats`] — the counters behind Table II, Fig. 10 and Fig. 12.
+//!
+//! ```
+//! use hera_core::{Hera, HeraConfig};
+//! use hera_types::motivating_example;
+//!
+//! let dataset = motivating_example();
+//! let result = Hera::new(HeraConfig::new(0.5, 0.5)).run(&dataset);
+//! // r1, r2, r4, r6 (1-based) end up in one entity; r3, r5 in another.
+//! assert_eq!(result.entity_of.len(), 6);
+//! assert_eq!(result.entity_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod driver;
+mod session;
+mod stats;
+mod super_record;
+mod verify;
+mod voter;
+
+pub use config::HeraConfig;
+pub use driver::{Hera, HeraResult};
+pub use session::HeraSession;
+pub use stats::RunStats;
+pub use super_record::{Field, SuperRecord};
+pub use verify::{InstanceVerifier, Verification};
+pub use voter::{vote_error_bound, DecidedMatching, SchemaVoter};
+
+pub use hera_index::BoundMode;

@@ -1,0 +1,419 @@
+//! Streaming (incremental) entity resolution — HERA beyond the batch
+//! Algorithm 2.
+//!
+//! The paper's framework is batch: build the index offline, iterate to a
+//! fixpoint. Real heterogeneous sources *stream* — new exports arrive and
+//! should resolve against everything already known without recomputing
+//! from scratch. [`HeraSession`] maintains the algorithm's entire state
+//! (incremental similarity join, value-pair index, super records,
+//! union–find, schema voter) under record insertions:
+//!
+//! * [`HeraSession::add_record`] joins the new record's values against
+//!   every live value, extends the index, and lifts the record into a
+//!   super record;
+//! * [`HeraSession::resolve`] runs compare-and-merge to a fixpoint, but
+//!   only over groups touching records that changed since the last call
+//!   (the same dirty-tracking argument the batch driver uses);
+//! * decided schema matchings persist across insertions, so the session
+//!   gets *better* at matching heterogeneous schemas as it ages — the
+//!   schema-based method's intended long-run behavior.
+
+use crate::config::HeraConfig;
+use crate::super_record::SuperRecord;
+use crate::verify::InstanceVerifier;
+use crate::voter::{DecidedMatching, SchemaVoter};
+use hera_index::{UnionFind, ValuePairIndex};
+use hera_join::IncrementalJoin;
+use hera_sim::{TypeDispatch, ValueSimilarity};
+use hera_types::{HeraError, Label, RecordId, Result, SchemaId, SchemaRegistry, Value};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::sync::Arc;
+
+/// Incremental HERA: owns the schema registry and all algorithm state.
+pub struct HeraSession {
+    config: HeraConfig,
+    metric: Arc<dyn ValueSimilarity>,
+    registry: SchemaRegistry,
+    record_count: usize,
+    index: ValuePairIndex,
+    join: IncrementalJoin,
+    supers: FxHashMap<u32, SuperRecord>,
+    uf: UnionFind,
+    voter: SchemaVoter,
+    /// Records whose evidence changed since the last `resolve`.
+    dirty: FxHashSet<u32>,
+    merges: usize,
+}
+
+impl HeraSession {
+    /// Creates an empty session with the paper-default metric.
+    pub fn new(config: HeraConfig) -> Self {
+        Self::with_metric(config, Arc::new(TypeDispatch::paper_default()))
+    }
+
+    /// Creates an empty session with a custom metric.
+    pub fn with_metric(config: HeraConfig, metric: Arc<dyn ValueSimilarity>) -> Self {
+        Self {
+            join: IncrementalJoin::new(config.xi, 2, metric.clone()),
+            config,
+            metric,
+            registry: SchemaRegistry::new(),
+            record_count: 0,
+            index: ValuePairIndex::default(),
+            supers: FxHashMap::default(),
+            uf: UnionFind::new(0),
+            voter: SchemaVoter::new(),
+            dirty: FxHashSet::default(),
+            merges: 0,
+        }
+    }
+
+    /// Registers a source schema (streaming sources can appear at any
+    /// time).
+    pub fn add_schema<S: Into<String>, I: IntoIterator<Item = S>>(
+        &mut self,
+        name: impl Into<String>,
+        attrs: I,
+    ) -> SchemaId {
+        self.registry.add_schema(name, attrs)
+    }
+
+    /// Ingests one record under a registered schema: its values join
+    /// against every live value and the index grows accordingly. Returns
+    /// the record id. Call [`HeraSession::resolve`] to fold new evidence
+    /// into entities (per record for lowest latency, or in batches for
+    /// throughput).
+    pub fn add_record(&mut self, schema: SchemaId, values: Vec<Value>) -> Result<RecordId> {
+        if schema.index() >= self.registry.len() {
+            return Err(HeraError::UnknownId(format!("{schema}")));
+        }
+        let expected = self.registry.schema(schema).arity();
+        if values.len() != expected {
+            return Err(HeraError::ArityMismatch {
+                record: self.record_count as u32,
+                expected,
+                actual: values.len(),
+            });
+        }
+        let rid = self.record_count as u32;
+        self.record_count += 1;
+        let pushed = self.uf.push();
+        debug_assert_eq!(pushed, rid);
+
+        // Lift into a super record (tracking attribute provenance).
+        let schema_ref = self.registry.schema(schema);
+        let fields: Vec<crate::super_record::Field> = values
+            .iter()
+            .zip(&schema_ref.attrs)
+            .map(|(v, a)| crate::super_record::Field {
+                values: if v.is_null() {
+                    Vec::new()
+                } else {
+                    vec![v.clone()]
+                },
+                attrs: vec![a.id],
+            })
+            .collect();
+        self.supers.insert(
+            rid,
+            SuperRecord {
+                rid,
+                fields,
+                members: vec![rid],
+            },
+        );
+
+        // Join each value against the live universe; labels of previously
+        // merged records are already current (the join is relabeled on
+        // every merge).
+        let mut new_pairs = Vec::new();
+        for (fid, v) in values.iter().enumerate() {
+            if !v.is_null() {
+                new_pairs.extend(self.join.insert(Label::new(rid, fid as u32, 0), v.clone()));
+            }
+        }
+        for p in &new_pairs {
+            self.dirty.insert(p.a.rid);
+            self.dirty.insert(p.b.rid);
+        }
+        self.index.extend(new_pairs);
+        Ok(RecordId::new(rid))
+    }
+
+    /// Runs compare-and-merge to a fixpoint over the dirty region.
+    /// Returns the number of merges performed.
+    pub fn resolve(&mut self) -> usize {
+        let cfg = self.config.clone();
+        let verifier = InstanceVerifier::new(self.metric.as_ref(), cfg.xi, cfg.use_kuhn_munkres);
+        let mut total = 0usize;
+        let mut iterations = 0usize;
+        while !self.dirty.is_empty() && iterations < cfg.max_iterations {
+            iterations += 1;
+            let dirty = std::mem::take(&mut self.dirty);
+            let groups: Vec<(u32, u32)> = self
+                .index
+                .record_pairs()
+                .filter(|(i, j)| dirty.contains(i) || dirty.contains(j))
+                .collect();
+            let mut processed: FxHashSet<(u32, u32)> = FxHashSet::default();
+            for (i, j) in groups {
+                let (ri, rj) = (self.uf.find(i), self.uf.find(j));
+                if ri == rj {
+                    continue;
+                }
+                let key = (ri.min(rj), ri.max(rj));
+                if !processed.insert(key) {
+                    continue;
+                }
+                let (si, sj) = (
+                    self.supers[&key.0].informative_size(),
+                    self.supers[&key.1].informative_size(),
+                );
+                let bounds = self.index.bounds(key.0, key.1, si, sj, cfg.bound_mode);
+                if bounds.up < cfg.delta {
+                    continue;
+                }
+                let voter_opt = cfg.schema_voting.then_some(&self.voter);
+                let v = verifier.verify(
+                    &self.index,
+                    &self.supers[&key.0],
+                    &self.supers[&key.1],
+                    &self.registry,
+                    voter_opt,
+                );
+                if v.sim < cfg.delta {
+                    continue;
+                }
+                if cfg.schema_voting {
+                    for &(lf, rf, _) in &v.predicted {
+                        let left = &self.supers[&key.0];
+                        let right = &self.supers[&key.1];
+                        // Collect votes before mutating.
+                        let la = left.fields[lf as usize].attrs.clone();
+                        let ra = right.fields[rf as usize].attrs.clone();
+                        for a in &la {
+                            for b in &ra {
+                                self.voter.add_vote(&self.registry, *a, *b);
+                            }
+                        }
+                    }
+                    self.voter
+                        .decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
+                }
+                // Merge.
+                let k = self.uf.union(key.0, key.1);
+                debug_assert_eq!(k, key.0);
+                let loser = self.supers.remove(&key.1).expect("loser exists");
+                let winner = self.supers.get_mut(&key.0).expect("winner exists");
+                let matching: Vec<(u32, u32)> =
+                    v.matching.iter().map(|&(l, r, _)| (l, r)).collect();
+                let remap = winner.absorb(&loser, &matching);
+                self.index.merge(key.0, key.1, k, |l| remap.apply(l));
+                self.join.relabel(key.0, key.1, |l| remap.apply(l));
+                self.dirty.insert(k);
+                total += 1;
+                self.merges += 1;
+            }
+        }
+        total
+    }
+
+    /// Current entity label (super-record rid) of a record.
+    pub fn entity_of(&self, rid: RecordId) -> u32 {
+        self.uf.find_const(rid.raw())
+    }
+
+    /// All records grouped by current entity.
+    pub fn clusters(&mut self) -> Vec<Vec<u32>> {
+        self.uf.clusters()
+    }
+
+    /// Number of records ingested.
+    pub fn len(&self) -> usize {
+        self.record_count
+    }
+
+    /// True if no records were ingested.
+    pub fn is_empty(&self) -> bool {
+        self.record_count == 0
+    }
+
+    /// Total merges performed so far.
+    pub fn merge_count(&self) -> usize {
+        self.merges
+    }
+
+    /// Index size `|𝒱|` right now.
+    pub fn index_size(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Schema matchings decided so far.
+    pub fn schema_matchings(&self) -> Vec<DecidedMatching> {
+        self.voter.decided()
+    }
+
+    /// The session's schema registry.
+    pub fn registry(&self) -> &SchemaRegistry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hera, HeraConfig};
+    use hera_types::motivating_example;
+
+    /// Streams the motivating example record by record, resolving after
+    /// each insertion; the final entities match the batch run.
+    #[test]
+    fn streaming_motivating_example() {
+        let ds = motivating_example();
+        let mut session = HeraSession::new(HeraConfig::paper_example());
+        // Mirror the dataset's schemas.
+        let schemas: Vec<SchemaId> = ds
+            .registry
+            .schemas()
+            .map(|s| {
+                session.add_schema(
+                    s.name.clone(),
+                    s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        for rec in ds.iter() {
+            session
+                .add_record(schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+            session.resolve();
+        }
+        let clusters = session.clusters();
+        assert_eq!(clusters.len(), 2, "{clusters:?}");
+        assert_eq!(
+            session.entity_of(RecordId::new(0)),
+            session.entity_of(RecordId::new(1))
+        );
+        assert_eq!(
+            session.entity_of(RecordId::new(2)),
+            session.entity_of(RecordId::new(4))
+        );
+    }
+
+    /// Ingest-all-then-resolve reaches the same quality as the batch
+    /// driver on the example.
+    #[test]
+    fn bulk_ingest_matches_batch() {
+        let ds = motivating_example();
+        let batch = Hera::new(HeraConfig::paper_example()).run(&ds);
+
+        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let schemas: Vec<SchemaId> = ds
+            .registry
+            .schemas()
+            .map(|s| {
+                session.add_schema(
+                    s.name.clone(),
+                    s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        for rec in ds.iter() {
+            session
+                .add_record(schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+        }
+        session.resolve();
+        assert_eq!(session.clusters().len(), batch.entity_count());
+        assert_eq!(session.merge_count(), batch.stats.merges);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let s = session.add_schema("S", ["a", "b"]);
+        let err = session.add_record(s, vec![Value::from("x")]).unwrap_err();
+        assert!(matches!(err, HeraError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_schema_rejected() {
+        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let err = session
+            .add_record(SchemaId::new(3), vec![Value::from("x")])
+            .unwrap_err();
+        assert!(matches!(err, HeraError::UnknownId(_)));
+    }
+
+    #[test]
+    fn empty_session() {
+        let mut session = HeraSession::new(HeraConfig::paper_example());
+        assert!(session.is_empty());
+        assert_eq!(session.resolve(), 0);
+        assert!(session.clusters().is_empty());
+    }
+
+    #[test]
+    fn resolve_is_idempotent_without_new_evidence() {
+        let ds = motivating_example();
+        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let schemas: Vec<SchemaId> = ds
+            .registry
+            .schemas()
+            .map(|s| {
+                session.add_schema(
+                    s.name.clone(),
+                    s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        for rec in ds.iter() {
+            session
+                .add_record(schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+        }
+        let first = session.resolve();
+        assert!(first > 0);
+        assert_eq!(session.resolve(), 0, "no new evidence, no new merges");
+        assert_eq!(session.resolve(), 0);
+    }
+
+    #[test]
+    fn session_accessors() {
+        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let s = session.add_schema("S", ["name", "city"]);
+        assert_eq!(session.registry().len(), 1);
+        assert_eq!(session.registry().schema(s).arity(), 2);
+        session
+            .add_record(s, vec![Value::from("x y"), Value::from("LA")])
+            .unwrap();
+        assert_eq!(session.len(), 1);
+        assert!(!session.is_empty());
+        assert_eq!(session.index_size(), 0); // one record: nothing to pair
+        assert_eq!(session.merge_count(), 0);
+        assert_eq!(session.entity_of(RecordId::new(0)), 0);
+    }
+
+    #[test]
+    fn session_index_stays_consistent() {
+        let ds = motivating_example();
+        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let schemas: Vec<SchemaId> = ds
+            .registry
+            .schemas()
+            .map(|s| {
+                session.add_schema(
+                    s.name.clone(),
+                    s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        for rec in ds.iter() {
+            session
+                .add_record(schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+            session.resolve();
+            session.index.check_invariants().unwrap();
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Run statistics — the counters behind Table II, Fig. 10, and Fig. 12.
+
+use std::time::Duration;
+
+/// Counters and timings collected during one [`Hera`](crate::Hera) run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Compare-and-merge iterations executed (`k` of Table II).
+    pub iterations: usize,
+    /// Initial index size `|𝒱|` (`|S|` of Table II).
+    pub index_size: usize,
+    /// Index size remaining when the run stopped.
+    pub final_index_size: usize,
+    /// Record pairs whose upper bound pruned them (`Up < δ`).
+    pub pruned: usize,
+    /// Record pairs decided directly from the index (`Up = Low`),
+    /// similar *and* dissimilar.
+    pub direct_decisions: usize,
+    /// Full verifications executed (the "comparisons" of Fig. 10).
+    pub comparisons: usize,
+    /// Merges performed.
+    pub merges: usize,
+    /// Sum of simplified-bipartite-graph node counts over all
+    /// Kuhn–Munkres invocations (for `m̄`).
+    pub simplified_nodes_sum: usize,
+    /// Sum of pre-simplification graph node counts (how big the field
+    /// matching problems were before Theorem-1 peeling).
+    pub graph_nodes_sum: usize,
+    /// Number of Kuhn–Munkres invocations.
+    pub matchings_run: usize,
+    /// Schema matchings decided by the voter.
+    pub schema_matchings_decided: usize,
+    /// Wall-clock time spent building the index (similarity join
+    /// included).
+    pub index_build_time: Duration,
+    /// Wall-clock time of the iterative phase.
+    pub resolve_time: Duration,
+}
+
+impl RunStats {
+    /// Average simplified-graph size `m̄` (Table II). Zero when no
+    /// matching ran.
+    pub fn avg_simplified_nodes(&self) -> f64 {
+        if self.matchings_run == 0 {
+            0.0
+        } else {
+            self.simplified_nodes_sum as f64 / self.matchings_run as f64
+        }
+    }
+
+    /// Average pre-simplification graph size (companion to
+    /// [`RunStats::avg_simplified_nodes`]; the gap between the two is the
+    /// Theorem-1 peeling payoff).
+    pub fn avg_graph_nodes(&self) -> f64 {
+        if self.matchings_run == 0 {
+            0.0
+        } else {
+            self.graph_nodes_sum as f64 / self.matchings_run as f64
+        }
+    }
+
+    /// Total wall-clock time (Fig. 12's metric).
+    pub fn total_time(&self) -> Duration {
+        self.index_build_time + self.resolve_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_simplified_nodes() {
+        let mut s = RunStats::default();
+        assert_eq!(s.avg_simplified_nodes(), 0.0);
+        s.simplified_nodes_sum = 24;
+        s.matchings_run = 3;
+        assert!((s.avg_simplified_nodes() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_time_sums() {
+        let s = RunStats {
+            index_build_time: Duration::from_millis(30),
+            resolve_time: Duration::from_millis(70),
+            ..Default::default()
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(100));
+    }
+}

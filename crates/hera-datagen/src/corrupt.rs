@@ -1,0 +1,270 @@
+//! Corruption model: how a source mangles canonical values.
+
+use hera_types::Value;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Probabilities of each corruption applied when a source renders a
+/// canonical value. All in `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct CorruptionConfig {
+    /// Single-character typo (swap / delete / replace / insert).
+    pub typo: f64,
+    /// Drop one token of a multi-word string (`"2 Norman Street"` →
+    /// `"Norman Street"`).
+    pub drop_token: f64,
+    /// Abbreviate a leading token (`"John Smith"` → `"J. Smith"`).
+    pub abbreviate: f64,
+    /// Case noise (lowercase or uppercase the whole string).
+    pub case_noise: f64,
+    /// Numeric jitter: ±1 on integers, ±0.1 on floats.
+    pub numeric_jitter: f64,
+    /// Replace the value with null (missing data).
+    pub missing: f64,
+    /// Replace the value with a freshly generated one of the same kind
+    /// (transcription error / wrong movie looked up) — the main source of
+    /// false evidence between entities. Applied by the generator, which
+    /// owns the value generators.
+    pub wrong_value: f64,
+}
+
+impl CorruptionConfig {
+    /// Moderate noise: enough that exact matching fails routinely but
+    /// 2-gram Jaccard at ξ = 0.5 still connects most duplicates.
+    pub fn moderate() -> Self {
+        Self {
+            typo: 0.22,
+            drop_token: 0.10,
+            abbreviate: 0.12,
+            case_noise: 0.14,
+            numeric_jitter: 0.20,
+            missing: 0.08,
+            wrong_value: 0.04,
+        }
+    }
+
+    /// Light noise (sanity runs).
+    pub fn light() -> Self {
+        Self {
+            typo: 0.05,
+            drop_token: 0.02,
+            abbreviate: 0.03,
+            case_noise: 0.05,
+            numeric_jitter: 0.05,
+            missing: 0.02,
+            wrong_value: 0.01,
+        }
+    }
+
+    /// Heavy noise (stress tests).
+    pub fn heavy() -> Self {
+        Self {
+            typo: 0.40,
+            drop_token: 0.18,
+            abbreviate: 0.22,
+            case_noise: 0.28,
+            numeric_jitter: 0.35,
+            missing: 0.16,
+            wrong_value: 0.10,
+        }
+    }
+
+    /// Applies the configured corruptions to one canonical value.
+    /// Returns `Value::Null` for missing data.
+    pub fn apply(&self, v: &Value, rng: &mut ChaCha8Rng) -> Value {
+        if rng.gen_bool(self.missing) {
+            return Value::Null;
+        }
+        match v {
+            Value::Str(s) => {
+                let mut s = s.clone();
+                if rng.gen_bool(self.abbreviate) {
+                    s = abbreviate(&s);
+                }
+                if rng.gen_bool(self.drop_token) {
+                    s = drop_token(&s, rng);
+                }
+                if rng.gen_bool(self.typo) {
+                    s = typo(&s, rng);
+                }
+                if rng.gen_bool(self.case_noise) {
+                    s = if rng.gen_bool(0.5) {
+                        s.to_lowercase()
+                    } else {
+                        s.to_uppercase()
+                    };
+                }
+                Value::Str(s)
+            }
+            Value::Int(i) => {
+                if rng.gen_bool(self.numeric_jitter) {
+                    Value::Int(i + if rng.gen_bool(0.5) { 1 } else { -1 })
+                } else {
+                    Value::Int(*i)
+                }
+            }
+            Value::Float(f) => {
+                if rng.gen_bool(self.numeric_jitter) {
+                    let jitter = if rng.gen_bool(0.5) { 0.1 } else { -0.1 };
+                    Value::Float(((f + jitter) * 10.0).round() / 10.0)
+                } else {
+                    Value::Float(*f)
+                }
+            }
+            Value::Null => Value::Null,
+        }
+    }
+}
+
+/// `"John Smith"` → `"J. Smith"`; single-token strings are untouched.
+fn abbreviate(s: &str) -> String {
+    let mut tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() < 2 {
+        return s.to_owned();
+    }
+    let first = tokens[0];
+    let initial: String = first.chars().take(1).collect();
+    let abbreviated = format!("{initial}.");
+    tokens[0] = &abbreviated;
+    tokens.join(" ")
+}
+
+/// Removes one random token from a multi-word string.
+fn drop_token(s: &str, rng: &mut ChaCha8Rng) -> String {
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() < 2 {
+        return s.to_owned();
+    }
+    let victim = rng.gen_range(0..tokens.len());
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != victim)
+        .map(|(_, t)| *t)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// One random character edit.
+fn typo(s: &str, rng: &mut ChaCha8Rng) -> String {
+    let mut chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return s.to_owned();
+    }
+    let pos = rng.gen_range(0..chars.len());
+    match rng.gen_range(0..4) {
+        0 if chars.len() >= 2 => {
+            // swap with neighbor
+            let other = if pos + 1 < chars.len() {
+                pos + 1
+            } else {
+                pos - 1
+            };
+            chars.swap(pos, other);
+        }
+        1 if chars.len() >= 2 => {
+            chars.remove(pos);
+        }
+        2 => {
+            chars[pos] = random_letter(rng);
+        }
+        _ => {
+            chars.insert(pos, random_letter(rng));
+        }
+    }
+    chars.into_iter().collect()
+}
+
+fn random_letter(rng: &mut ChaCha8Rng) -> char {
+    (b'a' + rng.gen_range(0..26u8)) as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn abbreviate_multiword() {
+        assert_eq!(abbreviate("John Smith"), "J. Smith");
+        assert_eq!(abbreviate("Smith"), "Smith");
+        assert_eq!(abbreviate("Jean Claude Van Damme"), "J. Claude Van Damme");
+    }
+
+    #[test]
+    fn drop_token_shrinks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let out = drop_token("a b c", &mut rng);
+        assert_eq!(out.split_whitespace().count(), 2);
+        assert_eq!(drop_token("single", &mut rng), "single");
+    }
+
+    #[test]
+    fn typo_changes_string() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut changed = 0;
+        for _ in 0..20 {
+            if typo("hello world", &mut rng) != "hello world" {
+                changed += 1;
+            }
+        }
+        // Swap of equal chars can no-op, but most edits change the string.
+        assert!(changed >= 15);
+    }
+
+    #[test]
+    fn zero_config_is_identity() {
+        let cfg = CorruptionConfig {
+            typo: 0.0,
+            drop_token: 0.0,
+            abbreviate: 0.0,
+            case_noise: 0.0,
+            numeric_jitter: 0.0,
+            missing: 0.0,
+            wrong_value: 0.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for v in [Value::from("abc def"), Value::from(42i64), Value::from(1.5)] {
+            assert_eq!(cfg.apply(&v, &mut rng), v);
+        }
+    }
+
+    #[test]
+    fn missing_one_always_nulls() {
+        let cfg = CorruptionConfig {
+            missing: 1.0,
+            ..CorruptionConfig::light()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        assert!(cfg.apply(&Value::from("x"), &mut rng).is_null());
+    }
+
+    #[test]
+    fn numeric_jitter_stays_close() {
+        let cfg = CorruptionConfig {
+            typo: 0.0,
+            drop_token: 0.0,
+            abbreviate: 0.0,
+            case_noise: 0.0,
+            numeric_jitter: 1.0,
+            missing: 0.0,
+            wrong_value: 0.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        match cfg.apply(&Value::from(2000i64), &mut rng) {
+            Value::Int(i) => assert!((i - 2000).abs() == 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let cfg = CorruptionConfig::moderate();
+        let mut r1 = ChaCha8Rng::seed_from_u64(8);
+        let mut r2 = ChaCha8Rng::seed_from_u64(8);
+        for _ in 0..50 {
+            let v = Value::from("The Golden Shadow");
+            assert_eq!(cfg.apply(&v, &mut r1), cfg.apply(&v, &mut r2));
+        }
+    }
+}

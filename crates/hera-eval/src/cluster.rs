@@ -1,0 +1,230 @@
+//! Clustering-theoretic metrics: Adjusted Rand Index and V-measure.
+//!
+//! Pairwise P/R/F1 (the paper's measure) and B³ are record-centric;
+//! these two summarize the *partition* agreement instead, and are the
+//! conventional companions when comparing clustering algorithms (CC is
+//! literally a clustering method). ARI is chance-corrected — random
+//! partitions score ≈ 0 — and V-measure decomposes into homogeneity and
+//! completeness, which separate over-merging from over-splitting.
+
+use hera_types::{GroundTruth, RecordId};
+use rustc_hash::FxHashMap;
+
+/// The contingency table between a predicted partition and ground truth.
+struct Contingency {
+    /// n_ij: records in predicted cluster i with truth entity j.
+    cells: Vec<FxHashMap<u64, usize>>,
+    /// Row sums (predicted cluster sizes).
+    rows: Vec<usize>,
+    /// Column sums (truth entity sizes among covered records).
+    cols: FxHashMap<u64, usize>,
+    /// Total records.
+    n: usize,
+}
+
+fn contingency(predicted: &[Vec<u32>], truth: &GroundTruth) -> Contingency {
+    let mut cells = Vec::with_capacity(predicted.len());
+    let mut rows = Vec::with_capacity(predicted.len());
+    let mut cols: FxHashMap<u64, usize> = FxHashMap::default();
+    let mut n = 0usize;
+    for cluster in predicted {
+        let mut row: FxHashMap<u64, usize> = FxHashMap::default();
+        for &r in cluster {
+            let e = truth.entity_of(RecordId::new(r)).raw() as u64;
+            *row.entry(e).or_insert(0) += 1;
+            *cols.entry(e).or_insert(0) += 1;
+            n += 1;
+        }
+        rows.push(cluster.len());
+        cells.push(row);
+    }
+    Contingency {
+        cells,
+        rows,
+        cols,
+        n,
+    }
+}
+
+fn choose2(x: usize) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand Index in `[-1, 1]`: 1 for identical partitions, ≈ 0 for
+/// chance-level agreement. Returns 1.0 for empty input (vacuous
+/// agreement).
+pub fn adjusted_rand_index(predicted: &[Vec<u32>], truth: &GroundTruth) -> f64 {
+    let c = contingency(predicted, truth);
+    if c.n == 0 {
+        return 1.0;
+    }
+    let sum_cells: f64 = c
+        .cells
+        .iter()
+        .flat_map(|row| row.values())
+        .map(|&x| choose2(x))
+        .sum();
+    let sum_rows: f64 = c.rows.iter().map(|&x| choose2(x)).sum();
+    let sum_cols: f64 = c.cols.values().map(|&x| choose2(x)).sum();
+    let total = choose2(c.n);
+    if total == 0.0 {
+        return 1.0;
+    }
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate: both partitions all-singletons or all-one-cluster.
+        return if (sum_cells - expected).abs() < 1e-12 {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+/// V-measure: harmonic mean of homogeneity (each predicted cluster holds
+/// one entity) and completeness (each entity sits in one predicted
+/// cluster). Returns `(homogeneity, completeness, v)`.
+pub fn v_measure(predicted: &[Vec<u32>], truth: &GroundTruth) -> (f64, f64, f64) {
+    let c = contingency(predicted, truth);
+    if c.n == 0 {
+        return (1.0, 1.0, 1.0);
+    }
+    let n = c.n as f64;
+    // Entropies (natural log).
+    let h = |counts: &mut dyn Iterator<Item = usize>| -> f64 {
+        let mut e = 0.0;
+        for x in counts {
+            if x > 0 {
+                let p = x as f64 / n;
+                e -= p * p.ln();
+            }
+        }
+        e
+    };
+    let h_pred = h(&mut c.rows.iter().copied());
+    let h_truth = h(&mut c.cols.values().copied());
+    // Conditional entropies from the contingency cells.
+    let mut h_truth_given_pred = 0.0;
+    let mut h_pred_given_truth = 0.0;
+    for (row_idx, row) in c.cells.iter().enumerate() {
+        let row_total = c.rows[row_idx] as f64;
+        for (&e, &x) in row {
+            let x = x as f64;
+            let col_total = c.cols[&e] as f64;
+            h_truth_given_pred -= (x / n) * (x / row_total).ln();
+            h_pred_given_truth -= (x / n) * (x / col_total).ln();
+        }
+    }
+    let homogeneity = if h_truth == 0.0 {
+        1.0
+    } else {
+        1.0 - h_truth_given_pred / h_truth
+    };
+    let completeness = if h_pred == 0.0 {
+        1.0
+    } else {
+        1.0 - h_pred_given_truth / h_pred
+    };
+    let v = if homogeneity + completeness == 0.0 {
+        0.0
+    } else {
+        2.0 * homogeneity * completeness / (homogeneity + completeness)
+    };
+    (homogeneity, completeness, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hera_types::{CanonAttrId, EntityId};
+    use proptest::prelude::*;
+
+    /// Truth: {0,1,2} and {3,4}.
+    fn truth() -> GroundTruth {
+        GroundTruth::new(
+            vec![
+                EntityId::new(0),
+                EntityId::new(0),
+                EntityId::new(0),
+                EntityId::new(1),
+                EntityId::new(1),
+            ],
+            vec![CanonAttrId::new(0)],
+        )
+    }
+
+    #[test]
+    fn perfect_partition() {
+        let pred = vec![vec![0, 1, 2], vec![3, 4]];
+        assert!((adjusted_rand_index(&pred, &truth()) - 1.0).abs() < 1e-12);
+        let (h, c, v) = v_measure(&pred, &truth());
+        assert_eq!((h, c, v), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn all_singletons_is_homogeneous_but_incomplete() {
+        let pred: Vec<Vec<u32>> = (0..5).map(|i| vec![i]).collect();
+        let (h, c, v) = v_measure(&pred, &truth());
+        assert_eq!(h, 1.0);
+        assert!(c < 1.0);
+        assert!(v < 1.0);
+        // ARI of all-singletons vs a non-trivial truth is 0.
+        assert!(adjusted_rand_index(&pred, &truth()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_big_cluster_is_complete_but_inhomogeneous() {
+        let pred = vec![vec![0, 1, 2, 3, 4]];
+        let (h, c, _) = v_measure(&pred, &truth());
+        assert_eq!(c, 1.0);
+        assert!(h < 1.0);
+        assert!(adjusted_rand_index(&pred, &truth()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_partition_scores_between() {
+        let pred = vec![vec![0, 1], vec![2], vec![3, 4]];
+        let ari = adjusted_rand_index(&pred, &truth());
+        assert!(ari > 0.0 && ari < 1.0, "ari {ari}");
+        let (h, c, v) = v_measure(&pred, &truth());
+        assert_eq!(h, 1.0); // no cluster mixes entities
+        assert!(c < 1.0 && v < 1.0);
+    }
+
+    #[test]
+    fn adversarial_mix_scores_low() {
+        // Each cluster mixes both entities.
+        let pred = vec![vec![0, 3], vec![1, 4], vec![2]];
+        let ari = adjusted_rand_index(&pred, &truth());
+        assert!(ari <= 0.05, "ari {ari}");
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = GroundTruth::new(vec![], vec![CanonAttrId::new(0)]);
+        assert_eq!(adjusted_rand_index(&[], &t), 1.0);
+        assert_eq!(v_measure(&[], &t), (1.0, 1.0, 1.0));
+    }
+
+    proptest! {
+        /// Bounds and identity for arbitrary partitions.
+        #[test]
+        fn bounds(assignment in proptest::collection::vec(0u32..4, 5)) {
+            let mut clusters: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+            for (r, &c) in assignment.iter().enumerate() {
+                clusters.entry(c).or_default().push(r as u32);
+            }
+            let pred: Vec<Vec<u32>> = clusters.into_values().collect();
+            let t = truth();
+            let ari = adjusted_rand_index(&pred, &t);
+            prop_assert!((-1.0..=1.0).contains(&ari));
+            let (h, c, v) = v_measure(&pred, &t);
+            for x in [h, c, v] {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&x), "{x}");
+            }
+            prop_assert!(v <= h.max(c) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The paper-literal flat index: one sorted array, probed by two nested
+//! binary searches (Definition 6 / Algorithm 1 lines 4–5).
+//!
+//! Kept alongside [`ValuePairIndex`](crate::ValuePairIndex) for
+//! differential testing and for benchmarking the paper's exact memory
+//! layout. Queries match the production index entry-for-entry; merge
+//! maintenance is the naive relabel-and-resort (`O(|𝒱| log |𝒱|)`), which
+//! is the cost the grouped index's re-homing avoids.
+
+use hera_join::ValuePair;
+use hera_types::Label;
+
+/// Flat sorted value-pair index.
+#[derive(Debug, Clone, Default)]
+pub struct FlatIndex {
+    /// Sorted by `(rid₁, rid₂, sim desc, labels)`. Each position is the
+    /// entry's `pid` (the paper numbers them from 1; we are 0-based).
+    entries: Vec<ValuePair>,
+}
+
+impl FlatIndex {
+    /// Builds from a similarity-join result.
+    pub fn build(pairs: impl IntoIterator<Item = ValuePair>) -> Self {
+        let mut entries: Vec<ValuePair> = pairs.into_iter().collect();
+        for p in &entries {
+            assert!(p.a.rid < p.b.rid, "value pair must be rid-normalized");
+        }
+        sort_entries(&mut entries);
+        Self { entries }
+    }
+
+    /// `|𝒱|`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry at `pid` (0-based).
+    pub fn entry(&self, pid: usize) -> &ValuePair {
+        &self.entries[pid]
+    }
+
+    /// `binary_search_l(1, |V|, i)` of Algorithm 1: the half-open range of
+    /// entries whose `rid₁ == i`.
+    pub fn rid1_range(&self, i: u32) -> std::ops::Range<usize> {
+        let lo = self.entries.partition_point(|e| e.a.rid < i);
+        let hi = self.entries.partition_point(|e| e.a.rid <= i);
+        lo..hi
+    }
+
+    /// `binary_search_r(k, l, j)`: within a `rid₁` range, the sub-range
+    /// with `rid₂ == j`.
+    pub fn rid2_range(&self, within: std::ops::Range<usize>, j: u32) -> std::ops::Range<usize> {
+        let slice = &self.entries[within.clone()];
+        let lo = within.start + slice.partition_point(|e| e.b.rid < j);
+        let hi = within.start + slice.partition_point(|e| e.b.rid <= j);
+        lo..hi
+    }
+
+    /// `𝒱ᵢⱼ` via the two nested binary searches, similarity-descending.
+    pub fn group(&self, i: u32, j: u32) -> &[ValuePair] {
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        let r1 = self.rid1_range(i);
+        let r2 = self.rid2_range(r1, j);
+        &self.entries[r2]
+    }
+
+    /// Merge maintenance, paper-naive: delete intra `(i, j)` pairs,
+    /// rewrite labels of both rids through `remap`, resort the whole
+    /// array.
+    pub fn merge(&mut self, i: u32, j: u32, k: u32, remap: impl Fn(Label) -> Label) {
+        assert!(
+            k == i || k == j,
+            "merge target must be one of the merged rids"
+        );
+        self.entries
+            .retain(|e| !((e.a.rid == i && e.b.rid == j) || (e.a.rid == j && e.b.rid == i)));
+        for e in &mut self.entries {
+            if e.a.rid == i || e.a.rid == j {
+                e.a = remap(e.a);
+            }
+            if e.b.rid == i || e.b.rid == j {
+                e.b = remap(e.b);
+            }
+            if e.a.rid > e.b.rid {
+                std::mem::swap(&mut e.a, &mut e.b);
+            }
+        }
+        sort_entries(&mut self.entries);
+        // Same duplicate-collapse as the grouped index (see its `merge`).
+        let mut seen: std::collections::HashSet<(Label, Label)> = Default::default();
+        self.entries.retain(|e| seen.insert((e.a, e.b)));
+    }
+
+    /// All entries (pid order).
+    pub fn entries(&self) -> &[ValuePair] {
+        &self.entries
+    }
+}
+
+fn sort_entries(entries: &mut [ValuePair]) {
+    entries.sort_unstable_by(|x, y| {
+        (x.a.rid, x.b.rid)
+            .cmp(&(y.a.rid, y.b.rid))
+            .then_with(|| {
+                y.sim
+                    .partial_cmp(&x.sim)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ValuePairIndex;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn vp(r1: u32, f1: u32, r2: u32, f2: u32, sim: f64) -> ValuePair {
+        ValuePair {
+            a: Label::new(r1, f1, 0),
+            b: Label::new(r2, f2, 0),
+            sim,
+        }
+    }
+
+    #[test]
+    fn nested_binary_search() {
+        let idx = FlatIndex::build(vec![
+            vp(1, 0, 2, 0, 0.9),
+            vp(1, 0, 3, 0, 0.8),
+            vp(1, 1, 3, 1, 0.7),
+            vp(2, 0, 3, 0, 0.6),
+        ]);
+        assert_eq!(idx.rid1_range(1), 0..3);
+        assert_eq!(idx.rid1_range(2), 3..4);
+        assert_eq!(idx.rid1_range(9), 4..4);
+        let g = idx.group(1, 3);
+        assert_eq!(g.len(), 2);
+        assert!(g[0].sim >= g[1].sim);
+        assert!(idx.group(2, 9).is_empty());
+    }
+
+    #[test]
+    fn example4_probe() {
+        // Fig 4: rid₁ = 4 appears in pids 13..17 (1-based); finding
+        // rid₂ = 6 within yields exactly three pairs.
+        let idx = FlatIndex::build(vec![
+            vp(1, 3, 4, 3, 1.0),
+            vp(1, 1, 6, 1, 1.0),
+            vp(2, 2, 6, 4, 1.0),
+            vp(3, 1, 5, 1, 1.0),
+            vp(4, 1, 5, 2, 0.83),
+            vp(4, 2, 5, 2, 0.4),
+            vp(4, 3, 6, 3, 1.0),
+            vp(4, 4, 6, 4, 1.0),
+            vp(4, 5, 6, 5, 0.9),
+        ]);
+        assert_eq!(idx.group(4, 6).len(), 3);
+        // Range endpoints match the sorted layout.
+        let r = idx.rid1_range(4);
+        assert_eq!(r.len(), 5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Flat and grouped indexes agree on every group, before and after
+        /// a merge.
+        #[test]
+        fn differential_with_grouped(seed in any::<u64>(), n in 0usize..40) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut pairs = Vec::new();
+            let mut used = std::collections::HashSet::new();
+            for _ in 0..n {
+                let r1 = rng.gen_range(0..6u32);
+                let r2 = rng.gen_range(0..6u32);
+                if r1 == r2 { continue; }
+                let (r1, r2) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+                let p = vp(r1, rng.gen_range(0..4), r2, rng.gen_range(0..4),
+                           rng.gen_range(1..=10) as f64 / 10.0);
+                // Distinct labels, as a real join (one entry per value
+                // pair) guarantees.
+                if used.insert((p.a, p.b)) {
+                    pairs.push(p);
+                }
+            }
+            let flat = FlatIndex::build(pairs.clone());
+            let grouped = ValuePairIndex::build(pairs.clone());
+            prop_assert_eq!(flat.len(), grouped.len());
+            for i in 0..6u32 {
+                for j in (i + 1)..6u32 {
+                    prop_assert_eq!(flat.group(i, j), grouped.group(i, j),
+                        "group ({}, {})", i, j);
+                }
+            }
+
+            // Merge 0 and 1 into 0 with an fid-shifting remap.
+            let remap = |l: Label| Label::new(0, l.fid + 4 * u32::from(l.rid == 1), l.vid);
+            let mut flat = flat;
+            let mut grouped = grouped;
+            flat.merge(0, 1, 0, remap);
+            grouped.merge(0, 1, 0, remap);
+            grouped.check_invariants().unwrap();
+            prop_assert_eq!(flat.len(), grouped.len());
+            for i in 0..6u32 {
+                for j in (i + 1)..6u32 {
+                    prop_assert_eq!(flat.group(i, j), grouped.group(i, j),
+                        "post-merge group ({}, {})", i, j);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! The production value-pair index: grouped, ordered, and maintainable.
+
+use crate::bounds::{compute_bounds, refined_field_set, BoundMode, Bounds, FieldPairSim};
+use hera_join::ValuePair;
+use hera_types::Label;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
+
+/// The value-pair index of Definition 6.
+///
+/// Logically a single sequence sorted by `(rid₁, rid₂, sim desc)`;
+/// physically a `BTreeMap` keyed by the `(rid₁, rid₂)` prefix with each
+/// group kept similarity-descending. Lookups match the paper's two nested
+/// binary searches (`O(log |𝒱| + |𝒱ᵢⱼ|)`), and merge maintenance re-homes
+/// only the `O(|𝒱̂ᵢⱼ|)` affected entries instead of splicing a flat array.
+#[derive(Debug, Clone, Default)]
+pub struct ValuePairIndex {
+    groups: BTreeMap<(u32, u32), Vec<ValuePair>>,
+    /// rid → set of partner rids with at least one indexed pair.
+    partners: FxHashMap<u32, FxHashSet<u32>>,
+    /// Total entry count `|𝒱|`.
+    total: usize,
+}
+
+impl ValuePairIndex {
+    /// Builds the index from a similarity-join result. Pairs must already
+    /// be normalized (`a.rid < b.rid`); order is re-established here, so
+    /// any input order is accepted.
+    pub fn build(pairs: impl IntoIterator<Item = ValuePair>) -> Self {
+        let mut idx = Self::default();
+        for p in pairs {
+            idx.insert(p);
+        }
+        idx.restore_group_order();
+        idx
+    }
+
+    fn insert(&mut self, p: ValuePair) {
+        assert!(p.a.rid < p.b.rid, "value pair must be rid-normalized");
+        self.groups.entry((p.a.rid, p.b.rid)).or_default().push(p);
+        self.partners.entry(p.a.rid).or_default().insert(p.b.rid);
+        self.partners.entry(p.b.rid).or_default().insert(p.a.rid);
+        self.total += 1;
+    }
+
+    fn restore_group_order(&mut self) {
+        for g in self.groups.values_mut() {
+            sort_group(g);
+        }
+    }
+
+    /// Adds freshly joined pairs to an existing index (streaming ER: a
+    /// new record's similar value pairs arrive after the initial build).
+    /// Only the touched groups are re-sorted.
+    pub fn extend(&mut self, pairs: impl IntoIterator<Item = ValuePair>) {
+        let mut touched: FxHashSet<(u32, u32)> = FxHashSet::default();
+        for p in pairs {
+            touched.insert((p.a.rid, p.b.rid));
+            self.insert(p);
+        }
+        for key in touched {
+            if let Some(g) = self.groups.get_mut(&key) {
+                sort_group(g);
+            }
+        }
+    }
+
+    /// `|𝒱|` — number of indexed value pairs (Table II's `|S|`).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True if no pairs are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The group `𝒱ᵢⱼ` for a record pair (either argument order),
+    /// similarity-descending. Empty slice if the records share no similar
+    /// values.
+    pub fn group(&self, i: u32, j: u32) -> &[ValuePair] {
+        let key = if i < j { (i, j) } else { (j, i) };
+        self.groups.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates all record pairs that share at least one similar value —
+    /// the raw candidate universe, obtained in linear time (Prop. 2).
+    pub fn record_pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.groups.keys().copied()
+    }
+
+    /// Number of record-pair groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Partners of a record (rids it shares similar values with).
+    pub fn partners(&self, rid: u32) -> impl Iterator<Item = u32> + '_ {
+        self.partners
+            .get(&rid)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// The refined field set `𝒱′ᵢⱼ` — all *similar field pairs* of the
+    /// record pair with their field similarities (the verification step's
+    /// input, §IV-A Step 1).
+    pub fn similar_field_pairs(&self, i: u32, j: u32) -> Vec<FieldPairSim> {
+        let group = self.group(i, j);
+        if i < j {
+            refined_field_set(group)
+        } else {
+            // Caller views `i` as the left record: swap sides.
+            refined_field_set(group)
+                .into_iter()
+                .map(|p| FieldPairSim {
+                    left_fid: p.right_fid,
+                    right_fid: p.left_fid,
+                    sim: p.sim,
+                })
+                .collect()
+        }
+    }
+
+    /// Algorithm 1: bounds of `Sim(Rᵢ, Rⱼ)` given the two record sizes.
+    pub fn bounds(&self, i: u32, j: u32, size_i: usize, size_j: usize, mode: BoundMode) -> Bounds {
+        let (key_sizes, group) = if i < j {
+            ((size_i, size_j), self.group(i, j))
+        } else {
+            ((size_j, size_i), self.group(i, j))
+        };
+        let refined = refined_field_set(group);
+        compute_bounds(&refined, key_sizes.0, key_sizes.1, mode)
+    }
+
+    /// Merge maintenance (§III-B2): records `i` and `j` were merged into
+    /// `k` (one of `i`/`j` per union–find). `remap` rewrites an old value
+    /// label of `i` or `j` into its new label under `k` (reflecting field
+    /// merges and value re-numbering); labels of other records are never
+    /// passed to it.
+    ///
+    /// Effects, per the paper: the `(i, j)` group is **deleted** (its
+    /// values are now intra-record), every other group touching `i` or `j`
+    /// is relabeled and re-homed under `k`, and group order is restored.
+    pub fn merge(&mut self, i: u32, j: u32, k: u32, remap: impl Fn(Label) -> Label) {
+        assert!(
+            k == i || k == j,
+            "merge target must be one of the merged rids"
+        );
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+
+        // 1. delete: intra-pairs between i and j.
+        if let Some(gone) = self.groups.remove(&(a, b)) {
+            self.total -= gone.len();
+        }
+        self.partners.entry(a).or_default().remove(&b);
+        self.partners.entry(b).or_default().remove(&a);
+
+        // 2. collect partners of both rids (excluding each other).
+        let mut affected: FxHashSet<u32> = FxHashSet::default();
+        for rid in [i, j] {
+            if let Some(ps) = self.partners.get(&rid) {
+                affected.extend(ps.iter().copied());
+            }
+        }
+        affected.remove(&i);
+        affected.remove(&j);
+
+        // 3. update: re-home each affected group under k, relabeling.
+        for p in affected {
+            let mut merged: Vec<ValuePair> = Vec::new();
+            for old in [i, j] {
+                let key = if old < p { (old, p) } else { (p, old) };
+                if let Some(entries) = self.groups.remove(&key) {
+                    for e in entries {
+                        // Rewrite the side that belonged to old → k.
+                        let (mut x, mut y) = (e.a, e.b);
+                        if x.rid == old {
+                            x = remap(x);
+                            debug_assert_eq!(x.rid, k, "remap must move labels to k");
+                        } else {
+                            y = remap(y);
+                            debug_assert_eq!(y.rid, k, "remap must move labels to k");
+                        }
+                        let (x, y) = if x.rid < y.rid { (x, y) } else { (y, x) };
+                        merged.push(ValuePair {
+                            a: x,
+                            b: y,
+                            sim: e.sim,
+                        });
+                    }
+                }
+                self.partners.entry(old).or_default().remove(&p);
+                self.partners.entry(p).or_default().remove(&old);
+            }
+            if merged.is_empty() {
+                continue;
+            }
+            sort_group(&mut merged);
+            // Super-record merging dedupes equal values, so two old labels
+            // can remap to one new label; the resulting entries are exact
+            // duplicates (equal values ⇒ equal sims). Keep the first.
+            let mut seen_labels: FxHashSet<(Label, Label)> = FxHashSet::default();
+            let before = merged.len();
+            merged.retain(|e| seen_labels.insert((e.a, e.b)));
+            self.total -= before - merged.len();
+            let new_key = if k < p { (k, p) } else { (p, k) };
+            // Both old groups were removed above; re-homing cannot collide
+            // with an untouched group because any (k, p) group was one of
+            // them (k ∈ {i, j}).
+            let slot = self.groups.entry(new_key).or_default();
+            debug_assert!(slot.is_empty(), "re-homed group collided");
+            slot.extend(merged);
+            self.partners.entry(k).or_default().insert(p);
+            self.partners.entry(p).or_default().insert(k);
+        }
+
+        // Drop empty partner sets of the absorbed rid.
+        let folded = if k == i { j } else { i };
+        if self.partners.get(&folded).is_some_and(|s| s.is_empty()) {
+            self.partners.remove(&folded);
+        }
+    }
+
+    /// Structural statistics for reports and tuning.
+    pub fn stats(&self) -> IndexStats {
+        let mut max_group = 0usize;
+        for g in self.groups.values() {
+            max_group = max_group.max(g.len());
+        }
+        IndexStats {
+            entries: self.total,
+            groups: self.groups.len(),
+            records: self.partners.values().filter(|s| !s.is_empty()).count(),
+            max_group,
+        }
+    }
+
+    /// The `k` partners of `rid` with the highest single-value-pair
+    /// similarity — a cheap "who could this record be?" query for
+    /// interactive use (each group is similarity-descending, so its head
+    /// is its best pair).
+    pub fn top_partners(&self, rid: u32, k: usize) -> Vec<(u32, f64)> {
+        let mut out: Vec<(u32, f64)> = self
+            .partners(rid)
+            .filter_map(|p| self.group(rid, p).first().map(|e| (p, e.sim)))
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// Full-index invariant check (tests/debug): normalization, ordering,
+    /// partner symmetry, and count consistency.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut count = 0;
+        for (&(i, j), g) in &self.groups {
+            if i >= j {
+                return Err(format!("group key ({i},{j}) not normalized"));
+            }
+            for w in g.windows(2) {
+                if w[0].sim < w[1].sim - 1e-12 {
+                    return Err(format!("group ({i},{j}) not sim-descending"));
+                }
+            }
+            for e in g {
+                if e.a.rid != i || e.b.rid != j {
+                    return Err(format!("entry {}-{} filed under group ({i},{j})", e.a, e.b));
+                }
+            }
+            count += g.len();
+            let pi = self.partners.get(&i).is_some_and(|s| s.contains(&j));
+            let pj = self.partners.get(&j).is_some_and(|s| s.contains(&i));
+            if !pi || !pj {
+                return Err(format!("partner sets miss group ({i},{j})"));
+            }
+        }
+        if count != self.total {
+            return Err(format!("total {} != counted {count}", self.total));
+        }
+        Ok(())
+    }
+}
+
+/// Summary shape of a [`ValuePairIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Total value pairs `|𝒱|`.
+    pub entries: usize,
+    /// Record-pair groups (pairs sharing ≥ 1 similar value).
+    pub groups: usize,
+    /// Records participating in at least one pair.
+    pub records: usize,
+    /// Largest group size.
+    pub max_group: usize,
+}
+
+fn sort_group(g: &mut [ValuePair]) {
+    g.sort_unstable_by(|x, y| {
+        y.sim
+            .partial_cmp(&x.sim)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoundMode;
+
+    fn vp(r1: u32, f1: u32, v1: u32, r2: u32, f2: u32, v2: u32, sim: f64) -> ValuePair {
+        ValuePair {
+            a: Label::new(r1, f1, v1),
+            b: Label::new(r2, f2, v2),
+            sim,
+        }
+    }
+
+    /// The motivating example's index (Fig. 4), 1-based rids like the
+    /// paper. 17 value pairs.
+    fn fig4_index() -> ValuePairIndex {
+        ValuePairIndex::build(vec![
+            vp(1, 3, 1, 4, 3, 1, 1.0),
+            vp(1, 1, 1, 6, 1, 1, 1.0),
+            vp(1, 2, 1, 6, 2, 1, 1.0),
+            vp(1, 3, 1, 6, 3, 1, 1.0),
+            vp(1, 5, 1, 6, 5, 1, 0.9),
+            vp(2, 1, 1, 4, 1, 1, 1.0),
+            vp(2, 2, 1, 4, 4, 1, 1.0),
+            vp(2, 3, 1, 3, 3, 1, 0.5),
+            vp(2, 2, 1, 6, 4, 1, 1.0),
+            vp(3, 1, 1, 5, 1, 1, 1.0),
+            vp(3, 2, 1, 5, 4, 1, 1.0),
+            vp(3, 3, 1, 5, 3, 1, 0.4),
+            vp(4, 1, 1, 5, 2, 1, 0.83),
+            vp(4, 2, 1, 5, 2, 1, 0.4),
+            vp(4, 3, 1, 6, 3, 1, 1.0),
+            vp(4, 4, 1, 6, 4, 1, 1.0),
+            vp(4, 5, 1, 6, 5, 1, 0.9),
+        ])
+    }
+
+    #[test]
+    fn build_counts() {
+        let idx = fig4_index();
+        assert_eq!(idx.len(), 17);
+        // Keys: (1,4),(1,6),(2,3),(2,4),(2,6),(3,5),(4,5),(4,6).
+        assert_eq!(idx.group_count(), 8);
+        idx.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn group_lookup_matches_example4() {
+        // Example 4: V'_{46} has three value pairs.
+        let idx = fig4_index();
+        let g = idx.group(4, 6);
+        assert_eq!(g.len(), 3);
+        // Sorted sim-descending: 1.0, 1.0, 0.9.
+        assert_eq!(g[0].sim, 1.0);
+        assert_eq!(g[2].sim, 0.9);
+        // Symmetric lookup.
+        assert_eq!(idx.group(6, 4).len(), 3);
+        // Missing group.
+        assert!(idx.group(1, 2).is_empty());
+    }
+
+    #[test]
+    fn example4_bounds_decide_directly() {
+        let idx = fig4_index();
+        for mode in [BoundMode::Paper, BoundMode::Sound] {
+            let b = idx.bounds(4, 6, 5, 5, mode);
+            assert!((b.up - 2.9 / 5.0).abs() < 1e-9, "{mode:?}: up {}", b.up);
+            assert!(b.is_exact(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn group_with_same_rid_pair_sorted_sim_desc() {
+        // Pairs 13/14 of Fig 4 share (4,5): 0.83 before 0.4.
+        let idx = fig4_index();
+        let g = idx.group(4, 5);
+        assert_eq!(g.len(), 2);
+        assert!(g[0].sim > g[1].sim);
+    }
+
+    #[test]
+    fn merge_example5() {
+        // Example 5: merge r1 and r6 into R1. Four intra pairs deleted,
+        // labels of r6 values rewritten to rid 1.
+        let mut idx = fig4_index();
+        // r6's fields keep their fids in this toy remap (they merge into
+        // matching fields of r1 at the same positions).
+        let remap = |l: Label| Label::new(1, l.fid, if l.rid == 6 { 2 } else { l.vid });
+        idx.merge(1, 6, 1, remap);
+        idx.check_invariants().unwrap();
+        // 17 - 4 intra = 13 pairs remain.
+        assert_eq!(idx.len(), 13);
+        // Former (2,6) pair is now filed under (1,2) with rewritten label.
+        let g12 = idx.group(1, 2);
+        assert_eq!(g12.len(), 1);
+        assert_eq!(g12[0].a.rid, 1);
+        assert_eq!(g12[0].a.vid, 2); // relabeled r6 value
+        assert_eq!(g12[0].b.rid, 2);
+        // Former (4,6) pairs merged into the (1,4) group: 1 existing + 3.
+        assert_eq!(idx.group(1, 4).len(), 4);
+        // No group mentions rid 6 anymore.
+        assert!(idx.record_pairs().all(|(i, j)| i != 6 && j != 6));
+    }
+
+    #[test]
+    fn merge_into_higher_rid_side() {
+        // Merge where k is the *second* rid: 4 = union over (4, 6) is the
+        // small side, but test k == j by merging (1, 4) → 1 then (1, 6).
+        let mut idx = fig4_index();
+        let remap14 = |l: Label| Label::new(1, l.fid + 10 * u32::from(l.rid == 4), l.vid);
+        idx.merge(1, 4, 1, remap14);
+        idx.check_invariants().unwrap();
+        // (1,4) group had 1 pair → deleted. (4,5) and (4,6) re-homed.
+        assert_eq!(idx.len(), 16);
+        assert!(idx.group(1, 5).len() >= 2);
+        assert!(!idx.group(1, 6).is_empty());
+    }
+
+    #[test]
+    fn merge_twice_keeps_prop3() {
+        // Prop 3: after arbitrary merges, similar value pairs of merged
+        // super records remain reachable via the index.
+        let mut idx = fig4_index();
+        idx.merge(1, 6, 1, |l| Label::new(1, l.fid, l.vid + 1));
+        idx.merge(2, 4, 2, |l| Label::new(2, l.fid, l.vid + 1));
+        idx.check_invariants().unwrap();
+        // All evidence between super-record 1 = {r1, r6} and super-record
+        // 2 = {r2, r4} is now in group (1,2): originally (1,4): 1 pair,
+        // (2,6): 1 pair, (4,6): 3 pairs — but the (1,4) pair and the
+        // (4,6) fid-3 pair collapse because this remap dedupes the equal
+        // bush@gmail values of r1 and r6 into one label → 4 pairs.
+        assert_eq!(idx.group(1, 2).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge target")]
+    fn merge_rejects_foreign_target() {
+        let mut idx = fig4_index();
+        idx.merge(1, 6, 3, |l| l);
+    }
+
+    #[test]
+    fn stats_summarize_structure() {
+        let idx = fig4_index();
+        let s = idx.stats();
+        assert_eq!(s.entries, 17);
+        assert_eq!(s.groups, 8);
+        assert_eq!(s.records, 6);
+        assert_eq!(s.max_group, 4); // the (1,6) group
+    }
+
+    #[test]
+    fn top_partners_ranked_by_best_pair() {
+        let idx = fig4_index();
+        // r4's best single-value partners: r6 and r2 tie at 1.0 (rid
+        // breaks the tie), then r5 (0.83), then r1 (1.0)… recount: groups
+        // of 4: (1,4)=1.0, (2,4)=1.0, (4,5)=0.83, (4,6)=1.0.
+        let top = idx.top_partners(4, 3);
+        assert_eq!(top.len(), 3);
+        assert!(top.iter().all(|&(_, s)| s >= 0.83));
+        assert!((top[0].1 - 1.0).abs() < 1e-12);
+        // Full list includes r5 last.
+        let all = idx.top_partners(4, 10);
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3], (5, 0.83));
+        // Unknown record: empty.
+        assert!(idx.top_partners(99, 3).is_empty());
+    }
+
+    #[test]
+    fn partners_track_groups() {
+        let idx = fig4_index();
+        let mut p4: Vec<u32> = idx.partners(4).collect();
+        p4.sort_unstable();
+        assert_eq!(p4, vec![1, 2, 5, 6]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Union–find over record ids (§III-B2, citing CLRS [14]).
+
+/// Disjoint-set forest with path halving.
+///
+/// HERA's narration always keeps the *smaller* rid as the representative
+/// (`1 = union(1, 6)` in Example 5), so `union` here is deterministic:
+/// the smaller root wins. Rank-based union would be asymptotically nicer,
+/// but the determinism is worth more — entity labels, index keys, and test
+/// expectations all reference the surviving rid — and path halving alone
+/// keeps `find` effectively constant at this workload's scale.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    /// Number of elements (not sets).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Appends a fresh singleton element and returns its id (streaming
+    /// ER grows the universe one record at a time).
+    pub fn push(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        id
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set, with path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Representative without path compression (for `&self` contexts).
+    pub fn find_const(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; the **smaller root** becomes the
+    /// representative and is returned (the paper's `k = union(i, j)`).
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (keep, fold) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[fold as usize] = keep;
+        keep
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        (0..self.parent.len() as u32)
+            .filter(|&x| self.find_const(x) == x)
+            .count()
+    }
+
+    /// Groups every element by representative; clusters sorted by root id.
+    pub fn clusters(&mut self) -> Vec<Vec<u32>> {
+        let n = self.parent.len() as u32;
+        let mut by_root: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        by_root.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.set_count(), 4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.find(3), 3);
+    }
+
+    #[test]
+    fn smaller_root_wins() {
+        let mut uf = UnionFind::new(8);
+        assert_eq!(uf.union(5, 2), 2);
+        assert_eq!(uf.union(2, 7), 2);
+        assert_eq!(uf.union(0, 5), 0); // 5's root is 2; 0 < 2
+        assert_eq!(uf.find(7), 0);
+    }
+
+    #[test]
+    fn paper_example5() {
+        // 1 = union(1, 6) — with the paper's 1-based rids.
+        let mut uf = UnionFind::new(7);
+        assert_eq!(uf.union(1, 6), 1);
+        assert!(uf.connected(1, 6));
+    }
+
+    #[test]
+    fn union_idempotent() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 1);
+        assert_eq!(uf.union(0, 1), 0);
+        assert_eq!(uf.set_count(), 2);
+    }
+
+    #[test]
+    fn clusters_grouping() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 3);
+        uf.union(1, 4);
+        let cs = uf.clusters();
+        assert_eq!(cs, vec![vec![0, 3], vec![1, 4], vec![2]]);
+    }
+
+    proptest! {
+        /// After arbitrary unions: find is a congruence (same root ⇔
+        /// connected), roots are minimal members, and set count is
+        /// n − (number of effective unions).
+        #[test]
+        fn invariants(ops in proptest::collection::vec((0u32..20, 0u32..20), 0..40)) {
+            let mut uf = UnionFind::new(20);
+            let mut effective = 0;
+            for (a, b) in ops {
+                if !uf.connected(a, b) {
+                    effective += 1;
+                }
+                let root = uf.union(a, b);
+                prop_assert_eq!(uf.find(a), root);
+                prop_assert_eq!(uf.find(b), root);
+                prop_assert!(root <= a && root <= b || uf.connected(root, a));
+            }
+            prop_assert_eq!(uf.set_count(), 20 - effective);
+            // Every root is the minimum of its cluster.
+            for cluster in uf.clusters() {
+                let root = uf.find(cluster[0]);
+                prop_assert_eq!(root, *cluster.iter().min().unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Incremental similarity join: values arrive one at a time.
+//!
+//! The batch join (Definition 7) runs once, offline. Streaming entity
+//! resolution needs the same result maintained under insertions: when a
+//! new record's values arrive, find every existing value within ξ and
+//! emit the new index entries. [`IncrementalJoin`] does that with the
+//! same gram machinery as the batch join:
+//!
+//! * string-ish values are probed through an inverted gram index using
+//!   the *share-a-gram* rule (complete for q-gram Jaccard at any ξ > 0 —
+//!   prefix filtering needs a global frequency order, which shifts as the
+//!   stream grows, so it is deliberately not used here);
+//! * numeric values are probed through a sorted sweep, sound for metrics
+//!   non-increasing in `|a − b|`;
+//! * every candidate is verified with the black-box metric.
+//!
+//! Labels mutate when records merge (the index relabels its entries);
+//! [`IncrementalJoin::relabel`] applies the same remap here so future
+//! insertions emit pairs against *current* labels.
+
+use crate::ValuePair;
+use hera_sim::text::folded_qgram_set;
+use hera_sim::ValueSimilarity;
+use hera_types::{Label, Value};
+use rustc_hash::FxHashMap;
+
+struct Entry {
+    label: Label,
+    value: Value,
+}
+
+/// Insert-only similarity join state. Owns its metric (`Arc`) so it can
+/// live inside long-running session state.
+pub struct IncrementalJoin {
+    xi: f64,
+    q: usize,
+    metric: std::sync::Arc<dyn ValueSimilarity>,
+    entries: Vec<Entry>,
+    /// gram token → entry indices containing it.
+    postings: FxHashMap<u64, Vec<usize>>,
+    /// entry indices of numeric values, kept sorted by numeric value.
+    numeric: Vec<(f64, usize)>,
+    /// rid → entry indices (for relabeling after merges).
+    by_rid: FxHashMap<u32, Vec<usize>>,
+}
+
+impl IncrementalJoin {
+    /// Creates an empty incremental join.
+    ///
+    /// # Panics
+    /// Panics unless `0 < xi ≤ 1` (share-a-gram completeness needs a
+    /// strictly positive threshold) or `q == 0`.
+    pub fn new(xi: f64, q: usize, metric: std::sync::Arc<dyn ValueSimilarity>) -> Self {
+        assert!(xi > 0.0 && xi <= 1.0, "xi must be in (0, 1]");
+        assert!(q >= 1, "q must be at least 1");
+        Self {
+            xi,
+            q,
+            metric,
+            entries: Vec::new(),
+            postings: FxHashMap::default(),
+            numeric: Vec::new(),
+            by_rid: FxHashMap::default(),
+        }
+    }
+
+    /// Number of values inserted.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts one labeled value and returns all new similar pairs
+    /// against previously inserted values of *other* records, normalized
+    /// (`a.rid < b.rid`) and ordered by partner label.
+    pub fn insert(&mut self, label: Label, value: Value) -> Vec<ValuePair> {
+        if value.is_null() {
+            return Vec::new();
+        }
+        let idx = self.entries.len();
+        let sig = folded_qgram_set(&value.to_text(), self.q);
+
+        // Candidates: share a gram, or numeric neighbor.
+        let mut cand: Vec<usize> = Vec::new();
+        for &t in &sig {
+            if let Some(list) = self.postings.get(&t) {
+                cand.extend(list.iter().copied());
+            }
+        }
+        if let Some(x) = value.as_number() {
+            // Walk outward from the insertion point while the metric
+            // stays above ξ (monotone in distance).
+            let pos = self.numeric.partition_point(|&(v, _)| v < x);
+            for &(_, i) in self.numeric[pos..].iter() {
+                if self.metric.sim(&value, &self.entries[i].value) >= self.xi {
+                    cand.push(i);
+                } else {
+                    break;
+                }
+            }
+            for &(_, i) in self.numeric[..pos].iter().rev() {
+                if self.metric.sim(&value, &self.entries[i].value) >= self.xi {
+                    cand.push(i);
+                } else {
+                    break;
+                }
+            }
+        }
+        cand.sort_unstable();
+        cand.dedup();
+
+        let mut out = Vec::new();
+        for i in cand {
+            let other = &self.entries[i];
+            if other.label.rid == label.rid {
+                continue;
+            }
+            let s = self.metric.sim(&value, &other.value);
+            if s >= self.xi {
+                let (a, b) = if label.rid < other.label.rid {
+                    (label, other.label)
+                } else {
+                    (other.label, label)
+                };
+                out.push(ValuePair { a, b, sim: s });
+            }
+        }
+        out.sort_unstable_by_key(|x| (x.a, x.b));
+
+        // Register the new value.
+        for &t in &sig {
+            self.postings.entry(t).or_default().push(idx);
+        }
+        if let Some(x) = value.as_number() {
+            let pos = self.numeric.partition_point(|&(v, _)| v < x);
+            self.numeric.insert(pos, (x, idx));
+        }
+        self.by_rid.entry(label.rid).or_default().push(idx);
+        self.entries.push(Entry { label, value });
+        out
+    }
+
+    /// Applies a merge remap: every stored label of records `i` or `j`
+    /// moves to its new label under the surviving rid (mirror of
+    /// `ValuePairIndex::merge`).
+    pub fn relabel(&mut self, i: u32, j: u32, remap: impl Fn(Label) -> Label) {
+        let mut moved: Vec<usize> = Vec::new();
+        for rid in [i, j] {
+            if let Some(list) = self.by_rid.remove(&rid) {
+                moved.extend(list);
+            }
+        }
+        let mut new_rid = None;
+        for &idx in &moved {
+            let l = remap(self.entries[idx].label);
+            self.entries[idx].label = l;
+            debug_assert!(new_rid.is_none() || new_rid == Some(l.rid));
+            new_rid = Some(l.rid);
+        }
+        if let Some(k) = new_rid {
+            self.by_rid.entry(k).or_default().extend(moved);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JoinConfig, SimilarityJoin};
+    use hera_sim::TypeDispatch;
+
+    fn label(rid: u32, fid: u32) -> Label {
+        Label::new(rid, fid, 0)
+    }
+
+    use std::sync::Arc;
+
+    #[test]
+    fn incremental_matches_batch() {
+        let metric = TypeDispatch::paper_default();
+        let values: Vec<(Label, Value)> = vec![
+            (label(0, 0), Value::from("electronic")),
+            (label(0, 1), Value::from("831-432")),
+            (label(1, 0), Value::from("electronics")),
+            (label(1, 1), Value::from("831-432")),
+            (label(2, 0), Value::from("unrelated stuff")),
+            (label(3, 0), Value::from(1984i64)),
+            (label(4, 0), Value::from(1984i64)),
+        ];
+        for xi in [0.3, 0.5, 0.9] {
+            let batch = SimilarityJoin::new(JoinConfig::new(xi), &metric).join(&values);
+            let mut inc = IncrementalJoin::new(xi, 2, Arc::new(metric.clone()));
+            let mut streamed: Vec<ValuePair> = Vec::new();
+            for (l, v) in &values {
+                streamed.extend(inc.insert(*l, v.clone()));
+            }
+            streamed.sort_unstable_by(|x, y| {
+                (x.a.rid, x.b.rid)
+                    .cmp(&(y.a.rid, y.b.rid))
+                    .then_with(|| y.sim.partial_cmp(&x.sim).unwrap())
+                    .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+            });
+            assert_eq!(streamed, batch, "xi = {xi}");
+        }
+    }
+
+    #[test]
+    fn same_record_values_never_pair() {
+        let metric = TypeDispatch::paper_default();
+        let mut inc = IncrementalJoin::new(0.5, 2, Arc::new(metric.clone()));
+        assert!(inc.insert(label(0, 0), Value::from("same")).is_empty());
+        assert!(inc.insert(label(0, 1), Value::from("same")).is_empty());
+        assert_eq!(inc.len(), 2);
+    }
+
+    #[test]
+    fn nulls_are_ignored() {
+        let metric = TypeDispatch::paper_default();
+        let mut inc = IncrementalJoin::new(0.5, 2, Arc::new(metric.clone()));
+        assert!(inc.insert(label(0, 0), Value::Null).is_empty());
+        assert!(inc.is_empty());
+    }
+
+    #[test]
+    fn relabel_redirects_future_pairs() {
+        let metric = TypeDispatch::paper_default();
+        let mut inc = IncrementalJoin::new(0.5, 2, Arc::new(metric.clone()));
+        inc.insert(label(5, 0), Value::from("bush@gmail"));
+        // Record 5 merged into record 1, field shifted to 3.
+        inc.relabel(1, 5, |l| {
+            if l.rid == 5 {
+                Label::new(1, 3, l.vid)
+            } else {
+                l
+            }
+        });
+        let pairs = inc.insert(label(9, 0), Value::from("bush@gmail"));
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].a, Label::new(1, 3, 0));
+        assert_eq!(pairs[0].b, label(9, 0));
+    }
+
+    #[test]
+    fn numeric_sweep_finds_neighbors() {
+        use hera_sim::NumericProximity;
+        use std::sync::Arc;
+        let metric =
+            TypeDispatch::paper_default().with_numeric_metric(Arc::new(NumericProximity::new(5.0)));
+        let mut inc = IncrementalJoin::new(0.5, 2, Arc::new(metric.clone()));
+        inc.insert(label(0, 0), Value::from(1980i64));
+        inc.insert(label(1, 0), Value::from(1990i64));
+        let pairs = inc.insert(label(2, 0), Value::from(1981i64));
+        // 1981 vs 1980 → sim 0.8; vs 1990 → 0. Gram overlap of "1981" and
+        // "1980"/"1990" also exists but numeric dispatch scores them.
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].a.rid, 0);
+        assert!((pairs[0].sim - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "xi")]
+    fn zero_xi_rejected() {
+        let metric = TypeDispatch::paper_default();
+        IncrementalJoin::new(0.0, 2, Arc::new(metric));
+    }
+}

@@ -1,0 +1,205 @@
+//! Inverted q-gram index with prefix filtering.
+
+use rustc_hash::FxHashMap;
+
+/// An inverted index from gram tokens to the distinct values containing
+/// them. Exposed publicly so benches can measure candidate generation in
+/// isolation.
+#[derive(Debug, Default)]
+pub struct GramIndex {
+    /// token → list of (distinct value index, signature length, token's
+    /// position in the value's canonically-ordered signature).
+    postings: FxHashMap<u64, Vec<(usize, usize, usize)>>,
+}
+
+impl GramIndex {
+    /// Inserts a value's (possibly prefix-truncated) signature; `tokens`
+    /// are in canonical (rare-first) order starting at position 0.
+    pub fn insert(&mut self, value_idx: usize, sig_len: usize, tokens: &[u64]) {
+        for (pos, &t) in tokens.iter().enumerate() {
+            self.postings
+                .entry(t)
+                .or_default()
+                .push((value_idx, sig_len, pos));
+        }
+    }
+
+    /// Posting list for a token.
+    pub fn postings(&self, token: u64) -> Option<&[(usize, usize, usize)]> {
+        self.postings.get(&token).map(|v| v.as_slice())
+    }
+
+    /// Number of distinct tokens indexed.
+    pub fn token_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+/// Generates candidate distinct-value index pairs `(i, j)` with `i < j`
+/// whose gram signatures could reach Jaccard ≥ ξ.
+///
+/// With `prefix_filter` on, this is PPJoin-style candidate generation
+/// (Xiao et al.): signatures are reordered by ascending global document
+/// frequency; only the first `|x| − ⌈ξ·|x|⌉ + 1` tokens are
+/// probed/indexed; collisions pass a **length filter**
+/// (`ξ·max(|x|,|y|) ≤ min(|x|,|y|)`) and a **positional filter** — at a
+/// collision on positions `(i, j)` of the canonical orders, the overlap
+/// can reach at most `matched + 1 + min(remaining_x, remaining_y)`, which
+/// must meet the Jaccard-equivalent overlap requirement
+/// `α = ⌈ξ/(1+ξ)·(|x|+|y|)⌉`. Without `prefix_filter`, any shared gram
+/// produces a candidate.
+pub fn gram_candidates(sigs: &[Vec<u64>], xi: f64, prefix_filter: bool) -> Vec<(usize, usize)> {
+    // Global document frequency per token, for the rare-first canonical
+    // order that makes prefixes selective.
+    let mut df: FxHashMap<u64, u32> = FxHashMap::default();
+    for sig in sigs {
+        for &t in sig {
+            *df.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    let mut index = GramIndex::default();
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    // Per-probe accumulator: candidate j → (collisions so far, alive).
+    let mut acc: FxHashMap<usize, (u32, bool)> = FxHashMap::default();
+
+    for (x, sig) in sigs.iter().enumerate() {
+        if sig.is_empty() {
+            continue;
+        }
+        let x_len = sig.len();
+        let probe: Vec<u64> = if prefix_filter {
+            // Rare-first order; ties by token for determinism.
+            let mut ordered = sig.clone();
+            ordered.sort_unstable_by_key(|t| (df[t], *t));
+            // Epsilon guards against fp rounding inflating ⌈ξ·|x|⌉ and
+            // illegally shrinking the prefix.
+            let required = ((xi * x_len as f64) - 1e-9).ceil().max(0.0) as usize;
+            let keep = x_len.saturating_sub(required) + 1;
+            ordered.truncate(keep.max(1));
+            ordered
+        } else {
+            sig.clone()
+        };
+
+        acc.clear();
+        for (x_pos, &t) in probe.iter().enumerate() {
+            if let Some(list) = index.postings(t) {
+                for &(y, y_len, y_pos) in list {
+                    if !prefix_filter {
+                        acc.entry(y).or_insert((0, true)).0 += 1;
+                        continue;
+                    }
+                    // Length filter.
+                    let (lo, hi) = if x_len < y_len {
+                        (x_len, y_len)
+                    } else {
+                        (y_len, x_len)
+                    };
+                    if (lo as f64) + 1e-9 < xi * hi as f64 {
+                        continue;
+                    }
+                    let slot = acc.entry(y).or_insert((0, true));
+                    if !slot.1 {
+                        continue;
+                    }
+                    // Positional filter: best possible total overlap.
+                    let alpha = ((xi / (1.0 + xi)) * (x_len + y_len) as f64 - 1e-9)
+                        .ceil()
+                        .max(1.0) as u32;
+                    let remaining = (x_len - x_pos - 1).min(y_len - y_pos - 1) as u32;
+                    if slot.0 + 1 + remaining < alpha {
+                        slot.1 = false; // dead: can never reach α
+                        continue;
+                    }
+                    slot.0 += 1;
+                }
+            }
+        }
+        for (&y, &(hits, alive)) in &acc {
+            if hits > 0 && alive {
+                candidates.push((y, x));
+            }
+        }
+        index.insert(x, x_len, &probe);
+    }
+    candidates.sort_unstable();
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hera_sim::text::folded_qgram_set;
+
+    fn run(vals: &[&str], xi: f64, pf: bool) -> Vec<(usize, usize)> {
+        let sigs: Vec<Vec<u64>> = vals.iter().map(|s| folded_qgram_set(s, 2)).collect();
+        let mut c = gram_candidates(&sigs, xi, pf);
+        c.sort_unstable();
+        c
+    }
+
+    #[test]
+    fn identical_values_collide() {
+        // distinct list never contains duplicates in practice, but near
+        // duplicates must collide.
+        let c = run(&["electronic", "electronics"], 0.5, true);
+        assert_eq!(c, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn disjoint_values_do_not_collide() {
+        let c = run(&["aaaa", "bbbb"], 0.3, true);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn prefix_filter_reduces_candidates() {
+        let vals = ["abcdefgh", "abzzzzzz", "ab", "qrstuvwx"];
+        let without = run(&vals, 0.8, false);
+        let with = run(&vals, 0.8, true);
+        assert!(with.len() <= without.len());
+        // Share-a-gram finds (0,1) and (0,2) and (1,2) via "ab"; at ξ=0.8
+        // the length filter alone kills (0,2)/(1,2) (len 1 vs 7).
+        assert!(without.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn prefix_filter_is_complete_for_jaccard() {
+        use hera_sim::text::{folded_qgram_set, jaccard_of_sets};
+        let vals = [
+            "2 norman street",
+            "2 west norman",
+            "bush@gmail",
+            "john@gmail",
+            "electronic",
+            "electronics",
+            "manager",
+            "product manager",
+        ];
+        for xi in [0.2, 0.35, 0.5, 0.75, 0.9] {
+            let cands = run(&vals, xi, true);
+            // Every truly-similar pair must be a candidate.
+            for i in 0..vals.len() {
+                for j in i + 1..vals.len() {
+                    let s = jaccard_of_sets(
+                        &folded_qgram_set(vals[i], 2),
+                        &folded_qgram_set(vals[j], 2),
+                    );
+                    if s >= xi {
+                        assert!(
+                            cands.contains(&(i, j)),
+                            "missing candidate ({i},{j}) sim {s} at xi {xi}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_values_are_skipped() {
+        let c = run(&["", ""], 0.1, true);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,429 @@
+//! Similarity self-join over a dataset's value universe (Definition 7).
+//!
+//! Given the multiset of values appearing in a record set, the join finds
+//! every cross-record pair `(v₁, v₂)` with `simv(v₁, v₂) ≥ ξ`. The result
+//! feeds the value-pair index of `hera-index`, and by Proposition 1 it only
+//! has to run **once**, offline, before HERA starts iterating.
+//!
+//! # Strategy
+//!
+//! A naive self-join is quadratic in the number of values. This crate cuts
+//! that down with the standard filter-verify architecture of the
+//! similarity-join literature the paper cites \[13\]:
+//!
+//! 1. **Distinct-value grouping.** Real datasets repeat values constantly
+//!    (every record of a movie shares its title). The join runs over
+//!    *distinct* values only and expands matches to label pairs afterwards.
+//! 2. **Inverted q-gram index with prefix filtering.** Distinct string
+//!    renderings are gram-tokenized; tokens are ordered by ascending
+//!    document frequency, and only each value's *prefix* (its
+//!    `|x| − ⌈ξ·|x|⌉ + 1` rarest tokens) is indexed — any pair with Jaccard
+//!    `≥ ξ` must collide on at least one prefix token. A length filter
+//!    (`ξ·|x| ≤ |y|`) prunes further.
+//! 3. **Numeric sweep.** Numeric values are sorted and paired by a bounded
+//!    forward sweep, sound for any metric that is non-increasing in
+//!    `|a − b|` (all built-in numeric metrics are).
+//! 4. **Verification.** Every surviving candidate is scored with the real
+//!    black-box [`ValueSimilarity`]; only `sim ≥ ξ` pairs are emitted.
+//!
+//! Prefix filtering is **complete** when the verifying string metric is
+//! q-gram Jaccard with the same `q` and folding as the index (HERA's
+//! default). For other metrics, disable it ([`JoinConfig::prefix_filter`])
+//! to fall back to share-a-gram candidate generation, or use
+//! [`JoinConfig::all_pairs`] for metric-agnostic exactness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod incremental;
+mod inverted;
+mod numeric;
+
+pub use incremental::IncrementalJoin;
+pub use inverted::GramIndex;
+
+use hera_sim::ValueSimilarity;
+use hera_types::{Dataset, Label, Value};
+use rustc_hash::FxHashMap;
+
+/// One emitted similar value pair. `a.rid < b.rid` always holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValuePair {
+    /// Label of the first value (smaller rid).
+    pub a: Label,
+    /// Label of the second value (larger rid).
+    pub b: Label,
+    /// Black-box similarity, `≥ ξ`.
+    pub sim: f64,
+}
+
+/// Similarity-join configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinConfig {
+    /// Value-similarity threshold ξ (Definition 7).
+    pub xi: f64,
+    /// Gram length for the inverted index (match the verifying metric's
+    /// `q`; the paper uses 2).
+    pub q: usize,
+    /// Apply Jaccard prefix filtering (exact iff verifying with q-gram
+    /// Jaccard at the same `q`; otherwise a recall-lossy speedup).
+    pub prefix_filter: bool,
+    /// Skip all filtering and verify every distinct-value pair —
+    /// metric-agnostic ground truth, quadratic cost.
+    pub all_pairs: bool,
+}
+
+impl JoinConfig {
+    /// Paper defaults: ξ = 0.5, q = 2, prefix filtering on.
+    pub fn new(xi: f64) -> Self {
+        assert!((0.0..=1.0).contains(&xi), "xi must be in [0,1]");
+        Self {
+            xi,
+            q: 2,
+            prefix_filter: true,
+            all_pairs: false,
+        }
+    }
+
+    /// Switches to exhaustive verification.
+    pub fn exhaustive(mut self) -> Self {
+        self.all_pairs = true;
+        self
+    }
+
+    /// Disables the prefix filter but keeps share-a-gram candidates.
+    pub fn without_prefix_filter(mut self) -> Self {
+        self.prefix_filter = false;
+        self
+    }
+}
+
+/// The similarity self-join operator.
+pub struct SimilarityJoin<'m> {
+    config: JoinConfig,
+    metric: &'m dyn ValueSimilarity,
+}
+
+impl<'m> SimilarityJoin<'m> {
+    /// Creates a join with the given config and verifying metric.
+    pub fn new(config: JoinConfig, metric: &'m dyn ValueSimilarity) -> Self {
+        Self { config, metric }
+    }
+
+    /// Joins all values of a dataset: every field of every record
+    /// contributes one labeled value (`vid = 0`, base records).
+    pub fn join_dataset(&self, ds: &Dataset) -> Vec<ValuePair> {
+        let mut values: Vec<(Label, Value)> = Vec::new();
+        for rec in ds.iter() {
+            for (fid, v) in rec.values.iter().enumerate() {
+                if !v.is_null() {
+                    values.push((Label::new(rec.id.raw(), fid as u32, 0), v.clone()));
+                }
+            }
+        }
+        self.join(&values)
+    }
+
+    /// Joins an explicit labeled value collection.
+    pub fn join(&self, values: &[(Label, Value)]) -> Vec<ValuePair> {
+        // 1. Group labels by distinct value.
+        let mut groups: FxHashMap<&Value, Vec<Label>> = FxHashMap::default();
+        for (label, v) in values {
+            if !v.is_null() {
+                groups.entry(v).or_default().push(*label);
+            }
+        }
+        let mut distinct: Vec<(&Value, Vec<Label>)> = groups.into_iter().collect();
+        // Deterministic order.
+        distinct.sort_unstable_by(|a, b| a.0.cmp(b.0));
+
+        let mut out: Vec<ValuePair> = Vec::new();
+
+        // 2. Pairs *within* one distinct-value group: sim(v, v).
+        for (v, labels) in &distinct {
+            let s = self.metric.sim(v, v);
+            if s >= self.config.xi {
+                for (i, &la) in labels.iter().enumerate() {
+                    for &lb in &labels[i + 1..] {
+                        push_pair(&mut out, la, lb, s);
+                    }
+                }
+            }
+        }
+
+        // 3. Candidate pairs *across* distinct values. Gram signatures are
+        // computed once and reused for candidate generation *and* (when
+        // the metric declares gram compatibility) verification.
+        let mut sigs: Vec<Vec<u64>> = Vec::new();
+        let candidates = if self.config.all_pairs {
+            let n = distinct.len();
+            let mut c = Vec::with_capacity(n * n / 2);
+            for i in 0..n {
+                for j in i + 1..n {
+                    c.push((i, j));
+                }
+            }
+            c
+        } else {
+            sigs = distinct
+                .iter()
+                .map(|(v, _)| hera_sim::text::folded_qgram_set(&v.to_text(), self.config.q))
+                .collect();
+            let mut c = inverted::gram_candidates(&sigs, self.config.xi, self.config.prefix_filter);
+            c.extend(numeric::numeric_candidates(
+                &distinct,
+                self.metric,
+                self.config.xi,
+            ));
+            c.sort_unstable();
+            c.dedup();
+            c
+        };
+
+        // Signature-based fast verification applies to non-numeric pairs
+        // when the metric's string leg is q-gram Jaccard at our q.
+        let fast_grams =
+            !self.config.all_pairs && self.metric.qgram_compatible() == Some(self.config.q);
+
+        // 4. Verify with the black box and expand to label pairs. Large
+        // candidate sets fan out across threads (verification is pure:
+        // each candidate reads shared immutable state and emits pairs
+        // into a thread-local buffer; the final global sort makes output
+        // order independent of the split).
+        let verify_chunk = |chunk: &[(usize, usize)], out: &mut Vec<ValuePair>| {
+            for &(i, j) in chunk {
+                let (va, la) = (&distinct[i].0, &distinct[i].1);
+                let (vb, lb) = (&distinct[j].0, &distinct[j].1);
+                let both_numeric = va.as_number().is_some() && vb.as_number().is_some();
+                let s = if fast_grams && !both_numeric {
+                    hera_sim::text::jaccard_of_sets(&sigs[i], &sigs[j])
+                } else {
+                    self.metric.sim(va, vb)
+                };
+                if s >= self.config.xi {
+                    for &a in la.iter() {
+                        for &b in lb.iter() {
+                            push_pair(out, a, b, s);
+                        }
+                    }
+                }
+            }
+        };
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if candidates.len() >= 4096 && threads > 1 {
+            let chunk_size = candidates.len().div_ceil(threads);
+            let results: Vec<Vec<ValuePair>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            let mut local = Vec::new();
+                            verify_chunk(chunk, &mut local);
+                            local
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("join verification threads");
+            for mut part in results {
+                out.append(&mut part);
+            }
+        } else {
+            verify_chunk(&candidates, &mut out);
+        }
+
+        // Deterministic output order: (rid1, rid2, sim desc, labels).
+        out.sort_unstable_by(|x, y| {
+            (x.a.rid, x.b.rid)
+                .cmp(&(y.a.rid, y.b.rid))
+                .then_with(|| {
+                    y.sim
+                        .partial_cmp(&x.sim)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+        });
+        out
+    }
+}
+
+/// Normalizes (smaller rid first) and drops intra-record pairs.
+fn push_pair(out: &mut Vec<ValuePair>, a: Label, b: Label, sim: f64) {
+    match a.rid.cmp(&b.rid) {
+        std::cmp::Ordering::Equal => {} // same record: excluded by Def. 6
+        std::cmp::Ordering::Less => out.push(ValuePair { a, b, sim }),
+        std::cmp::Ordering::Greater => out.push(ValuePair { a: b, b: a, sim }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hera_sim::TypeDispatch;
+    use hera_types::motivating_example;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn labeled(vals: &[(u32, u32, Value)]) -> Vec<(Label, Value)> {
+        vals.iter()
+            .map(|(rid, fid, v)| (Label::new(*rid, *fid, 0), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn identical_strings_pair_up() {
+        let metric = TypeDispatch::paper_default();
+        let join = SimilarityJoin::new(JoinConfig::new(0.5), &metric);
+        let vals = labeled(&[
+            (0, 0, Value::from("bush@gmail")),
+            (1, 0, Value::from("bush@gmail")),
+            (2, 0, Value::from("unrelated")),
+        ]);
+        let pairs = join.join(&vals);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].a.rid, 0);
+        assert_eq!(pairs[0].b.rid, 1);
+        assert_eq!(pairs[0].sim, 1.0);
+    }
+
+    #[test]
+    fn intra_record_pairs_excluded() {
+        let metric = TypeDispatch::paper_default();
+        let join = SimilarityJoin::new(JoinConfig::new(0.5), &metric);
+        let vals = labeled(&[
+            (0, 0, Value::from("same")),
+            (0, 1, Value::from("same")), // same record!
+        ]);
+        assert!(join.join(&vals).is_empty());
+    }
+
+    #[test]
+    fn threshold_respected() {
+        let metric = TypeDispatch::paper_default();
+        let join = SimilarityJoin::new(JoinConfig::new(0.95), &metric);
+        let vals = labeled(&[
+            (0, 0, Value::from("Electronic")),
+            (1, 0, Value::from("electronics")), // sim 0.9 < 0.95
+        ]);
+        assert!(join.join(&vals).is_empty());
+        let join = SimilarityJoin::new(JoinConfig::new(0.9), &metric);
+        let pairs = join.join(&vals);
+        assert_eq!(pairs.len(), 1);
+        assert!((pairs[0].sim - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_filter_matches_exhaustive_on_motivating_example() {
+        let metric = TypeDispatch::paper_default();
+        let ds = motivating_example();
+        for xi in [0.3, 0.5, 0.7, 0.9] {
+            let fast = SimilarityJoin::new(JoinConfig::new(xi), &metric).join_dataset(&ds);
+            let slow =
+                SimilarityJoin::new(JoinConfig::new(xi).exhaustive(), &metric).join_dataset(&ds);
+            assert_eq!(fast.len(), slow.len(), "xi={xi}");
+            assert_eq!(fast, slow, "xi={xi}");
+        }
+    }
+
+    #[test]
+    fn numeric_values_join() {
+        let metric = TypeDispatch::paper_default()
+            .with_numeric_metric(std::sync::Arc::new(hera_sim::NumericProximity::new(5.0)));
+        let join = SimilarityJoin::new(JoinConfig::new(0.5), &metric);
+        let vals = labeled(&[
+            (0, 0, Value::from(1984i64)),
+            (1, 0, Value::from(1985i64)), // sim 0.8
+            (2, 0, Value::from(1999i64)), // too far
+        ]);
+        let pairs = join.join(&vals);
+        assert_eq!(pairs.len(), 1);
+        assert!((pairs[0].sim - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_string_number_pair() {
+        let metric = TypeDispatch::paper_default();
+        let join = SimilarityJoin::new(JoinConfig::new(0.9), &metric);
+        let vals = labeled(&[(0, 0, Value::from("1984")), (1, 0, Value::from(1984i64))]);
+        let pairs = join.join(&vals);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].sim, 1.0);
+    }
+
+    #[test]
+    fn output_order_is_rid_then_sim_desc() {
+        let metric = TypeDispatch::paper_default();
+        let join = SimilarityJoin::new(JoinConfig::new(0.3), &metric);
+        let vals = labeled(&[
+            (0, 0, Value::from("abcdef")),
+            (1, 0, Value::from("abcdef")),
+            (1, 1, Value::from("abcdxx")),
+            (2, 0, Value::from("abcdef")),
+        ]);
+        let pairs = join.join(&vals);
+        // Groups: (0,1) then (0,2) then (1,2); within (0,1) sim desc.
+        let rids: Vec<(u32, u32)> = pairs.iter().map(|p| (p.a.rid, p.b.rid)).collect();
+        let mut sorted = rids.clone();
+        sorted.sort_unstable();
+        assert_eq!(rids, sorted);
+        for w in pairs.windows(2) {
+            if (w[0].a.rid, w[0].b.rid) == (w[1].a.rid, w[1].b.rid) {
+                assert!(w[0].sim >= w[1].sim);
+            }
+        }
+    }
+
+    #[test]
+    fn nulls_never_join() {
+        let metric = TypeDispatch::paper_default();
+        let join = SimilarityJoin::new(JoinConfig::new(0.0), &metric);
+        let vals = labeled(&[(0, 0, Value::Null), (1, 0, Value::Null)]);
+        assert!(join.join(&vals).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The filtered join must equal the exhaustive join when verifying
+        /// with the default metric (prefix filter completeness).
+        #[test]
+        fn filtered_equals_exhaustive(seed in any::<u64>(), xi in 0.1f64..0.95) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let words = ["electronic", "electronics", "manager", "managr",
+                         "2 norman street", "2 west norman", "bush@gmail",
+                         "john@gmail", "831-432", "247-326", "la"];
+            let mut vals = Vec::new();
+            for rid in 0..8u32 {
+                for fid in 0..3u32 {
+                    let w = words[rng.gen_range(0..words.len())];
+                    vals.push((Label::new(rid, fid, 0), Value::from(w)));
+                }
+            }
+            let metric = TypeDispatch::paper_default();
+            let fast = SimilarityJoin::new(JoinConfig::new(xi), &metric).join(&vals);
+            let slow = SimilarityJoin::new(JoinConfig::new(xi).exhaustive(), &metric).join(&vals);
+            prop_assert_eq!(fast, slow);
+        }
+
+        /// Every emitted pair satisfies the contract.
+        #[test]
+        fn emitted_pairs_satisfy_contract(seed in any::<u64>()) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let words = ["aa", "ab", "abc", "abcd", "xyz", "xyzw"];
+            let mut vals = Vec::new();
+            for rid in 0..6u32 {
+                for fid in 0..2u32 {
+                    vals.push((Label::new(rid, fid, 0),
+                               Value::from(words[rng.gen_range(0..words.len())])));
+                }
+            }
+            let metric = TypeDispatch::paper_default();
+            let xi = 0.4;
+            for p in SimilarityJoin::new(JoinConfig::new(xi), &metric).join(&vals) {
+                prop_assert!(p.a.rid < p.b.rid);
+                prop_assert!(p.sim >= xi);
+                prop_assert!(p.sim <= 1.0);
+            }
+        }
+    }
+}

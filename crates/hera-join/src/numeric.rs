@@ -1,0 +1,117 @@
+//! Sorted-sweep candidate generation for numeric values.
+
+use hera_sim::ValueSimilarity;
+use hera_types::{Label, Value};
+
+/// Generates candidate pairs among numeric distinct values by a forward
+/// sweep over the sorted number line.
+///
+/// Sound for metrics that are non-increasing in `|a − b|` (every built-in
+/// numeric metric is): once `sim(vᵢ, vⱼ) < ξ` for some `j > i` in sorted
+/// order, all later `j` are at least as far from `vᵢ` and score no higher,
+/// so the sweep stops.
+pub fn numeric_candidates(
+    distinct: &[(&Value, Vec<Label>)],
+    metric: &dyn ValueSimilarity,
+    xi: f64,
+) -> Vec<(usize, usize)> {
+    let mut nums: Vec<(f64, usize)> = distinct
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (v, _))| v.as_number().map(|x| (x, i)))
+        .collect();
+    nums.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut out = Vec::new();
+    for i in 0..nums.len() {
+        for j in i + 1..nums.len() {
+            let (vi, ii) = (&distinct[nums[i].1].0, nums[i].1);
+            let (vj, jj) = (&distinct[nums[j].1].0, nums[j].1);
+            let s = metric.sim(vi, vj);
+            if s >= xi {
+                out.push(if ii < jj { (ii, jj) } else { (jj, ii) });
+            } else {
+                break; // monotone metric: later values only further away
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hera_sim::{NumericProximity, TypeDispatch};
+    use std::sync::Arc;
+
+    fn dv(vals: &[Value]) -> Vec<(Value, Vec<Label>)> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), vec![Label::new(i as u32, 0, 0)]))
+            .collect()
+    }
+
+    fn run(vals: &[Value], scale: f64, xi: f64) -> Vec<(usize, usize)> {
+        let metric = TypeDispatch::paper_default()
+            .with_numeric_metric(Arc::new(NumericProximity::new(scale)));
+        let owned = dv(vals);
+        let borrowed: Vec<(&Value, Vec<Label>)> =
+            owned.iter().map(|(v, l)| (v, l.clone())).collect();
+        let mut c = numeric_candidates(&borrowed, &metric, xi);
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    #[test]
+    fn window_respects_scale() {
+        let vals: Vec<Value> = [1980i64, 1981, 1985, 2000]
+            .iter()
+            .map(|&y| Value::from(y))
+            .collect();
+        // scale 5, xi 0.5 → pairs within |Δ| ≤ 2.5.
+        let c = run(&vals, 5.0, 0.5);
+        assert_eq!(c, vec![(0, 1)]);
+        // scale 10 → |Δ| ≤ 5 adds (0,2),(1,2).
+        let c = run(&vals, 10.0, 0.5);
+        assert_eq!(c, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn strings_ignored() {
+        let vals = vec![Value::from("1984"), Value::from(1984i64)];
+        // Only one numeric value → no numeric pairs (mixed pairs come from
+        // the gram index instead).
+        let c = run(&vals, 5.0, 0.5);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn floats_and_ints_mix() {
+        let vals = vec![Value::from(3.5), Value::from(3i64), Value::from(100i64)];
+        let c = run(&vals, 2.0, 0.5);
+        assert_eq!(c, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn exhaustive_equivalence_on_dense_cluster() {
+        let vals: Vec<Value> = (0..20).map(|i| Value::from(i as f64 * 0.3)).collect();
+        let metric =
+            TypeDispatch::paper_default().with_numeric_metric(Arc::new(NumericProximity::new(1.0)));
+        let owned = dv(&vals);
+        let borrowed: Vec<(&Value, Vec<Label>)> =
+            owned.iter().map(|(v, l)| (v, l.clone())).collect();
+        let mut sweep = numeric_candidates(&borrowed, &metric, 0.4);
+        sweep.sort_unstable();
+        sweep.dedup();
+        let mut oracle = Vec::new();
+        for i in 0..vals.len() {
+            for j in i + 1..vals.len() {
+                if metric.sim(&vals[i], &vals[j]) >= 0.4 {
+                    oracle.push((i, j));
+                }
+            }
+        }
+        assert_eq!(sweep, oracle);
+    }
+}

@@ -1,0 +1,234 @@
+//! Kuhn–Munkres (Hungarian) algorithm for maximum-weight bipartite
+//! matching, `O(n³)`.
+
+use crate::graph::{BipartiteGraph, Edge, Matching};
+
+/// Solves maximum-weight matching on `graph` exactly.
+///
+/// The paper notes "KM algorithm requires a complete bipartite graph … we
+/// can add dummy points and set the weight of their corresponding edges to
+/// be zero". We do exactly that: node ids are compacted, the smaller side
+/// becomes the rows, missing edges get weight 0, and the potential-based
+/// `O(n³)` assignment solver runs on the resulting complete rectangular
+/// matrix. Zero-weight assignments (dummies / non-edges) are dropped from
+/// the returned [`Matching`], so only genuine field pairs appear.
+pub fn kuhn_munkres(graph: &BipartiteGraph) -> Matching {
+    let lefts = graph.left_nodes();
+    let rights = graph.right_nodes();
+    if lefts.is_empty() || rights.is_empty() {
+        return Matching::default();
+    }
+
+    // Rows must be the smaller side for the assignment solver.
+    let transpose = lefts.len() > rights.len();
+    let (rows, cols) = if transpose {
+        (rights.clone(), lefts.clone())
+    } else {
+        (lefts.clone(), rights.clone())
+    };
+    let n = rows.len();
+    let m = cols.len();
+
+    // Cost matrix (minimization): cost = -weight; absent edges cost 0.
+    let mut cost = vec![vec![0.0f64; m + 1]; n + 1];
+    for (i, &row_id) in rows.iter().enumerate() {
+        for (j, &col_id) in cols.iter().enumerate() {
+            let w = if transpose {
+                graph.weight(col_id, row_id)
+            } else {
+                graph.weight(row_id, col_id)
+            };
+            cost[i + 1][j + 1] = -w.unwrap_or(0.0);
+        }
+    }
+
+    // Potential-based assignment (e-maxx formulation), 1-indexed.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row assigned to column j
+    let mut way = vec![0usize; m + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost[i0][j] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut edges: Vec<Edge> = Vec::new();
+    for j in 1..=m {
+        let i = p[j];
+        if i == 0 {
+            continue;
+        }
+        let (left, right) = if transpose {
+            (cols[j - 1], rows[i - 1])
+        } else {
+            (rows[i - 1], cols[j - 1])
+        };
+        if let Some(w) = graph.weight(left, right) {
+            if w > 0.0 {
+                edges.push(Edge {
+                    left,
+                    right,
+                    weight: w,
+                });
+            }
+        }
+    }
+    Matching::from_edges(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force_matching;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn g(edges: &[(u32, u32, f64)]) -> BipartiteGraph {
+        let mut gr = BipartiteGraph::new();
+        for &(l, r, w) in edges {
+            gr.add_edge(l, r, w);
+        }
+        gr
+    }
+
+    #[test]
+    fn empty() {
+        assert!(kuhn_munkres(&BipartiteGraph::new()).is_empty());
+    }
+
+    #[test]
+    fn square_exact() {
+        // Classic 3x3 assignment.
+        let m = kuhn_munkres(&g(&[
+            (0, 0, 0.1),
+            (0, 1, 0.6),
+            (0, 2, 0.3),
+            (1, 0, 0.7),
+            (1, 1, 0.2),
+            (1, 2, 0.4),
+            (2, 0, 0.3),
+            (2, 1, 0.9),
+            (2, 2, 0.8),
+        ]));
+        // Optimal: (0,1)=0.6 + (1,0)=0.7 + (2,2)=0.8 = 2.1.
+        assert!((m.weight - 2.1).abs() < 1e-9, "got {}", m.weight);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn rectangular_wide() {
+        // 1 left node, 3 right nodes: picks the heaviest.
+        let m = kuhn_munkres(&g(&[(0, 0, 0.2), (0, 1, 0.8), (0, 2, 0.5)]));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.edges[0].right, 1);
+    }
+
+    #[test]
+    fn rectangular_tall() {
+        // 3 left nodes contend for 1 right node (transposed path).
+        let m = kuhn_munkres(&g(&[(0, 0, 0.2), (1, 0, 0.8), (2, 0, 0.5)]));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.edges[0].left, 1);
+    }
+
+    #[test]
+    fn leaving_a_node_unmatched_can_be_optimal() {
+        // Matching (0,0) blocks both cheaper alternatives: optimal takes
+        // the single heavy edge and leaves node 1 unmatched when forced:
+        // edges: (0,0,1.0), (1,0,0.9). Max matching = 1.0.
+        let m = kuhn_munkres(&g(&[(0, 0, 1.0), (1, 0, 0.9)]));
+        assert_eq!(m.len(), 1);
+        assert!((m.weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_graph_never_invents_edges() {
+        let m = kuhn_munkres(&g(&[(0, 1, 0.5), (1, 0, 0.5)]));
+        for e in &m.edges {
+            assert!(g(&[(0, 1, 0.5), (1, 0, 0.5)])
+                .weight(e.left, e.right)
+                .is_some());
+        }
+        assert!((m.weight - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+        #[test]
+        fn km_equals_brute_force(seed in any::<u64>(), n_edges in 0usize..12) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut gr = BipartiteGraph::new();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..n_edges {
+                let l = rng.gen_range(0..5u32);
+                let r = rng.gen_range(0..5u32);
+                if seen.insert((l, r)) {
+                    gr.add_edge(l, r, rng.gen_range(1..=100) as f64 / 100.0);
+                }
+            }
+            let km = kuhn_munkres(&gr);
+            let oracle = brute_force_matching(&gr);
+            prop_assert!((km.weight - oracle.weight).abs() < 1e-9,
+                "km {} vs oracle {}", km.weight, oracle.weight);
+        }
+
+        /// The result is always a valid matching over existing edges.
+        #[test]
+        fn km_result_is_valid(seed in any::<u64>()) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut gr = BipartiteGraph::new();
+            for _ in 0..15 {
+                gr.add_edge(rng.gen_range(0..6), rng.gen_range(0..6), rng.gen_range(0.01..1.0));
+            }
+            let m = kuhn_munkres(&gr);
+            // One-to-one (checked by Matching::from_edges in debug) and
+            // edges exist in the graph with the same weight.
+            for e in &m.edges {
+                prop_assert_eq!(gr.weight(e.left, e.right), Some(e.weight));
+            }
+        }
+    }
+}

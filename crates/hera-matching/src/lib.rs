@@ -1,0 +1,234 @@
+//! Bipartite maximum-weight matching — the engine behind HERA's field
+//! matching (Definition 8).
+//!
+//! The paper reduces "which field of `R_i` corresponds to which field of
+//! `R_j`" to a maximum-weight matching in a bipartite graph whose nodes are
+//! fields and whose edge weights are field similarities. This crate
+//! implements the full pipeline of §IV-A:
+//!
+//! 1. [`BipartiteGraph`] — build the graph from weighted `(left, right)`
+//!    pairs;
+//! 2. [`simplify`] — peel off *mapped edges* whose two endpoints both have
+//!    degree one (Theorem 1: they belong to some maximum matching, since
+//!    all weights are positive);
+//! 3. [`connected_components`] — split the simplified graph; a maximum
+//!    matching of a disjoint union is the union of per-component maximum
+//!    matchings;
+//! 4. [`kuhn_munkres`] — the Hungarian algorithm (`O(m³)`) per component,
+//!    with dummy padding to a complete square matrix as the paper
+//!    prescribes;
+//! 5. [`max_weight_matching`] — the composed solver returning a
+//!    [`Matching`];
+//! 6. [`greedy_matching`] — sort-by-weight maximal matching, used by the
+//!    index's *sound* lower bound and as an ablation baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod greedy;
+mod hungarian;
+mod simplify;
+
+pub use graph::{BipartiteGraph, Edge, Matching};
+pub use greedy::greedy_matching;
+pub use hungarian::kuhn_munkres;
+pub use simplify::{connected_components, simplify, Simplified};
+
+/// Solves maximum-weight bipartite matching with the paper's full pipeline:
+/// simplification, component decomposition, and Kuhn–Munkres per component.
+///
+/// Returns the matching together with the number of nodes that survived
+/// simplification (the paper's `m̄` statistic is the average of
+/// `simplified_nodes` over all verifications).
+pub fn max_weight_matching(graph: &BipartiteGraph) -> Matching {
+    let Simplified {
+        mapped_edges,
+        remaining,
+    } = simplify(graph);
+    let simplified_nodes = remaining.left_count() + remaining.right_count();
+
+    let mut edges: Vec<Edge> = mapped_edges;
+    for component in connected_components(&remaining) {
+        let solved = kuhn_munkres(&component);
+        edges.extend(solved.edges);
+    }
+    let mut m = Matching::from_edges(edges);
+    m.simplified_nodes = simplified_nodes;
+    m
+}
+
+/// Exhaustive maximum-weight matching by branch-and-bound enumeration.
+/// Exponential; used as a test oracle and exposed for the correctness
+/// benches. Panics if the graph has more than 20 edges.
+pub fn brute_force_matching(graph: &BipartiteGraph) -> Matching {
+    let edges = graph.edges();
+    assert!(
+        edges.len() <= 20,
+        "brute force oracle limited to 20 edges, got {}",
+        edges.len()
+    );
+    fn rec(
+        edges: &[Edge],
+        idx: usize,
+        used_l: &mut Vec<u32>,
+        used_r: &mut Vec<u32>,
+        picked: &mut Vec<Edge>,
+        best: &mut (f64, Vec<Edge>),
+    ) {
+        if idx == edges.len() {
+            let w: f64 = picked.iter().map(|e| e.weight).sum();
+            if w > best.0 {
+                *best = (w, picked.clone());
+            }
+            return;
+        }
+        let e = edges[idx];
+        // Skip edge idx.
+        rec(edges, idx + 1, used_l, used_r, picked, best);
+        // Take edge idx if endpoints are free.
+        if !used_l.contains(&e.left) && !used_r.contains(&e.right) {
+            used_l.push(e.left);
+            used_r.push(e.right);
+            picked.push(e);
+            rec(edges, idx + 1, used_l, used_r, picked, best);
+            picked.pop();
+            used_l.pop();
+            used_r.pop();
+        }
+    }
+    let mut best = (f64::NEG_INFINITY, Vec::new());
+    rec(
+        &edges,
+        0,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut best,
+    );
+    if best.1.is_empty() && best.0 < 0.0 {
+        best = (0.0, Vec::new());
+    }
+    Matching::from_edges(best.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn g(edges: &[(u32, u32, f64)]) -> BipartiteGraph {
+        let mut gr = BipartiteGraph::new();
+        for &(l, r, w) in edges {
+            gr.add_edge(l, r, w);
+        }
+        gr
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = max_weight_matching(&g(&[]));
+        assert!(m.edges.is_empty());
+        assert_eq!(m.weight, 0.0);
+    }
+
+    #[test]
+    fn single_edge() {
+        let m = max_weight_matching(&g(&[(0, 0, 0.8)]));
+        assert_eq!(m.edges.len(), 1);
+        assert!((m.weight - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contested_right_node_takes_heavier_edge() {
+        // Two left nodes want the same right node.
+        let m = max_weight_matching(&g(&[(0, 0, 0.9), (1, 0, 0.8)]));
+        assert_eq!(m.edges.len(), 1);
+        assert!((m.weight - 0.9).abs() < 1e-12);
+        assert_eq!(m.edges[0].left, 0);
+    }
+
+    #[test]
+    fn prefers_global_optimum_over_greedy_choice() {
+        // Greedy takes (0,0,0.9) then only gets 0.9.
+        // Optimal: (0,1,0.8) + (1,0,0.8) = 1.6.
+        let m = max_weight_matching(&g(&[(0, 0, 0.9), (0, 1, 0.8), (1, 0, 0.8)]));
+        assert!((m.weight - 1.6).abs() < 1e-12);
+        assert_eq!(m.edges.len(), 2);
+    }
+
+    #[test]
+    fn paper_example3_field_matching() {
+        // Fig 7: similar field pairs of R1 = r1⊕r6 and R2 = r2⊕r4.
+        // name-name 1.0 contested by email-name 0.33; the matching keeps
+        // the four pairs of F(1,2) with total 0.37+1+1+1.
+        let m = max_weight_matching(&g(&[
+            (2, 4, 0.37), // address - addr
+            (3, 2, 1.0),  // e-mail - work mailbox (contested)
+            (3, 1, 0.33), // e-mail - name
+            (4, 3, 1.0),  // Tel-ish field pair
+            (5, 5, 1.0),  // Con.Type - Con.Type
+        ]));
+        assert!((m.weight - 3.37).abs() < 1e-9);
+        assert_eq!(m.edges.len(), 4);
+        assert!(m
+            .edges
+            .iter()
+            .any(|e| e.left == 3 && e.right == 2 && (e.weight - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn matching_reports_simplified_size() {
+        // One isolated edge (degree 1/1) is peeled; the contested triangle
+        // survives.
+        let m = max_weight_matching(&g(&[(9, 9, 0.5), (0, 0, 0.9), (0, 1, 0.8), (1, 0, 0.8)]));
+        assert_eq!(m.simplified_nodes, 4); // nodes 0,1 on both sides
+        assert!((m.weight - 0.5 - 1.6).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        /// The composed pipeline must equal the brute-force oracle.
+        #[test]
+        fn pipeline_matches_brute_force(seed in any::<u64>(), n_edges in 0usize..10) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut gr = BipartiteGraph::new();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..n_edges {
+                let l = rng.gen_range(0..5u32);
+                let r = rng.gen_range(0..5u32);
+                if seen.insert((l, r)) {
+                    // Weight grid avoids float-tie ambiguity in the oracle.
+                    let w = rng.gen_range(1..=20) as f64 / 20.0;
+                    gr.add_edge(l, r, w);
+                }
+            }
+            let fast = max_weight_matching(&gr);
+            let slow = brute_force_matching(&gr);
+            prop_assert!((fast.weight - slow.weight).abs() < 1e-9,
+                "pipeline {} vs oracle {}", fast.weight, slow.weight);
+        }
+
+        /// Greedy is never better than optimal, and optimal is at most the
+        /// total edge weight.
+        #[test]
+        fn greedy_bounds_optimal(seed in any::<u64>(), n_edges in 0usize..12) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut gr = BipartiteGraph::new();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..n_edges {
+                let l = rng.gen_range(0..6u32);
+                let r = rng.gen_range(0..6u32);
+                if seen.insert((l, r)) {
+                    gr.add_edge(l, r, rng.gen_range(0.05..1.0));
+                }
+            }
+            let opt = max_weight_matching(&gr);
+            let greedy = greedy_matching(&gr);
+            let total: f64 = gr.edges().iter().map(|e| e.weight).sum();
+            prop_assert!(greedy.weight <= opt.weight + 1e-9);
+            prop_assert!(opt.weight <= total + 1e-9);
+        }
+    }
+}

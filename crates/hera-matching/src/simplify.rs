@@ -1,0 +1,181 @@
+//! Graph simplification (§IV-A) and connected-component decomposition.
+
+use crate::graph::{BipartiteGraph, Edge};
+use rustc_hash::FxHashMap;
+
+/// Result of [`simplify`].
+#[derive(Debug, Clone)]
+pub struct Simplified {
+    /// *Mapped edges* `ℰ`: edges whose two endpoints both had degree one.
+    /// By Theorem 1 they belong to a maximum-weight matching (weights are
+    /// positive), so they are decided without running Kuhn–Munkres.
+    pub mapped_edges: Vec<Edge>,
+    /// The simplified graph `G′` that still needs solving.
+    pub remaining: BipartiteGraph,
+}
+
+/// Peels off every edge `e = (x, y)` with `d(x) = d(y) = 1`.
+///
+/// Note the paper applies the degree test on the *original* graph only (one
+/// pass): removing a mapped edge cannot reduce any other node's degree,
+/// because both endpoints had no other incident edge, so one pass reaches
+/// the fixpoint.
+pub fn simplify(graph: &BipartiteGraph) -> Simplified {
+    let edges = graph.edges();
+    let mut deg_l: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut deg_r: FxHashMap<u32, u32> = FxHashMap::default();
+    for e in &edges {
+        *deg_l.entry(e.left).or_insert(0) += 1;
+        *deg_r.entry(e.right).or_insert(0) += 1;
+    }
+    let mut mapped_edges = Vec::new();
+    let mut remaining = BipartiteGraph::new();
+    for e in edges {
+        if deg_l[&e.left] == 1 && deg_r[&e.right] == 1 {
+            mapped_edges.push(e);
+        } else {
+            remaining.add_edge(e.left, e.right, e.weight);
+        }
+    }
+    Simplified {
+        mapped_edges,
+        remaining,
+    }
+}
+
+/// Splits a bipartite graph into its connected components.
+///
+/// Left and right node ids live in separate namespaces, so the union-find
+/// runs over `(side, id)` keys. Components are returned in deterministic
+/// order (by smallest edge).
+pub fn connected_components(graph: &BipartiteGraph) -> Vec<BipartiteGraph> {
+    let edges = graph.edges();
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    // Compact (side, id) into indices.
+    let mut key_of: FxHashMap<(bool, u32), usize> = FxHashMap::default();
+    let mut parent: Vec<usize> = Vec::new();
+    let mut intern = |key: (bool, u32), parent: &mut Vec<usize>| -> usize {
+        *key_of.entry(key).or_insert_with(|| {
+            parent.push(parent.len());
+            parent.len() - 1
+        })
+    };
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for e in &edges {
+        let l = intern((false, e.left), &mut parent);
+        let r = intern((true, e.right), &mut parent);
+        let (rl, rr) = (find(&mut parent, l), find(&mut parent, r));
+        if rl != rr {
+            parent[rl] = rr;
+        }
+    }
+    let mut comps: FxHashMap<usize, BipartiteGraph> = FxHashMap::default();
+    let mut order: Vec<usize> = Vec::new();
+    for e in &edges {
+        let l = key_of[&(false, e.left)];
+        let root = find(&mut parent, l);
+        if !comps.contains_key(&root) {
+            order.push(root);
+        }
+        comps
+            .entry(root)
+            .or_default()
+            .add_edge(e.left, e.right, e.weight);
+    }
+    order
+        .into_iter()
+        .map(|r| comps.remove(&r).unwrap())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(edges: &[(u32, u32, f64)]) -> BipartiteGraph {
+        let mut gr = BipartiteGraph::new();
+        for &(l, r, w) in edges {
+            gr.add_edge(l, r, w);
+        }
+        gr
+    }
+
+    #[test]
+    fn isolated_edges_are_mapped() {
+        let s = simplify(&g(&[(0, 0, 0.9), (1, 1, 0.8)]));
+        assert_eq!(s.mapped_edges.len(), 2);
+        assert!(s.remaining.is_empty());
+    }
+
+    #[test]
+    fn contested_edges_remain() {
+        // 0 and 1 both point at right node 0.
+        let s = simplify(&g(&[(0, 0, 0.9), (1, 0, 0.8), (5, 5, 1.0)]));
+        assert_eq!(s.mapped_edges.len(), 1);
+        assert_eq!(s.mapped_edges[0].left, 5);
+        assert_eq!(s.remaining.edge_count(), 2);
+    }
+
+    #[test]
+    fn fig7_simplification() {
+        // Paper Fig 7(c): (f2,f4), (f4,f3), (f5,f5) are mapped;
+        // the e-mail field contested between name and work-mailbox remains.
+        let s = simplify(&g(&[
+            (2, 4, 0.37),
+            (3, 2, 1.0),
+            (3, 1, 0.33),
+            (4, 3, 1.0),
+            (5, 5, 1.0),
+        ]));
+        assert_eq!(s.mapped_edges.len(), 3);
+        assert_eq!(s.remaining.edge_count(), 2);
+        assert_eq!(s.remaining.left_nodes(), vec![3]);
+    }
+
+    #[test]
+    fn components_split_disjoint_clusters() {
+        let comps = connected_components(&g(&[(0, 0, 0.5), (0, 1, 0.5), (7, 7, 0.5), (8, 7, 0.5)]));
+        assert_eq!(comps.len(), 2);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.edge_count()).collect();
+        assert_eq!(sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn components_respect_side_namespaces() {
+        // Left 0 and right 0 are *different* nodes: these two edges share
+        // no endpoint and form two components.
+        let comps = connected_components(&g(&[(0, 1, 0.5), (1, 2, 0.5)]));
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn chain_is_one_component() {
+        // l0-r0, l1-r0, l1-r1 form a chain.
+        let comps = connected_components(&g(&[(0, 0, 0.5), (1, 0, 0.5), (1, 1, 0.5)]));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].edge_count(), 3);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        assert!(connected_components(&BipartiteGraph::new()).is_empty());
+    }
+
+    #[test]
+    fn simplify_preserves_total_edges() {
+        let gr = g(&[(0, 0, 0.9), (1, 0, 0.8), (5, 5, 1.0), (6, 6, 0.2)]);
+        let s = simplify(&gr);
+        assert_eq!(
+            s.mapped_edges.len() + s.remaining.edge_count(),
+            gr.edge_count()
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Kind-aware metric composition — the concrete `simv` HERA runs with.
+
+use crate::{NumericProximity, QGramJaccard, ValueSimilarity};
+use hera_types::{Value, ValueKind};
+use std::sync::Arc;
+
+/// Dispatches to a per-kind metric:
+///
+/// * string × string → the configured string metric (default:
+///   [`QGramJaccard`] with q = 2, the paper's choice);
+/// * number × number → the configured numeric metric (default:
+///   [`NumericProximity`] with scale 1);
+/// * string × number → the string metric over text renderings (a year
+///   stored as `"1984"` in one source and `1984` in another should still
+///   match);
+/// * anything × null → 0.
+///
+/// This is the "black box" handed to the index builder, the verifier, and
+/// the baselines, so every system in the evaluation scores values
+/// identically.
+#[derive(Clone)]
+pub struct TypeDispatch {
+    string_metric: Arc<dyn ValueSimilarity>,
+    numeric_metric: Arc<dyn ValueSimilarity>,
+}
+
+impl std::fmt::Debug for TypeDispatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TypeDispatch")
+            .field("string", &self.string_metric.name())
+            .field("numeric", &self.numeric_metric.name())
+            .finish()
+    }
+}
+
+impl TypeDispatch {
+    /// Composes explicit per-kind metrics.
+    pub fn new(
+        string_metric: Arc<dyn ValueSimilarity>,
+        numeric_metric: Arc<dyn ValueSimilarity>,
+    ) -> Self {
+        Self {
+            string_metric,
+            numeric_metric,
+        }
+    }
+
+    /// The paper's configuration: 2-gram Jaccard for strings, exact-ish
+    /// numeric proximity for numbers.
+    pub fn paper_default() -> Self {
+        Self::new(
+            Arc::new(QGramJaccard::default()),
+            Arc::new(NumericProximity::default()),
+        )
+    }
+
+    /// Replaces the string metric.
+    pub fn with_string_metric(mut self, m: Arc<dyn ValueSimilarity>) -> Self {
+        self.string_metric = m;
+        self
+    }
+
+    /// Replaces the numeric metric.
+    pub fn with_numeric_metric(mut self, m: Arc<dyn ValueSimilarity>) -> Self {
+        self.numeric_metric = m;
+        self
+    }
+}
+
+impl Default for TypeDispatch {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl ValueSimilarity for TypeDispatch {
+    fn sim(&self, a: &Value, b: &Value) -> f64 {
+        let (ka, kb) = (a.kind(), b.kind());
+        if ka == ValueKind::Null || kb == ValueKind::Null {
+            return 0.0;
+        }
+        let a_num = matches!(ka, ValueKind::Int | ValueKind::Float);
+        let b_num = matches!(kb, ValueKind::Int | ValueKind::Float);
+        if a_num && b_num {
+            self.numeric_metric.sim(a, b)
+        } else {
+            self.string_metric.sim(a, b)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "type-dispatch"
+    }
+
+    /// Gram-compatible iff the string leg is; numeric pairs still go
+    /// through [`ValueSimilarity::sim`] (the join checks kinds).
+    fn qgram_compatible(&self) -> Option<usize> {
+        self.string_metric.qgram_compatible()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+    use proptest::prelude::*;
+
+    #[test]
+    fn routes_by_kind() {
+        let m = TypeDispatch::paper_default();
+        // numbers → numeric proximity (exact only at scale 1)
+        assert_eq!(m.sim(&Value::from(1984i64), &Value::from(1984i64)), 1.0);
+        assert_eq!(m.sim(&Value::from(1984i64), &Value::from(1990i64)), 0.0);
+        // strings → q-gram jaccard
+        assert!(
+            (m.sim(&Value::from("Electronic"), &Value::from("electronics")) - 0.9).abs() < 1e-9
+        );
+        // mixed → string metric over text renderings
+        assert_eq!(m.sim(&Value::from("1984"), &Value::from(1984i64)), 1.0);
+        // nulls → 0
+        assert_eq!(m.sim(&Value::Null, &Value::from("x")), 0.0);
+    }
+
+    #[test]
+    fn metric_swapping() {
+        let m = TypeDispatch::paper_default()
+            .with_numeric_metric(Arc::new(NumericProximity::new(10.0)));
+        assert!((m.sim(&Value::from(1984i64), &Value::from(1985i64)) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debug_names_components() {
+        let dbg = format!("{:?}", TypeDispatch::paper_default());
+        assert!(dbg.contains("qgram-jaccard"));
+        assert!(dbg.contains("numeric"));
+    }
+
+    proptest! {
+        #[test]
+        fn invariants(
+            a in test_support::any_value(),
+            b in test_support::any_value()
+        ) {
+            test_support::check_invariants(&TypeDispatch::paper_default(), &a, &b);
+        }
+    }
+}

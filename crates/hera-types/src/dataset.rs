@@ -1,0 +1,406 @@
+//! Datasets: record collections with schemas and ground truth.
+
+use crate::error::{HeraError, Result};
+use crate::ids::{CanonAttrId, EntityId, RecordId, SchemaId, SourceAttrId};
+use crate::record::Record;
+use crate::schema::SchemaRegistry;
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Ground truth for a dataset.
+///
+/// * `entity_of[rid]` — which real-world entity record `rid` describes
+///   (Table I counts the distinct values of this map).
+/// * `canon_of[attr]` — which canonical attribute each source attribute
+///   denotes. This is the oracle schema matching: the evaluation's data
+///   exchange step uses it, and the schema-based method's accuracy is
+///   measured against it. HERA itself never reads it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    entity_of: Vec<EntityId>,
+    canon_of: Vec<CanonAttrId>,
+}
+
+impl GroundTruth {
+    /// Builds ground truth from per-record entity labels and per-attribute
+    /// canonical classes.
+    pub fn new(entity_of: Vec<EntityId>, canon_of: Vec<CanonAttrId>) -> Self {
+        Self {
+            entity_of,
+            canon_of,
+        }
+    }
+
+    /// Entity of a record.
+    #[inline]
+    pub fn entity_of(&self, rid: RecordId) -> EntityId {
+        self.entity_of[rid.index()]
+    }
+
+    /// Canonical class of a source attribute.
+    #[inline]
+    pub fn canon_of(&self, attr: SourceAttrId) -> CanonAttrId {
+        self.canon_of[attr.index()]
+    }
+
+    /// Number of labeled records.
+    #[inline]
+    pub fn record_count(&self) -> usize {
+        self.entity_of.len()
+    }
+
+    /// Number of distinct entities among the labeled records.
+    pub fn entity_count(&self) -> usize {
+        let mut seen: Vec<EntityId> = self.entity_of.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Number of distinct canonical attribute classes (Table I's
+    /// "# of distinct attribute").
+    pub fn distinct_attr_count(&self) -> usize {
+        let mut seen: Vec<CanonAttrId> = self.canon_of.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// True if two records co-refer.
+    #[inline]
+    pub fn same_entity(&self, a: RecordId, b: RecordId) -> bool {
+        self.entity_of(a) == self.entity_of(b)
+    }
+
+    /// True if two source attributes denote the same canonical attribute.
+    #[inline]
+    pub fn same_attr(&self, a: SourceAttrId, b: SourceAttrId) -> bool {
+        self.canon_of(a) == self.canon_of(b)
+    }
+
+    /// Groups record ids by entity, in ascending entity order.
+    pub fn clusters(&self) -> Vec<Vec<RecordId>> {
+        let mut by_entity: FxHashMap<EntityId, Vec<RecordId>> = FxHashMap::default();
+        for (idx, &e) in self.entity_of.iter().enumerate() {
+            by_entity.entry(e).or_default().push(RecordId::from(idx));
+        }
+        let mut out: Vec<(EntityId, Vec<RecordId>)> = by_entity.into_iter().collect();
+        out.sort_unstable_by_key(|(e, _)| *e);
+        out.into_iter().map(|(_, rs)| rs).collect()
+    }
+
+    /// Total number of co-referring record pairs — the denominator of the
+    /// paper's recall.
+    pub fn positive_pair_count(&self) -> usize {
+        self.clusters()
+            .iter()
+            .map(|c| c.len() * (c.len() - 1) / 2)
+            .sum()
+    }
+}
+
+/// A heterogeneous (or homogeneous) record collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Schema registry for all records.
+    pub registry: SchemaRegistry,
+    /// Records, indexed densely by [`RecordId`].
+    pub records: Vec<Record>,
+    /// Ground truth labels (entities and attribute identity).
+    pub truth: GroundTruth,
+    /// Human-readable name (e.g. `"D_m1"`).
+    pub name: String,
+}
+
+impl Dataset {
+    /// Number of records (`n` in Table I).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Looks up a record by id.
+    #[inline]
+    pub fn record(&self, rid: RecordId) -> &Record {
+        &self.records[rid.index()]
+    }
+
+    /// Iterates over records in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// The `SourceAttrId` behind field `fid` of record `rid`.
+    #[inline]
+    pub fn attr_of_field(&self, rid: RecordId, fid: usize) -> SourceAttrId {
+        let rec = self.record(rid);
+        self.registry.schema(rec.schema).attrs[fid].id
+    }
+
+    /// Serializes to pretty JSON (datagen export; not a hot path).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| HeraError::Serialization(e.to_string()))
+    }
+
+    /// Deserializes from JSON, rebuilding registry lookups.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let mut ds: Dataset =
+            serde_json::from_str(json).map_err(|e| HeraError::Serialization(e.to_string()))?;
+        ds.registry.rebuild_lookups();
+        Ok(ds)
+    }
+}
+
+/// Incremental [`Dataset`] constructor with validation.
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    registry: SchemaRegistry,
+    records: Vec<Record>,
+    entity_of: Vec<EntityId>,
+    canon_of: Vec<CanonAttrId>,
+    name: String,
+}
+
+impl DatasetBuilder {
+    /// Creates a named builder.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Registers a schema whose attributes map onto the given canonical
+    /// classes (one per attribute, same order). Returns the schema id.
+    pub fn add_schema<S: Into<String>>(
+        &mut self,
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = (S, CanonAttrId)>,
+    ) -> SchemaId {
+        let (names, canons): (Vec<String>, Vec<CanonAttrId>) =
+            attrs.into_iter().map(|(n, c)| (n.into(), c)).unzip();
+        let id = self.registry.add_schema(name, names);
+        self.canon_of.extend(canons);
+        id
+    }
+
+    /// Appends a record with its ground-truth entity. Validates arity.
+    pub fn add_record(
+        &mut self,
+        schema: SchemaId,
+        values: Vec<Value>,
+        entity: EntityId,
+    ) -> Result<RecordId> {
+        let expected = self.registry.schema(schema).arity();
+        if values.len() != expected {
+            return Err(HeraError::ArityMismatch {
+                record: self.records.len() as u32,
+                expected,
+                actual: values.len(),
+            });
+        }
+        let rid = RecordId::from(self.records.len());
+        self.records.push(Record::new(rid, schema, values));
+        self.entity_of.push(entity);
+        Ok(rid)
+    }
+
+    /// Finalizes the dataset.
+    pub fn build(self) -> Dataset {
+        Dataset {
+            registry: self.registry,
+            records: self.records,
+            truth: GroundTruth::new(self.entity_of, self.canon_of),
+            name: self.name,
+        }
+    }
+
+    /// Read-only access to the registry while building.
+    pub fn registry(&self) -> &SchemaRegistry {
+        &self.registry
+    }
+}
+
+/// Builds the paper's Fig. 1 motivating example: six customer records under
+/// three source schemas, with ground truth
+/// `{r1, r2, r4, r6}` / `{r3, r5}` (0-indexed here as
+/// `{0, 1, 3, 5}` / `{2, 4}`).
+///
+/// Canonical attribute classes: 0=name, 1=address, 2=e-mail, 3=city,
+/// 4=consumption type, 5=phone, 6=job.
+pub fn motivating_example() -> Dataset {
+    let mut b = DatasetBuilder::new("fig1-customers");
+    let c = CanonAttrId::new;
+    let s1 = b.add_schema(
+        "Customer I",
+        [
+            ("name", c(0)),
+            ("address", c(1)),
+            ("e-mail", c(2)),
+            ("city", c(3)),
+            ("Con.Type", c(4)),
+        ],
+    );
+    let s2 = b.add_schema(
+        "Customer II",
+        [("name", c(0)), ("Contact No.", c(5)), ("Job", c(6))],
+    );
+    let s3 = b.add_schema(
+        "Customer III",
+        [
+            ("name", c(0)),
+            ("addr", c(1)),
+            ("work mailbox", c(2)),
+            ("Tel", c(5)),
+            ("Con.Type", c(4)),
+        ],
+    );
+    let e = EntityId::new;
+    let v = Value::from;
+    // r1 (paper) = record 0 here, and so on.
+    b.add_record(
+        s1,
+        vec![
+            v("John"),
+            v("2 Norman Street"),
+            v("bush@gmail"),
+            v("LA"),
+            v("Electronic"),
+        ],
+        e(0),
+    )
+    .unwrap();
+    b.add_record(s2, vec![v("Bush"), v("831-432"), v("manager")], e(0))
+        .unwrap();
+    b.add_record(
+        s2,
+        vec![v("J.Bush"), v("247-326"), v("Product manager")],
+        e(1),
+    )
+    .unwrap();
+    b.add_record(
+        s3,
+        vec![
+            v("Bush"),
+            v("2 West Norman"),
+            v("bush@gmail"),
+            v("831-432"),
+            v("Electronic"),
+        ],
+        e(0),
+    )
+    .unwrap();
+    b.add_record(
+        s3,
+        vec![
+            v("J.Bush"),
+            v("West Norman"),
+            v("john@gmail"),
+            v("247-326"),
+            v("sports"),
+        ],
+        e(1),
+    )
+    .unwrap();
+    b.add_record(
+        s3,
+        vec![
+            v("John"),
+            v("2 Norman Street"),
+            v("bush@gmail"),
+            v("831-432"),
+            v("electronics"),
+        ],
+        e(0),
+    )
+    .unwrap();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motivating_example_shape() {
+        let ds = motivating_example();
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds.registry.len(), 3);
+        assert_eq!(ds.truth.entity_count(), 2);
+        assert_eq!(ds.truth.distinct_attr_count(), 7);
+        // r1, r2, r4, r6 (1-indexed) co-refer.
+        let r = RecordId::new;
+        assert!(ds.truth.same_entity(r(0), r(1)));
+        assert!(ds.truth.same_entity(r(0), r(3)));
+        assert!(ds.truth.same_entity(r(0), r(5)));
+        assert!(ds.truth.same_entity(r(2), r(4)));
+        assert!(!ds.truth.same_entity(r(0), r(2)));
+    }
+
+    #[test]
+    fn positive_pairs() {
+        let ds = motivating_example();
+        // Cluster sizes 4 and 2 → C(4,2)+C(2,2) = 6+1 = 7.
+        assert_eq!(ds.truth.positive_pair_count(), 7);
+        let clusters = ds.truth.clusters();
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].len() + clusters[1].len(), 6);
+    }
+
+    #[test]
+    fn attr_of_field_resolves_through_schema() {
+        let ds = motivating_example();
+        let attr = ds.attr_of_field(RecordId::new(1), 1);
+        assert_eq!(
+            ds.registry.attr_qualified_name(attr),
+            "Customer II.Contact No."
+        );
+    }
+
+    #[test]
+    fn same_attr_uses_canonical_classes() {
+        let ds = motivating_example();
+        // Customer I.e-mail and Customer III.work mailbox are both canon 2.
+        let a = ds.attr_of_field(RecordId::new(0), 2);
+        let b = ds.attr_of_field(RecordId::new(3), 2);
+        assert!(ds.truth.same_attr(a, b));
+        let name = ds.attr_of_field(RecordId::new(0), 0);
+        assert!(!ds.truth.same_attr(a, name));
+    }
+
+    #[test]
+    fn builder_rejects_arity_mismatch() {
+        let mut b = DatasetBuilder::new("t");
+        let s = b.add_schema("S", [("x", CanonAttrId::new(0))]);
+        let err = b
+            .add_record(
+                s,
+                vec![Value::from("a"), Value::from("b")],
+                EntityId::new(0),
+            )
+            .unwrap_err();
+        assert!(matches!(err, HeraError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ds = motivating_example();
+        let json = ds.to_json().unwrap();
+        let back = Dataset::from_json(&json).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.truth.entity_count(), 2);
+        // Registry lookups were rebuilt.
+        let attr = back.attr_of_field(RecordId::new(1), 1);
+        assert_eq!(
+            back.registry.attr_qualified_name(attr),
+            "Customer II.Contact No."
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, HeraError>;
+
+/// Errors produced by HERA components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HeraError {
+    /// A record's value count does not match its schema's arity.
+    ArityMismatch {
+        /// Offending record id (dataset position).
+        record: u32,
+        /// Expected arity from the schema.
+        expected: usize,
+        /// Number of values actually supplied.
+        actual: usize,
+    },
+    /// An id referenced an object not registered in this dataset.
+    UnknownId(String),
+    /// A configuration value is out of its legal domain.
+    InvalidConfig(String),
+    /// Ground truth is missing or inconsistent with the record set.
+    GroundTruth(String),
+    /// Dataset (de)serialization failed.
+    Serialization(String),
+}
+
+impl fmt::Display for HeraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeraError::ArityMismatch {
+                record,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "record r{record}: schema expects {expected} values, got {actual}"
+            ),
+            HeraError::UnknownId(what) => write!(f, "unknown id: {what}"),
+            HeraError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HeraError::GroundTruth(msg) => write!(f, "ground truth error: {msg}"),
+            HeraError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HeraError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = HeraError::ArityMismatch {
+            record: 3,
+            expected: 5,
+            actual: 4,
+        };
+        assert_eq!(e.to_string(), "record r3: schema expects 5 values, got 4");
+        assert!(HeraError::InvalidConfig("xi must be in [0,1]".into())
+            .to_string()
+            .contains("xi"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&HeraError::UnknownId("s9".into()));
+    }
+}

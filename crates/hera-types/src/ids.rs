@@ -1,0 +1,176 @@
+//! Strongly-typed identifiers.
+//!
+//! All ids are thin `u32` newtypes: cheap to copy, hash, and store in the
+//! value-pair index, following the perf guidance of using small integer keys
+//! in hot data structures.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index widened to `usize`, for slice access.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(raw: usize) -> Self {
+                debug_assert!(raw <= u32::MAX as usize);
+                Self(raw as u32)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a (super) record. Base records receive dense ids
+    /// `0..n`; after merges, a super record keeps the id chosen by
+    /// union–find (the paper's `union(i, j)`).
+    RecordId,
+    "r"
+);
+
+id_type!(
+    /// Identifier of a source schema.
+    SchemaId,
+    "s"
+);
+
+id_type!(
+    /// Globally unique identifier of one attribute *inside one source
+    /// schema*. `CustomerI.name` and `CustomerII.name` have different
+    /// `SourceAttrId`s even though they share a display name — deciding
+    /// whether they denote the same real attribute is precisely the
+    /// schema-matching problem HERA solves as a by-product.
+    SourceAttrId,
+    "a"
+);
+
+id_type!(
+    /// Identifier of a *canonical* (semantic) attribute: the equivalence
+    /// class that ground truth assigns to source attributes. Table I's
+    /// "# of distinct attribute" counts these classes.
+    CanonAttrId,
+    "c"
+);
+
+id_type!(
+    /// Identifier of a real-world entity in the ground truth.
+    EntityId,
+    "e"
+);
+
+/// Coordinate of one value inside the record set: record, field, value —
+/// the `(rid, fid, vid)` label of Definition 6.
+///
+/// `fid` indexes a field inside the (super) record; `vid` indexes a value
+/// inside that field (base records always have `vid == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Label {
+    /// Record id component.
+    pub rid: u32,
+    /// Field index inside the record.
+    pub fid: u32,
+    /// Value index inside the field.
+    pub vid: u32,
+}
+
+impl Label {
+    /// Creates a label from raw parts.
+    #[inline]
+    pub const fn new(rid: u32, fid: u32, vid: u32) -> Self {
+        Self { rid, fid, vid }
+    }
+
+    /// The record id as a typed [`RecordId`].
+    #[inline]
+    pub const fn record(self) -> RecordId {
+        RecordId(self.rid)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.rid, self.fid, self.vid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let r = RecordId::new(7);
+        assert_eq!(r.raw(), 7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(RecordId::from(7u32), r);
+        assert_eq!(RecordId::from(7usize), r);
+        assert_eq!(r.to_string(), "r7");
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // Compile-time property, but exercise Display prefixes.
+        assert_eq!(SchemaId::new(1).to_string(), "s1");
+        assert_eq!(SourceAttrId::new(2).to_string(), "a2");
+        assert_eq!(CanonAttrId::new(3).to_string(), "c3");
+        assert_eq!(EntityId::new(4).to_string(), "e4");
+    }
+
+    #[test]
+    fn label_ordering_is_lexicographic() {
+        let a = Label::new(1, 2, 3);
+        let b = Label::new(1, 2, 4);
+        let c = Label::new(2, 0, 0);
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(a.record(), RecordId::new(1));
+        assert_eq!(a.to_string(), "(1,2,3)");
+    }
+
+    #[test]
+    fn label_serde() {
+        let l = Label::new(4, 1, 1);
+        let json = serde_json::to_string(&l).unwrap();
+        let back: Label = serde_json::from_str(&json).unwrap();
+        assert_eq!(l, back);
+    }
+}

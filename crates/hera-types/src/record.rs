@@ -1,0 +1,63 @@
+//! Base records.
+
+use crate::ids::{RecordId, SchemaId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A base record: one tuple under one source schema.
+///
+/// `values[k]` is the value of the schema's `k`-th attribute. Base records
+/// are the "simplest super record, where each field stores one value"
+/// (§II-A); `hera-core` lifts them into
+/// [`SuperRecord`](https://docs.rs/hera-core)s when HERA starts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Dense record id within its dataset.
+    pub id: RecordId,
+    /// The schema this record is an instance of.
+    pub schema: SchemaId,
+    /// One value per schema attribute, positionally aligned.
+    pub values: Vec<Value>,
+}
+
+impl Record {
+    /// Creates a record; `values.len()` must match the schema arity (checked
+    /// by [`DatasetBuilder`](crate::DatasetBuilder) on insert).
+    pub fn new(id: RecordId, schema: SchemaId, values: Vec<Value>) -> Self {
+        Self { id, schema, values }
+    }
+
+    /// Number of fields.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of non-null fields — the record's usable information content.
+    pub fn non_null_arity(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_null()).count()
+    }
+
+    /// Iterates `(field position, value)` over non-null fields.
+    pub fn present_fields(&self) -> impl Iterator<Item = (usize, &Value)> {
+        self.values.iter().enumerate().filter(|(_, v)| !v.is_null())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_counts() {
+        let r = Record::new(
+            RecordId::new(0),
+            SchemaId::new(0),
+            vec![Value::from("x"), Value::Null, Value::from(3i64)],
+        );
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.non_null_arity(), 2);
+        let present: Vec<usize> = r.present_fields().map(|(i, _)| i).collect();
+        assert_eq!(present, vec![0, 2]);
+    }
+}

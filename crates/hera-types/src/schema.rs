@@ -1,0 +1,235 @@
+//! Source schemas and the schema registry.
+
+use crate::ids::{SchemaId, SourceAttrId};
+use serde::{Deserialize, Serialize};
+
+/// One attribute of a source schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceAttr {
+    /// Globally unique id of this attribute.
+    pub id: SourceAttrId,
+    /// Display name within its schema (e.g. `"Tel"`, `"Contact No."`).
+    /// Names are *not* unique across schemas and carry no identity.
+    pub name: String,
+}
+
+/// A source schema: an ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Id of this schema.
+    pub id: SchemaId,
+    /// Human-readable name (e.g. `"Customer I"`, `"IMDB"`, `"Target"`).
+    pub name: String,
+    /// Ordered attributes; a record under this schema stores one value per
+    /// attribute, positionally aligned.
+    pub attrs: Vec<SourceAttr>,
+}
+
+impl Schema {
+    /// Number of attributes (`k_i` in the paper).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Finds the position of an attribute by display name.
+    pub fn position_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Finds the position of an attribute by id.
+    pub fn position_of_attr(&self, attr: SourceAttrId) -> Option<usize> {
+        self.attrs.iter().position(|a| a.id == attr)
+    }
+}
+
+/// Interns schemas and hands out globally unique [`SourceAttrId`]s.
+///
+/// The registry is the single authority for "which attribute is this" —
+/// every record's field positions resolve through it, and the schema-based
+/// method's votes are keyed by the `SourceAttrId`s it mints.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SchemaRegistry {
+    schemas: Vec<Schema>,
+    /// Maps each `SourceAttrId` back to its owning schema.
+    #[serde(skip)]
+    attr_owner: Vec<SchemaId>,
+    /// Maps each `SourceAttrId` to its position within its schema.
+    #[serde(skip)]
+    attr_pos: Vec<u32>,
+    next_attr: u32,
+}
+
+impl SchemaRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new schema from attribute display names, minting fresh
+    /// attribute ids. Returns the new schema's id.
+    pub fn add_schema<S: Into<String>, I: IntoIterator<Item = S>>(
+        &mut self,
+        name: impl Into<String>,
+        attr_names: I,
+    ) -> SchemaId {
+        let id = SchemaId::from(self.schemas.len());
+        let attrs: Vec<SourceAttr> = attr_names
+            .into_iter()
+            .enumerate()
+            .map(|(pos, n)| {
+                let attr_id = SourceAttrId::new(self.next_attr);
+                self.next_attr += 1;
+                self.attr_owner.push(id);
+                self.attr_pos.push(pos as u32);
+                SourceAttr {
+                    id: attr_id,
+                    name: n.into(),
+                }
+            })
+            .collect();
+        self.schemas.push(Schema {
+            id,
+            name: name.into(),
+            attrs,
+        });
+        id
+    }
+
+    /// Number of registered schemas.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// True if no schemas are registered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Looks up a schema.
+    ///
+    /// # Panics
+    /// Panics if the id was not minted by this registry.
+    #[inline]
+    pub fn schema(&self, id: SchemaId) -> &Schema {
+        &self.schemas[id.index()]
+    }
+
+    /// Iterates over all schemas in registration order.
+    pub fn schemas(&self) -> impl Iterator<Item = &Schema> {
+        self.schemas.iter()
+    }
+
+    /// Total number of source attributes minted so far.
+    #[inline]
+    pub fn attr_count(&self) -> usize {
+        self.next_attr as usize
+    }
+
+    /// The schema that owns `attr`.
+    #[inline]
+    pub fn attr_schema(&self, attr: SourceAttrId) -> SchemaId {
+        self.attr_owner[attr.index()]
+    }
+
+    /// The position of `attr` within its owning schema.
+    #[inline]
+    pub fn attr_position(&self, attr: SourceAttrId) -> usize {
+        self.attr_pos[attr.index()] as usize
+    }
+
+    /// The display name of `attr`, qualified by its schema
+    /// (`"Customer I.name"`).
+    pub fn attr_qualified_name(&self, attr: SourceAttrId) -> String {
+        let schema = self.schema(self.attr_schema(attr));
+        let pos = self.attr_position(attr);
+        format!("{}.{}", schema.name, schema.attrs[pos].name)
+    }
+
+    /// Rebuilds the derived (non-serialized) lookup tables after
+    /// deserialization.
+    pub fn rebuild_lookups(&mut self) {
+        self.attr_owner = vec![SchemaId::new(0); self.next_attr as usize];
+        self.attr_pos = vec![0; self.next_attr as usize];
+        for schema in &self.schemas {
+            for (pos, attr) in schema.attrs.iter().enumerate() {
+                self.attr_owner[attr.id.index()] = schema.id;
+                self.attr_pos[attr.id.index()] = pos as u32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with_two() -> SchemaRegistry {
+        let mut reg = SchemaRegistry::new();
+        reg.add_schema(
+            "Customer I",
+            ["name", "address", "e-mail", "city", "Con.Type"],
+        );
+        reg.add_schema("Customer II", ["name", "Contact No.", "Job"]);
+        reg
+    }
+
+    #[test]
+    fn schema_ids_are_dense() {
+        let reg = registry_with_two();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.schema(SchemaId::new(0)).name, "Customer I");
+        assert_eq!(reg.schema(SchemaId::new(1)).name, "Customer II");
+    }
+
+    #[test]
+    fn attr_ids_are_globally_unique() {
+        let reg = registry_with_two();
+        assert_eq!(reg.attr_count(), 8);
+        let s0 = reg.schema(SchemaId::new(0));
+        let s1 = reg.schema(SchemaId::new(1));
+        // Both schemas have an attribute called "name" — different ids.
+        let a0 = s0.attrs[s0.position_of("name").unwrap()].id;
+        let a1 = s1.attrs[s1.position_of("name").unwrap()].id;
+        assert_ne!(a0, a1);
+    }
+
+    #[test]
+    fn attr_reverse_lookup() {
+        let reg = registry_with_two();
+        let s1 = reg.schema(SchemaId::new(1));
+        let tel = s1.attrs[1].id;
+        assert_eq!(reg.attr_schema(tel), SchemaId::new(1));
+        assert_eq!(reg.attr_position(tel), 1);
+        assert_eq!(reg.attr_qualified_name(tel), "Customer II.Contact No.");
+    }
+
+    #[test]
+    fn position_of_attr() {
+        let reg = registry_with_two();
+        let s0 = reg.schema(SchemaId::new(0));
+        let email = s0.attrs[2].id;
+        assert_eq!(s0.position_of_attr(email), Some(2));
+        assert_eq!(s0.position_of("nonexistent"), None);
+    }
+
+    #[test]
+    fn arity() {
+        let reg = registry_with_two();
+        assert_eq!(reg.schema(SchemaId::new(0)).arity(), 5);
+        assert_eq!(reg.schema(SchemaId::new(1)).arity(), 3);
+    }
+
+    #[test]
+    fn rebuild_lookups_after_serde_roundtrip() {
+        let reg = registry_with_two();
+        let json = serde_json::to_string(&reg).unwrap();
+        let mut back: SchemaRegistry = serde_json::from_str(&json).unwrap();
+        back.rebuild_lookups();
+        let s1 = back.schema(SchemaId::new(1));
+        let tel = s1.attrs[1].id;
+        assert_eq!(back.attr_qualified_name(tel), "Customer II.Contact No.");
+    }
+}

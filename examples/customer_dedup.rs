@@ -1,0 +1,214 @@
+//! Customer deduplication under heterogeneous CRM exports — the paper's
+//! Fig. 1 scenario, scaled up and compared against the conventional
+//! schema-matching-then-ER pipeline.
+//!
+//! Three "CRM systems" export customers under different schemas. We run:
+//!
+//! 1. the conventional pipeline (Fig. 1-c): exchange everything into a
+//!    target schema, then match with R-Swoosh — information outside the
+//!    target schema is lost;
+//! 2. HERA (Fig. 1-d): resolve directly on the heterogeneous records.
+//!
+//! ```sh
+//! cargo run --release --example customer_dedup
+//! ```
+
+use hera::{
+    exchange_small, CanonAttrId, Dataset, DatasetBuilder, EntityId, Hera, HeraConfig, PairMetrics,
+    RSwoosh, Resolver, TypeDispatch, Value,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a synthetic three-CRM customer dataset: `n_entities` people,
+/// each appearing in 2–4 exports. Canonical attributes: 0 name, 1 street,
+/// 2 email, 3 city, 4 segment, 5 phone, 6 job title.
+fn build_customers(n_entities: usize, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new("crm-customers");
+    let c = CanonAttrId::new;
+    let crm_a = b.add_schema(
+        "CRM North",
+        [
+            ("full_name", c(0)),
+            ("street", c(1)),
+            ("email", c(2)),
+            ("city", c(3)),
+            ("segment", c(4)),
+        ],
+    );
+    let crm_b = b.add_schema(
+        "CRM South",
+        [("customer", c(0)), ("phone", c(5)), ("role", c(6))],
+    );
+    let crm_c = b.add_schema(
+        "Legacy Billing",
+        [
+            ("name", c(0)),
+            ("addr", c(1)),
+            ("mailbox", c(2)),
+            ("tel", c(5)),
+            ("segment_code", c(4)),
+        ],
+    );
+
+    let firsts = [
+        "John", "Mary", "Wei", "Aisha", "Carlos", "Elena", "Bush", "Priya", "Tomás", "Ingrid",
+        "Kenji", "Fatima", "Viktor", "Amara", "Declan", "Yuki",
+    ];
+    let lasts = [
+        "Smith",
+        "Garcia",
+        "Chen",
+        "Okafor",
+        "Miller",
+        "Kovacs",
+        "Walker",
+        "Rao",
+        "Ueda",
+        "Novak",
+        "Adeyemi",
+        "Lindqvist",
+        "Moreau",
+        "Castillo",
+        "Byrne",
+        "Haddad",
+    ];
+    let streets = [
+        "2 Norman Street",
+        "14 Hill Road",
+        "77 Ocean Ave",
+        "5 Birch Lane",
+    ];
+    let cities = ["LA", "Boston", "Austin", "Seattle"];
+    let segments = ["Electronics", "Sports", "Books", "Groceries"];
+    let jobs = ["manager", "product manager", "engineer", "analyst"];
+
+    for e in 0..n_entities {
+        let name = format!(
+            "{} {}",
+            firsts[rng.gen_range(0..firsts.len())],
+            lasts[rng.gen_range(0..lasts.len())]
+        );
+        // House numbers and mailbox digits keep identities separable even
+        // when two customers share a name — like real CRM data, the
+        // *combination* of fields identifies a person, not any one field.
+        let street = format!(
+            "{} {}",
+            rng.gen_range(1..900),
+            streets[rng.gen_range(0..streets.len())]
+        );
+        let email = format!(
+            "{}{}@{}mail.com",
+            name.to_lowercase().replace(' ', "."),
+            rng.gen_range(10..99),
+            ["g", "hot", "proton"][rng.gen_range(0..3)]
+        );
+        let city = cities[rng.gen_range(0..cities.len())];
+        let segment = segments[rng.gen_range(0..segments.len())];
+        let phone = format!(
+            "{:03}-{:03}",
+            rng.gen_range(100..999),
+            rng.gen_range(100..999)
+        );
+        let job = jobs[rng.gen_range(0..jobs.len())];
+
+        let abbreviated = {
+            let mut it = name.split(' ');
+            let f = it.next().unwrap();
+            format!("{}. {}", &f[..1], it.next().unwrap())
+        };
+        for copy in 0..rng.gen_range(2..=4usize) {
+            let entity = EntityId::new(e as u32);
+            match rng.gen_range(0..3) {
+                0 => b
+                    .add_record(
+                        crm_a,
+                        vec![
+                            Value::from(name.clone()),
+                            Value::from(street.clone()),
+                            Value::from(email.clone()),
+                            Value::from(city),
+                            Value::from(segment),
+                        ],
+                        entity,
+                    )
+                    .unwrap(),
+                1 => b
+                    .add_record(
+                        crm_b,
+                        vec![
+                            Value::from(if copy % 2 == 0 {
+                                name.clone()
+                            } else {
+                                abbreviated.clone()
+                            }),
+                            Value::from(phone.clone()),
+                            Value::from(job),
+                        ],
+                        entity,
+                    )
+                    .unwrap(),
+                _ => b
+                    .add_record(
+                        crm_c,
+                        vec![
+                            Value::from(abbreviated.clone()),
+                            Value::from(street.clone()),
+                            Value::from(email.clone()),
+                            Value::from(phone.clone()),
+                            Value::from(segment.to_lowercase()),
+                        ],
+                        entity,
+                    )
+                    .unwrap(),
+            };
+        }
+    }
+    b.build()
+}
+
+fn main() {
+    let dataset = build_customers(120, 7);
+    println!(
+        "{}: {} records, {} entities, {} schemas",
+        dataset.name,
+        dataset.len(),
+        dataset.truth.entity_count(),
+        dataset.registry.len()
+    );
+
+    // --- Conventional pipeline: exchange to a 1/3 target schema, then
+    // R-Swoosh on the homogeneous result.
+    let (homogeneous, plan) = exchange_small(&dataset, 11);
+    println!(
+        "\nconventional pipeline: target keeps {} of 7 attributes, {} source values dropped",
+        plan.target_attrs.len(),
+        plan.dropped_value_count
+    );
+    let metric = TypeDispatch::paper_default();
+    // δ = 0.7: CRM South records carry only three fields, so a chance
+    // name+job collision at δ = 0.5 would already merge two strangers.
+    let swoosh_clusters = RSwoosh::new(0.7, 0.5).resolve(&homogeneous, &metric);
+    let swoosh_metrics = PairMetrics::score(&swoosh_clusters, &homogeneous.truth);
+    println!("  R-Swoosh on exchanged data: {swoosh_metrics}");
+
+    // --- HERA directly on the heterogeneous records.
+    let result = Hera::new(HeraConfig::new(0.7, 0.5)).run(&dataset);
+    let hera_metrics = PairMetrics::score(&result.clusters(), &dataset.truth);
+    println!(
+        "  HERA on heterogeneous data: {hera_metrics} ({} iterations, {} merges)",
+        result.stats.iterations, result.stats.merges
+    );
+
+    let gain = hera_metrics.f1() - swoosh_metrics.f1();
+    println!(
+        "\nF1 gain from resolving before exchange: {:+.3} ({})",
+        gain,
+        if gain > 0.0 {
+            "information loss avoided"
+        } else {
+            "dataset too easy to show a gap"
+        }
+    );
+}

@@ -1,0 +1,74 @@
+//! # HERA — Efficient Entity Resolution on Heterogeneous Records
+//!
+//! A from-scratch Rust reproduction of Lin, Wang, Li & Gao's HERA
+//! (ICDE 2020): entity resolution that runs *directly* on records whose
+//! schemas differ from source to source, instead of forcing them through
+//! schema matching + data exchange first.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `hera-types` | records, schemas, values, datasets, ground truth |
+//! | [`sim`] | `hera-sim` | pluggable value-similarity metrics (q-gram Jaccard, edit, Jaro-Winkler, cosine, Soft TF-IDF, numeric) |
+//! | [`join`] | `hera-join` | similarity self-join (inverted q-gram index + prefix filter) |
+//! | [`matching`] | `hera-matching` | Kuhn–Munkres max-weight bipartite matching, simplification, greedy |
+//! | [`index`] | `hera-index` | the value-pair index, Algorithm-1 bounds, union–find, merge maintenance |
+//! | [`core`] | `hera-core` | super records, instance-/schema-based verification, the HERA driver |
+//! | [`baselines`] | `hera-baselines` | R-Swoosh, correlation clustering, collective ER, nest-loop verifier |
+//! | [`datagen`] | `hera-datagen` | synthetic heterogeneous movie datasets (Table I presets) |
+//! | [`exchange`] | `hera-exchange` | target schemas, tgds, the chase (`-S` / `-L` homogeneous datasets) |
+//! | [`eval`] | `hera-eval` | pairwise precision/recall/F1, B³ |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hera::{Hera, HeraConfig, motivating_example};
+//!
+//! let dataset = motivating_example(); // the paper's Fig. 1 customers
+//! let result = Hera::new(HeraConfig::new(0.5, 0.5)).run(&dataset);
+//! assert_eq!(result.entity_count(), 2);
+//! ```
+//!
+//! See `examples/` for end-to-end walkthroughs and `crates/hera-bench`
+//! for the experiment reproductions (Tables I–II, Figs. 9–12).
+
+#![forbid(unsafe_code)]
+
+pub use hera_baselines as baselines;
+pub use hera_core as core;
+pub use hera_datagen as datagen;
+pub use hera_eval as eval;
+pub use hera_exchange as exchange;
+pub use hera_index as index;
+pub use hera_join as join;
+pub use hera_matching as matching;
+pub use hera_sim as sim;
+pub use hera_types as types;
+
+// The everyday API surface, flattened.
+pub use hera_baselines::{
+    CollectiveEr, CorrelationClustering, NestLoopVerifier, RSwoosh, Resolver,
+};
+pub use hera_core::{
+    BoundMode, Hera, HeraConfig, HeraResult, HeraSession, InstanceVerifier, RunStats, SchemaVoter,
+    SuperRecord,
+};
+pub use hera_datagen::{table1_dataset, DatagenConfig, Domain, Generator};
+pub use hera_eval::{adjusted_rand_index, bcubed, v_measure, PairMetrics};
+pub use hera_exchange::{
+    chase, exchange_large, exchange_small, fuse_entities, plan_exchange, plan_exchange_ensuring,
+    ExchangePlan, Tgd,
+};
+pub use hera_index::{FlatIndex, UnionFind, ValuePair, ValuePairIndex};
+pub use hera_join::{IncrementalJoin, JoinConfig, SimilarityJoin};
+pub use hera_sim::{
+    CosineTf, DiceQGram, EditSimilarity, ExactMatch, Jaro, JaroWinkler, MongeElkan,
+    NumericProximity, OverlapQGram, QGramJaccard, SoftTfIdf, TokenJaccard, TypeDispatch,
+    ValueSimilarity,
+};
+pub use hera_types::{
+    motivating_example, CanonAttrId, CsvImporter, Dataset, DatasetBuilder, EntityId, GroundTruth,
+    HeraError, Label, Record, RecordId, Result, Schema, SchemaId, SchemaRegistry, SourceAttr,
+    SourceAttrId, Value, ValueKind,
+};

@@ -1,0 +1,86 @@
+//! Monte-Carlo validation of Theorem 2: the majority-vote error bound
+//! `UP_error = exp(−(n/2p)(p−½)²)` must dominate the empirical error
+//! probability of majority voting with per-trial accuracy `p`.
+
+use hera::core::vote_error_bound;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Simulates majority voting: `n` trials, each correct with probability
+/// `p`, otherwise one of `k_wrong` wrong outcomes uniformly. Ties count
+/// as errors (conservative). Returns the empirical error rate.
+fn empirical_error(n: u32, p: f64, k_wrong: usize, rounds: usize, seed: u64) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut errors = 0usize;
+    for _ in 0..rounds {
+        let mut counts = vec![0u32; k_wrong + 1]; // slot 0 = correct
+        for _ in 0..n {
+            if rng.gen_bool(p) {
+                counts[0] += 1;
+            } else {
+                let w = rng.gen_range(1..=k_wrong);
+                counts[w] += 1;
+            }
+        }
+        let best_wrong = counts[1..].iter().copied().max().unwrap_or(0);
+        if counts[0] <= best_wrong {
+            errors += 1;
+        }
+    }
+    errors as f64 / rounds as f64
+}
+
+#[test]
+fn bound_dominates_empirical_error_adversarial_binary() {
+    // Worst case: all wrong votes concentrate on a single alternative.
+    for &p in &[0.6, 0.7, 0.8, 0.9] {
+        for &n in &[5u32, 11, 25, 51] {
+            let bound = vote_error_bound(n, p);
+            let err = empirical_error(n, p, 1, 40_000, 42 + n as u64);
+            assert!(
+                err <= bound + 0.01,
+                "n={n}, p={p}: empirical {err:.4} exceeds bound {bound:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bound_dominates_with_dispersed_wrong_votes() {
+    // Realistic case: wrong predictions scatter over several attributes.
+    for &p in &[0.6, 0.8] {
+        for &n in &[10u32, 30] {
+            let bound = vote_error_bound(n, p);
+            let err = empirical_error(n, p, 4, 40_000, 7 + n as u64);
+            assert!(
+                err <= bound + 0.01,
+                "n={n}, p={p}, k=4: empirical {err:.4} exceeds bound {bound:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_worked_example() {
+    // §IV-B: p = 0.8, n = 10 → UP_error ≈ 0.57 < ρ = 0.6, decided with
+    // confidence 1 − 0.57 = 0.43.
+    let bound = vote_error_bound(10, 0.8);
+    assert!((bound - 0.5698).abs() < 1e-3);
+    // The actual error of 10-trial majority voting at p = 0.8 is far
+    // smaller — the bound is loose but valid, exactly as a Chernoff-style
+    // bound should be.
+    let err = empirical_error(10, 0.8, 1, 40_000, 99);
+    assert!(err < bound);
+    assert!(err < 0.15, "empirical error {err} unexpectedly large");
+}
+
+#[test]
+fn bound_is_monotone() {
+    // More votes or better priors can only tighten the bound.
+    for w in [5u32, 10, 20, 40].windows(2) {
+        assert!(vote_error_bound(w[1], 0.8) < vote_error_bound(w[0], 0.8));
+    }
+    for w in [0.6, 0.7, 0.8, 0.9].windows(2) {
+        assert!(vote_error_bound(20, w[1]) < vote_error_bound(20, w[0]));
+    }
+}
