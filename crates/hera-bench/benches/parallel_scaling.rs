@@ -1,0 +1,60 @@
+//! Thread-scaling of the two parallel stages: the value-pair similarity
+//! join and candidate verification inside compare-and-merge. Results are
+//! bit-identical at every thread count, so the only question is speed;
+//! `exp_parallel` records the measured speedups in
+//! `results/BENCH_parallel.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hera_core::{Hera, HeraConfig};
+use hera_datagen::{CorruptionConfig, DatagenConfig, Generator};
+use hera_types::Dataset;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A dataset heavy enough that verification dominates: many similar
+/// record pairs across heterogeneous schemas.
+fn dataset() -> Dataset {
+    Generator::new(DatagenConfig {
+        name: "parallel-bench".into(),
+        seed: 7,
+        n_records: 800,
+        n_entities: 100,
+        n_attrs: 14,
+        n_sources: 4,
+        min_source_attrs: 7,
+        max_source_attrs: 11,
+        corruption: CorruptionConfig::moderate(),
+        domain: Default::default(),
+    })
+    .generate()
+}
+
+fn bench_join(c: &mut Criterion) {
+    let ds = dataset();
+    let mut g = c.benchmark_group("parallel_join");
+    g.sample_size(10);
+    for &t in &THREADS {
+        let hera = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(t));
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, _| {
+            b.iter(|| hera.join(&ds));
+        });
+    }
+    g.finish();
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    let ds = dataset();
+    let pairs = Hera::new(HeraConfig::new(0.5, 0.5)).join(&ds);
+    let mut g = c.benchmark_group("parallel_resolve");
+    g.sample_size(10);
+    for &t in &THREADS {
+        let hera = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(t));
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, _| {
+            b.iter(|| hera.run_with_pairs(&ds, pairs.clone()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_join, bench_resolve);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Thread-scaling experiment: measures the parallel join and the
+//! parallel compare-and-merge at 1/2/4/8 threads, checks that results
+//! stay bit-identical, and records the speedups in
+//! `results/BENCH_parallel.json`.
+
+use hera_bench::{header, row};
+use hera_core::{Hera, HeraConfig};
+use hera_datagen::{CorruptionConfig, DatagenConfig, Generator};
+use hera_types::json::Json;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+
+fn main() {
+    let ds = Generator::new(DatagenConfig {
+        name: "parallel-bench".into(),
+        seed: 7,
+        n_records: 800,
+        n_entities: 100,
+        n_attrs: 14,
+        n_sources: 4,
+        min_source_attrs: 7,
+        max_source_attrs: 11,
+        corruption: CorruptionConfig::moderate(),
+        domain: Default::default(),
+    })
+    .generate();
+
+    println!("# Parallel scaling (ξ = δ = 0.5, {} records)\n", ds.len());
+    header(&[
+        "threads",
+        "join (ms)",
+        "join ×",
+        "resolve (ms)",
+        "resolve ×",
+        "verify (ms)",
+        "pairs/s",
+    ]);
+
+    let baseline = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(1)).run(&ds);
+    let mut entries: Vec<Json> = Vec::new();
+    let mut base_join_ms = 0.0;
+    let mut base_resolve_ms = 0.0;
+    for &t in &THREADS {
+        let hera = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(t));
+        // Best-of-REPS to damp scheduler noise.
+        let mut join_ms = f64::INFINITY;
+        let mut pairs = Vec::new();
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            pairs = hera.join(&ds);
+            join_ms = join_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let mut resolve_ms = f64::INFINITY;
+        let mut verify_ms = 0.0;
+        let mut pairs_per_sec = 0.0;
+        let mut result = None;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let r = hera.run_with_pairs(&ds, pairs.clone());
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            if ms < resolve_ms {
+                resolve_ms = ms;
+                verify_ms = r.stats.verify_time.as_secs_f64() * 1e3;
+                pairs_per_sec = r.stats.verify_pairs_per_sec();
+            }
+            result = Some(r);
+        }
+        let result = result.expect("at least one rep ran");
+        assert_eq!(
+            result.entity_of, baseline.entity_of,
+            "{t}-thread run must be bit-identical to 1 thread"
+        );
+        if t == 1 {
+            base_join_ms = join_ms;
+            base_resolve_ms = resolve_ms;
+        }
+        let join_x = base_join_ms / join_ms;
+        let resolve_x = base_resolve_ms / resolve_ms;
+        row(&[
+            t.to_string(),
+            format!("{join_ms:.1}"),
+            format!("{join_x:.2}"),
+            format!("{resolve_ms:.1}"),
+            format!("{resolve_x:.2}"),
+            format!("{verify_ms:.1}"),
+            format!("{pairs_per_sec:.0}"),
+        ]);
+        entries.push(Json::Obj(vec![
+            ("threads".into(), Json::Int(t as i64)),
+            ("join_ms".into(), Json::Float(join_ms)),
+            ("join_speedup".into(), Json::Float(join_x)),
+            ("resolve_ms".into(), Json::Float(resolve_ms)),
+            ("resolve_speedup".into(), Json::Float(resolve_x)),
+            ("verify_ms".into(), Json::Float(verify_ms)),
+            ("verify_pairs_per_sec".into(), Json::Float(pairs_per_sec)),
+            ("merges".into(), Json::Int(result.stats.merges as i64)),
+        ]));
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let doc = Json::Obj(vec![
+        ("experiment".into(), Json::Str("parallel_scaling".into())),
+        ("dataset".into(), Json::Str(ds.name.clone())),
+        ("records".into(), Json::Int(ds.len() as i64)),
+        ("reps".into(), Json::Int(REPS as i64)),
+        ("host_cpus".into(), Json::Int(host_cpus as i64)),
+        (
+            "note".into(),
+            Json::Str(
+                "speedups are bounded by host_cpus; results are bit-identical at every thread \
+                 count, so a 1-CPU host measures only the (small) coordination overhead"
+                    .into(),
+            ),
+        ),
+        ("scaling".into(), Json::Arr(entries)),
+    ]);
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/BENCH_parallel.json";
+    std::fs::write(path, doc.to_string_pretty()).expect("write BENCH_parallel.json");
+    println!("\nwrote {path}");
+}

@@ -136,7 +136,10 @@ mod tests {
     #[test]
     fn repeated_flags_collect_in_order() {
         let a = parse("import --source a=1.csv --source b=2.csv --out x").unwrap();
-        assert_eq!(a.get_all("source"), &["a=1.csv".to_string(), "b=2.csv".to_string()]);
+        assert_eq!(
+            a.get_all("source"),
+            &["a=1.csv".to_string(), "b=2.csv".to_string()]
+        );
         // get() yields the last occurrence.
         assert_eq!(a.get("source"), Some("b=2.csv"));
         assert!(a.get_all("missing").is_empty());

@@ -16,7 +16,8 @@ USAGE:
   hera-cli import   --source NAME=FILE.csv [--source …] [--entity-column COL]
                 [--name NAME] [--out FILE]
   hera-cli generate --preset <dm1|dm2|dm3|dm4> [--seed N] [--out FILE]
-  hera-cli resolve  --input FILE [--delta 0.5] [--xi 0.5] [--labels FILE] [--eval] [--matchings]
+  hera-cli resolve  --input FILE [--delta 0.5] [--xi 0.5] [--threads N] [--labels FILE]
+                [--eval] [--matchings]
   hera-cli exchange --input FILE [--fraction 0.333] [--seed N] [--out FILE]
   hera-cli fuse     --input FILE --labels FILE [--fraction 1.0] [--seed N] [--out FILE]
   hera-cli baseline --input FILE --system <rswoosh|cc|cr> [--delta 0.5] [--xi 0.5] [--eval]
@@ -24,6 +25,8 @@ USAGE:
   hera-cli help
 
 Datasets are JSON (hera_types::Dataset). Labels are CSV `record_id,entity`.
+`--threads 0` (the default) auto-detects the cores; any setting yields
+bit-identical results.
 ";
 
 /// Routes a parsed command line.
@@ -36,7 +39,9 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "fuse" => fuse(args),
         "baseline" => baseline(args),
         "demo" => demo(),
-        other => Err(format!("unknown subcommand {other:?} (try `hera-cli help`)")),
+        other => Err(format!(
+            "unknown subcommand {other:?} (try `hera-cli help`)"
+        )),
     }
 }
 
@@ -113,14 +118,23 @@ fn resolve(args: &Args) -> Result<(), String> {
     let ds = load_dataset(args.require("input")?)?;
     let delta = args.get_f64("delta", 0.5)?;
     let xi = args.get_f64("xi", 0.5)?;
-    let result = Hera::new(HeraConfig::new(delta, xi)).run(&ds);
+    let threads = args.get_u64("threads", 0)? as usize;
+    let result = Hera::new(HeraConfig::new(delta, xi).with_threads(threads)).run(&ds);
     eprintln!(
-        "resolved {} records into {} entities ({} iterations, {} merges, {:?})",
+        "resolved {} records into {} entities ({} iterations, {} merges, {} threads, {:?})",
         ds.len(),
         result.entity_count(),
         result.stats.iterations,
         result.stats.merges,
+        result.stats.threads,
         result.stats.total_time()
+    );
+    eprintln!(
+        "  index: {:?} ({:.0} pairs/s) · verify: {:?} ({:.0} pairs/s)",
+        result.stats.index_build_time,
+        result.stats.index_pairs_per_sec(),
+        result.stats.verify_time,
+        result.stats.verify_pairs_per_sec()
     );
     if args.has("eval") {
         let m = PairMetrics::score(&result.clusters(), &ds.truth);

@@ -37,6 +37,11 @@ pub struct HeraConfig {
     /// keys, similarity-descending groups, partner symmetry, counts).
     /// Costs a full index scan per iteration — for tests and debugging.
     pub validate_index: bool,
+    /// Worker threads for the parallel stages (join verification and
+    /// candidate verification). `0` auto-detects the available cores.
+    /// Results are bit-identical for every setting — see
+    /// [`crate::parallel`].
+    pub num_threads: usize,
 }
 
 impl HeraConfig {
@@ -58,6 +63,7 @@ impl HeraConfig {
             use_kuhn_munkres: true,
             prefix_filter: true,
             validate_index: false,
+            num_threads: 0,
         }
     }
 
@@ -87,6 +93,12 @@ impl HeraConfig {
     /// Enables per-iteration index-invariant validation (tests/debug).
     pub fn with_index_validation(mut self) -> Self {
         self.validate_index = true;
+        self
+    }
+
+    /// Sets the worker-thread count for the parallel stages (`0` = auto).
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
         self
     }
 }
@@ -122,9 +134,11 @@ mod tests {
         let c = HeraConfig::paper_example()
             .without_schema_voting()
             .with_greedy_matching()
-            .with_bound_mode(BoundMode::Paper);
+            .with_bound_mode(BoundMode::Paper)
+            .with_threads(4);
         assert!(!c.schema_voting);
         assert!(!c.use_kuhn_munkres);
         assert_eq!(c.bound_mode, BoundMode::Paper);
+        assert_eq!(c.num_threads, 4);
     }
 }

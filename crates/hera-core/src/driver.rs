@@ -83,6 +83,7 @@ impl Hera {
     pub fn join(&self, ds: &Dataset) -> Vec<hera_join::ValuePair> {
         let mut join_cfg = JoinConfig::new(self.config.xi);
         join_cfg.prefix_filter = self.config.prefix_filter;
+        join_cfg.num_threads = self.config.num_threads;
         SimilarityJoin::new(join_cfg, self.metric.as_ref()).join_dataset(ds)
     }
 
@@ -117,6 +118,8 @@ impl Hera {
             .collect();
         let mut voter = SchemaVoter::new();
         let verifier = InstanceVerifier::new(self.metric.as_ref(), cfg.xi, cfg.use_kuhn_munkres);
+        let threads = crate::parallel::effective_threads(cfg.num_threads);
+        stats.threads = threads;
 
         // ---- Lines 2–10: iterate until no two super records merge.
         //
@@ -163,8 +166,21 @@ impl Hera {
                 }
             }
 
-            // Lines 4–5: merge the directly-decided pairs.
+            // Lines 4–5: merge the directly-decided pairs. Like the
+            // candidate stage below, this runs as a parallel snapshot
+            // phase (A) followed by a sequential apply phase (B): the
+            // split is what keeps N-thread results bit-identical to the
+            // 1-thread run — threads never influence which state a
+            // verdict is computed from, only when.
+            //
+            // Phase A: deduplicate in pair order and verify the pairs
+            // still under their original roots against the round-start
+            // state. The rest fall through to the candidate stage —
+            // their exact bounds are stale (the conflict-free
+            // similar-field-pair argument no longer applies under merged
+            // roots), so they need a full verification.
             let mut processed: FxHashSet<(u32, u32)> = FxHashSet::default();
+            let mut direct_list: Vec<(u32, u32)> = Vec::new();
             for (i, j) in direct {
                 let (ri, rj) = (uf.find(i), uf.find(j));
                 if ri == rj {
@@ -174,42 +190,93 @@ impl Hera {
                 if !processed.insert(key) {
                     continue;
                 }
-                // The exact-bound case has a conflict-free similar-field-
-                // pair set whose greedy matching is the optimum; when the
-                // pair moved under other roots mid-iteration, fall through
-                // to a full verification instead of trusting stale bounds.
                 if (ri, rj) == (i.min(j), i.max(j)) {
-                    let v = self.verify_pair(&verifier, &index, &supers, ds, &voter, key.0, key.1);
-                    stats.simplified_nodes_sum += v.simplified_nodes;
-                    stats.graph_nodes_sum += v.graph_nodes;
-                    stats.matchings_run += 1;
-                    // Directly-decided similar pairs are just as much
-                    // evidence for schema matchings as verified ones: the
-                    // schema-based method consumes every field matching of
-                    // a pair judged to co-refer (§IV-B).
-                    if cfg.schema_voting {
-                        self.cast_votes(&mut voter, &supers, ds, key.0, key.1, &v.predicted);
-                        let fresh =
-                            voter.decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
-                        stats.schema_matchings_decided += fresh.len();
-                    }
-                    self.merge_pair(
-                        &mut index,
-                        &mut supers,
-                        &mut uf,
-                        key.0,
-                        key.1,
-                        &v.matching,
-                        &mut stats,
-                    );
-                    merged_any = true;
-                    merged_rids.insert(key.0);
+                    direct_list.push(key);
                 } else {
                     candidates.push(key);
                 }
             }
+            let td = Instant::now();
+            let direct_verifications = {
+                let (index, supers, voter) = (&index, &supers, &voter);
+                crate::parallel::par_map(threads, &direct_list, |&(a, b)| {
+                    self.verify_pair(&verifier, index, supers, ds, voter, a, b)
+                })
+            };
+            stats.verify_time += td.elapsed();
+            for v in &direct_verifications {
+                stats.simplified_nodes_sum += v.simplified_nodes;
+                stats.graph_nodes_sum += v.graph_nodes;
+                stats.matchings_run += 1;
+            }
 
-            // Lines 6–10: verify candidates, vote, merge.
+            // Phase B: merge in pair order. A pair re-rooted by an
+            // earlier merge in this phase falls through to the candidate
+            // stage; a pair whose super record grew (its root absorbed
+            // another record) gets re-verified against the current state
+            // so its field matching and votes are fresh.
+            let mut touched: FxHashSet<u32> = FxHashSet::default();
+            for (idx, &key) in direct_list.iter().enumerate() {
+                let (ri, rj) = (uf.find(key.0), uf.find(key.1));
+                if ri == rj {
+                    continue;
+                }
+                let cur = (ri.min(rj), ri.max(rj));
+                if cur != key {
+                    if processed.insert(cur) {
+                        candidates.push(cur);
+                    }
+                    continue;
+                }
+                let stale = touched.contains(&key.0) || touched.contains(&key.1);
+                let reverified;
+                let v = if stale {
+                    let t = Instant::now();
+                    reverified =
+                        self.verify_pair(&verifier, &index, &supers, ds, &voter, key.0, key.1);
+                    stats.verify_time += t.elapsed();
+                    stats.simplified_nodes_sum += reverified.simplified_nodes;
+                    stats.graph_nodes_sum += reverified.graph_nodes;
+                    stats.matchings_run += 1;
+                    &reverified
+                } else {
+                    &direct_verifications[idx]
+                };
+                // Directly-decided similar pairs are just as much
+                // evidence for schema matchings as verified ones: the
+                // schema-based method consumes every field matching of
+                // a pair judged to co-refer (§IV-B).
+                if cfg.schema_voting {
+                    self.cast_votes(&mut voter, &supers, ds, key.0, key.1, &v.predicted);
+                    let fresh =
+                        voter.decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
+                    stats.schema_matchings_decided += fresh.len();
+                }
+                self.merge_pair(
+                    &mut index,
+                    &mut supers,
+                    &mut uf,
+                    key.0,
+                    key.1,
+                    &v.matching,
+                    &mut stats,
+                );
+                merged_any = true;
+                merged_rids.insert(key.0);
+                touched.insert(key.0);
+                touched.insert(key.1);
+            }
+
+            // Lines 6–10: verify candidates, vote, merge — split into a
+            // parallel snapshot phase (A) and a sequential apply phase
+            // (B) so results are bit-identical for every thread count.
+            //
+            // Phase A: deduplicate candidate root-pairs in candidate
+            // order (thread-count independent) and verify each against
+            // the round's post-direct-phase state. Verification is
+            // read-only, so the verdicts can be computed on any number
+            // of workers without changing them.
+            let mut verify_list: Vec<(u32, u32)> = Vec::new();
             for (i, j) in candidates {
                 let (ri, rj) = (uf.find(i), uf.find(j));
                 if ri == rj {
@@ -219,15 +286,57 @@ impl Hera {
                 if !processed.insert(key) {
                     continue;
                 }
-                let v = self.verify_pair(&verifier, &index, &supers, ds, &voter, key.0, key.1);
+                verify_list.push(key);
+            }
+            let tv = Instant::now();
+            let verifications = {
+                let (index, supers, voter) = (&index, &supers, &voter);
+                crate::parallel::par_map(threads, &verify_list, |&(a, b)| {
+                    self.verify_pair(&verifier, index, supers, ds, voter, a, b)
+                })
+            };
+            stats.verify_time += tv.elapsed();
+            for v in &verifications {
                 stats.comparisons += 1;
                 stats.simplified_nodes_sum += v.simplified_nodes;
                 stats.graph_nodes_sum += v.graph_nodes;
                 stats.matchings_run += 1;
+            }
+
+            // Phase B: apply in candidate order. A merge earlier in this
+            // phase can re-root or grow a super record a later snapshot
+            // verdict was computed from; such stale pairs are re-verified
+            // sequentially against the current state, so the decisions
+            // match what a fully sequential pass would make.
+            let mut touched: FxHashSet<u32> = FxHashSet::default();
+            for (idx, &key) in verify_list.iter().enumerate() {
+                let (ri, rj) = (uf.find(key.0), uf.find(key.1));
+                if ri == rj {
+                    continue;
+                }
+                let cur = (ri.min(rj), ri.max(rj));
+                if cur != key && !processed.insert(cur) {
+                    continue;
+                }
+                let stale = cur != key || touched.contains(&cur.0) || touched.contains(&cur.1);
+                let reverified;
+                let v = if stale {
+                    let t = Instant::now();
+                    reverified =
+                        self.verify_pair(&verifier, &index, &supers, ds, &voter, cur.0, cur.1);
+                    stats.verify_time += t.elapsed();
+                    stats.comparisons += 1;
+                    stats.simplified_nodes_sum += reverified.simplified_nodes;
+                    stats.graph_nodes_sum += reverified.graph_nodes;
+                    stats.matchings_run += 1;
+                    &reverified
+                } else {
+                    &verifications[idx]
+                };
                 if v.sim >= cfg.delta {
                     // Line 9: schema-based method on the new predictions.
                     if cfg.schema_voting {
-                        self.cast_votes(&mut voter, &supers, ds, key.0, key.1, &v.predicted);
+                        self.cast_votes(&mut voter, &supers, ds, cur.0, cur.1, &v.predicted);
                         let fresh =
                             voter.decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
                         stats.schema_matchings_decided += fresh.len();
@@ -237,13 +346,15 @@ impl Hera {
                         &mut index,
                         &mut supers,
                         &mut uf,
-                        key.0,
-                        key.1,
+                        cur.0,
+                        cur.1,
                         &v.matching,
                         &mut stats,
                     );
                     merged_any = true;
-                    merged_rids.insert(key.0);
+                    merged_rids.insert(cur.0);
+                    touched.insert(cur.0);
+                    touched.insert(cur.1);
                 }
             }
 

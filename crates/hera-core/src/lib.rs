@@ -14,6 +14,9 @@
 //! * [`Hera`] — the iterative compare-and-merge driver (Algorithm 2) with
 //!   candidate generation, direct decisions, verification, merging, and
 //!   index maintenance;
+//! * [`parallel`] — the scoped worker pool behind the parallel join and
+//!   verification stages (deterministic: results are bit-identical for
+//!   every thread count);
 //! * [`RunStats`] — the counters behind Table II, Fig. 10 and Fig. 12.
 //!
 //! ```
@@ -32,6 +35,7 @@
 
 mod config;
 mod driver;
+pub mod parallel;
 mod session;
 mod stats;
 mod super_record;

@@ -1,0 +1,130 @@
+//! Scoped worker pool behind HERA's parallel stages.
+//!
+//! Both parallel stages of the pipeline — value-pair verification in the
+//! similarity join (`hera-join`) and candidate verification in the
+//! compare-and-merge rounds — are *maps over an immutable snapshot*: each
+//! work item is verified against state frozen at the start of the stage,
+//! and all mutation happens afterwards, sequentially, in a fixed order.
+//! That structure is what makes the results bit-identical for every
+//! thread count: threads only change *when* a verdict is computed, never
+//! *what* it is computed from, and [`par_map`] returns verdicts in input
+//! order regardless of scheduling.
+//!
+//! The pool is built on `std::thread::scope` — workers borrow the
+//! snapshot directly, no `'static` bounds, no channels, and the scope
+//! joins every worker before returning, so a panic in one worker
+//! propagates instead of poisoning later rounds.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Below this many items the spawn overhead outweighs the work; run the
+/// map inline instead.
+const MIN_PARALLEL_ITEMS: usize = 32;
+
+/// Work-stealing granularity: each thread claims blocks of roughly
+/// `len / (threads * BLOCKS_PER_THREAD)` items, so uneven verification
+/// costs (graph sizes vary wildly across record pairs) still balance.
+const BLOCKS_PER_THREAD: usize = 4;
+
+/// Resolves a requested worker count: `0` means "auto" (all available
+/// cores), anything else is taken literally. Always at least 1.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning the
+/// results **in input order**.
+///
+/// Scheduling is dynamic (workers steal fixed-size blocks off a shared
+/// counter) but the output is deterministic: position `i` of the result
+/// always holds `f(&items[i])`. With `threads <= 1`, or when `items` is
+/// too small to be worth spawning for, the map runs inline on the calling
+/// thread — the result is identical either way.
+pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 || items.len() < MIN_PARALLEL_ITEMS {
+        return items.iter().map(&f).collect();
+    }
+    let block = items.len().div_ceil(threads * BLOCKS_PER_THREAD).max(1);
+    let next = AtomicUsize::new(0);
+    let finished: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let start = next.fetch_add(block, Ordering::Relaxed);
+                if start >= items.len() {
+                    break;
+                }
+                let end = (start + block).min(items.len());
+                let out: Vec<U> = items[start..end].iter().map(&f).collect();
+                finished.lock().unwrap().push((start, out));
+            });
+        }
+    });
+    let mut blocks = finished.into_inner().unwrap();
+    blocks.sort_unstable_by_key(|&(start, _)| start);
+    let mut result = Vec::with_capacity(items.len());
+    for (_, out) in blocks {
+        result.extend(out);
+    }
+    debug_assert_eq!(result.len(), items.len());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_detect_is_positive() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(7), 7);
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 4, 8] {
+            assert_eq!(par_map(threads, &items, |&x| x * x), expected);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map(4, &[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn balances_uneven_work() {
+        // Costs skewed heavily toward the front of the input; order must
+        // survive dynamic scheduling.
+        let items: Vec<usize> = (0..2_000).collect();
+        let f = |&i: &usize| {
+            let spins = if i < 50 { 20_000 } else { 10 };
+            (0..spins).fold(i as u64, |a, b| a.wrapping_add(b))
+        };
+        let seq: Vec<u64> = items.iter().map(f).collect();
+        assert_eq!(par_map(4, &items, f), seq);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items: Vec<u32> = (0..40).collect();
+        let out = par_map(64, &items, |&x| x + 1);
+        assert_eq!(out, (1..41).collect::<Vec<u32>>());
+    }
+}

@@ -142,9 +142,18 @@ impl HeraSession {
 
     /// Runs compare-and-merge to a fixpoint over the dirty region.
     /// Returns the number of merges performed.
+    ///
+    /// Each iteration uses the same two-phase structure as the batch
+    /// driver: a parallel snapshot phase verifies every surviving
+    /// candidate root-pair against the iteration-start state, then a
+    /// sequential apply phase merges in candidate order, re-verifying
+    /// any pair whose super records changed under an earlier merge. The
+    /// resolved entities are bit-identical for every
+    /// [`HeraConfig::num_threads`] setting.
     pub fn resolve(&mut self) -> usize {
         let cfg = self.config.clone();
         let verifier = InstanceVerifier::new(self.metric.as_ref(), cfg.xi, cfg.use_kuhn_munkres);
+        let threads = crate::parallel::effective_threads(cfg.num_threads);
         let mut total = 0usize;
         let mut iterations = 0usize;
         while !self.dirty.is_empty() && iterations < cfg.max_iterations {
@@ -155,7 +164,12 @@ impl HeraSession {
                 .record_pairs()
                 .filter(|(i, j)| dirty.contains(i) || dirty.contains(j))
                 .collect();
+
+            // Phase A: dedup root-pairs in group order, prune by bounds,
+            // and verify the survivors in parallel against the
+            // iteration-start state (verification is read-only).
             let mut processed: FxHashSet<(u32, u32)> = FxHashSet::default();
+            let mut verify_list: Vec<(u32, u32)> = Vec::new();
             for (i, j) in groups {
                 let (ri, rj) = (self.uf.find(i), self.uf.find(j));
                 if ri == rj {
@@ -173,21 +187,51 @@ impl HeraSession {
                 if bounds.up < cfg.delta {
                     continue;
                 }
+                verify_list.push(key);
+            }
+            let verifications = {
+                let (index, supers, registry) = (&self.index, &self.supers, &self.registry);
                 let voter_opt = cfg.schema_voting.then_some(&self.voter);
-                let v = verifier.verify(
-                    &self.index,
-                    &self.supers[&key.0],
-                    &self.supers[&key.1],
-                    &self.registry,
-                    voter_opt,
-                );
+                crate::parallel::par_map(threads, &verify_list, |&(a, b)| {
+                    verifier.verify(index, &supers[&a], &supers[&b], registry, voter_opt)
+                })
+            };
+
+            // Phase B: apply sequentially in candidate order; stale
+            // verdicts (a side was merged earlier in this phase) are
+            // recomputed against the current state.
+            let mut touched: FxHashSet<u32> = FxHashSet::default();
+            for (idx, &key) in verify_list.iter().enumerate() {
+                let (ri, rj) = (self.uf.find(key.0), self.uf.find(key.1));
+                if ri == rj {
+                    continue;
+                }
+                let cur = (ri.min(rj), ri.max(rj));
+                if cur != key && !processed.insert(cur) {
+                    continue;
+                }
+                let stale = cur != key || touched.contains(&cur.0) || touched.contains(&cur.1);
+                let reverified;
+                let v = if stale {
+                    let voter_opt = cfg.schema_voting.then_some(&self.voter);
+                    reverified = verifier.verify(
+                        &self.index,
+                        &self.supers[&cur.0],
+                        &self.supers[&cur.1],
+                        &self.registry,
+                        voter_opt,
+                    );
+                    &reverified
+                } else {
+                    &verifications[idx]
+                };
                 if v.sim < cfg.delta {
                     continue;
                 }
                 if cfg.schema_voting {
                     for &(lf, rf, _) in &v.predicted {
-                        let left = &self.supers[&key.0];
-                        let right = &self.supers[&key.1];
+                        let left = &self.supers[&cur.0];
+                        let right = &self.supers[&cur.1];
                         // Collect votes before mutating.
                         let la = left.fields[lf as usize].attrs.clone();
                         let ra = right.fields[rf as usize].attrs.clone();
@@ -201,16 +245,18 @@ impl HeraSession {
                         .decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
                 }
                 // Merge.
-                let k = self.uf.union(key.0, key.1);
-                debug_assert_eq!(k, key.0);
-                let loser = self.supers.remove(&key.1).expect("loser exists");
-                let winner = self.supers.get_mut(&key.0).expect("winner exists");
+                let k = self.uf.union(cur.0, cur.1);
+                debug_assert_eq!(k, cur.0);
+                let loser = self.supers.remove(&cur.1).expect("loser exists");
+                let winner = self.supers.get_mut(&cur.0).expect("winner exists");
                 let matching: Vec<(u32, u32)> =
                     v.matching.iter().map(|&(l, r, _)| (l, r)).collect();
                 let remap = winner.absorb(&loser, &matching);
-                self.index.merge(key.0, key.1, k, |l| remap.apply(l));
-                self.join.relabel(key.0, key.1, |l| remap.apply(l));
+                self.index.merge(cur.0, cur.1, k, |l| remap.apply(l));
+                self.join.relabel(cur.0, cur.1, |l| remap.apply(l));
                 self.dirty.insert(k);
+                touched.insert(cur.0);
+                touched.insert(cur.1);
                 total += 1;
                 self.merges += 1;
             }

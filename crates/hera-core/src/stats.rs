@@ -35,6 +35,12 @@ pub struct RunStats {
     pub index_build_time: Duration,
     /// Wall-clock time of the iterative phase.
     pub resolve_time: Duration,
+    /// Wall-clock time spent verifying candidate pairs (the parallel
+    /// snapshot phase plus sequential re-verifications; a subset of
+    /// [`RunStats::resolve_time`]).
+    pub verify_time: Duration,
+    /// Worker threads used by the parallel stages.
+    pub threads: usize,
 }
 
 impl RunStats {
@@ -63,6 +69,28 @@ impl RunStats {
     pub fn total_time(&self) -> Duration {
         self.index_build_time + self.resolve_time
     }
+
+    /// Candidate-verification throughput: verified record pairs per
+    /// second of [`RunStats::verify_time`]. Zero when nothing ran.
+    pub fn verify_pairs_per_sec(&self) -> f64 {
+        let secs = self.verify_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.comparisons as f64 / secs
+        }
+    }
+
+    /// Index-construction throughput: indexed value pairs per second of
+    /// [`RunStats::index_build_time`]. Zero when nothing ran.
+    pub fn index_pairs_per_sec(&self) -> f64 {
+        let secs = self.index_build_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.index_size as f64 / secs
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,5 +114,21 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.total_time(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn throughput_helpers() {
+        let s = RunStats::default();
+        assert_eq!(s.verify_pairs_per_sec(), 0.0);
+        assert_eq!(s.index_pairs_per_sec(), 0.0);
+        let s = RunStats {
+            comparisons: 500,
+            verify_time: Duration::from_millis(250),
+            index_size: 1_000,
+            index_build_time: Duration::from_millis(100),
+            ..Default::default()
+        };
+        assert!((s.verify_pairs_per_sec() - 2_000.0).abs() < 1e-9);
+        assert!((s.index_pairs_per_sec() - 10_000.0).abs() < 1e-9);
     }
 }

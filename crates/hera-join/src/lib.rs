@@ -71,6 +71,11 @@ pub struct JoinConfig {
     /// Skip all filtering and verify every distinct-value pair —
     /// metric-agnostic ground truth, quadratic cost.
     pub all_pairs: bool,
+    /// Worker threads for candidate verification: `0` auto-detects from
+    /// the machine, `1` forces the sequential path. The output is
+    /// bit-identical for every setting (candidates are sharded in order
+    /// and the final sort's total tie-break fixes the order).
+    pub num_threads: usize,
 }
 
 impl JoinConfig {
@@ -82,6 +87,7 @@ impl JoinConfig {
             q: 2,
             prefix_filter: true,
             all_pairs: false,
+            num_threads: 0,
         }
     }
 
@@ -94,6 +100,12 @@ impl JoinConfig {
     /// Disables the prefix filter but keeps share-a-gram candidates.
     pub fn without_prefix_filter(mut self) -> Self {
         self.prefix_filter = false;
+        self
+    }
+
+    /// Sets the verification worker count (`0` = auto-detect).
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
         self
     }
 }
@@ -209,23 +221,27 @@ impl<'m> SimilarityJoin<'m> {
                 }
             }
         };
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        if candidates.len() >= 4096 && threads > 1 {
+        let threads = effective_threads(self.config.num_threads);
+        if candidates.len() >= MIN_PARALLEL_CANDIDATES && threads > 1 {
             let chunk_size = candidates.len().div_ceil(threads);
-            let results: Vec<Vec<ValuePair>> = crossbeam::thread::scope(|scope| {
+            let results: Vec<Vec<ValuePair>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = candidates
                     .chunks(chunk_size)
                     .map(|chunk| {
-                        scope.spawn(move |_| {
+                        scope.spawn(|| {
                             let mut local = Vec::new();
                             verify_chunk(chunk, &mut local);
                             local
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("join verification threads");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("join verification thread panicked"))
+                    .collect()
+            });
+            // Shards are appended in candidate order; the sort below then
+            // makes the output independent of the shard boundaries.
             for mut part in results {
                 out.append(&mut part);
             }
@@ -245,6 +261,19 @@ impl<'m> SimilarityJoin<'m> {
                 .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
         });
         out
+    }
+}
+
+/// Below this many candidates the sequential path wins (thread spawn and
+/// shard merge overhead dominate sub-millisecond verification work).
+const MIN_PARALLEL_CANDIDATES: usize = 1024;
+
+/// Resolves a requested worker count: `0` auto-detects from the machine.
+fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
     }
 }
 

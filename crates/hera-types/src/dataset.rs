@@ -2,11 +2,11 @@
 
 use crate::error::{HeraError, Result};
 use crate::ids::{CanonAttrId, EntityId, RecordId, SchemaId, SourceAttrId};
+use crate::json::Json;
 use crate::record::Record;
 use crate::schema::SchemaRegistry;
 use crate::value::Value;
 use rustc_hash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// Ground truth for a dataset.
 ///
@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 ///   denotes. This is the oracle schema matching: the evaluation's data
 ///   exchange step uses it, and the schema-based method's accuracy is
 ///   measured against it. HERA itself never reads it.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GroundTruth {
     entity_of: Vec<EntityId>,
     canon_of: Vec<CanonAttrId>,
@@ -98,10 +98,45 @@ impl GroundTruth {
             .map(|c| c.len() * (c.len() - 1) / 2)
             .sum()
     }
+
+    /// Encodes as JSON: `{"entity_of": [..], "canon_of": [..]}`.
+    pub fn to_json(&self) -> Json {
+        let ids = |v: &[u32]| Json::Arr(v.iter().map(|&i| Json::Int(i64::from(i))).collect());
+        Json::Obj(vec![
+            (
+                "entity_of".into(),
+                ids(&self.entity_of.iter().map(|e| e.raw()).collect::<Vec<_>>()),
+            ),
+            (
+                "canon_of".into(),
+                ids(&self.canon_of.iter().map(|c| c.raw()).collect::<Vec<_>>()),
+            ),
+        ])
+    }
+
+    /// Decodes from the representation produced by [`GroundTruth::to_json`].
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let entity_of = json
+            .expect("entity_of")?
+            .as_arr()?
+            .iter()
+            .map(|v| v.as_u32().map(EntityId::new))
+            .collect::<Result<Vec<_>>>()?;
+        let canon_of = json
+            .expect("canon_of")?
+            .as_arr()?
+            .iter()
+            .map(|v| v.as_u32().map(CanonAttrId::new))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            entity_of,
+            canon_of,
+        })
+    }
 }
 
 /// A heterogeneous (or homogeneous) record collection.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// Schema registry for all records.
     pub registry: SchemaRegistry,
@@ -146,15 +181,35 @@ impl Dataset {
 
     /// Serializes to pretty JSON (datagen export; not a hot path).
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self).map_err(|e| HeraError::Serialization(e.to_string()))
+        let tree = Json::Obj(vec![
+            ("registry".into(), self.registry.to_json()),
+            (
+                "records".into(),
+                Json::Arr(self.records.iter().map(Record::to_json).collect()),
+            ),
+            ("truth".into(), self.truth.to_json()),
+            ("name".into(), Json::Str(self.name.clone())),
+        ]);
+        Ok(tree.to_string_pretty())
     }
 
     /// Deserializes from JSON, rebuilding registry lookups.
     pub fn from_json(json: &str) -> Result<Self> {
-        let mut ds: Dataset =
-            serde_json::from_str(json).map_err(|e| HeraError::Serialization(e.to_string()))?;
-        ds.registry.rebuild_lookups();
-        Ok(ds)
+        let tree = crate::json::parse(json)?;
+        let mut registry = SchemaRegistry::from_json(tree.expect("registry")?)?;
+        registry.rebuild_lookups();
+        let records = tree
+            .expect("records")?
+            .as_arr()?
+            .iter()
+            .map(Record::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            registry,
+            records,
+            truth: GroundTruth::from_json(tree.expect("truth")?)?,
+            name: tree.expect("name")?.as_str()?.to_owned(),
+        })
     }
 }
 

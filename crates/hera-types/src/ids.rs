@@ -4,16 +4,12 @@
 //! value-pair index, following the perf guidance of using small integer keys
 //! in hot data structures.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u32);
 
         impl $name {
@@ -102,7 +98,7 @@ id_type!(
 ///
 /// `fid` indexes a field inside the (super) record; `vid` indexes a value
 /// inside that field (base records always have `vid == 0`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Label {
     /// Record id component.
     pub rid: u32,
@@ -123,6 +119,25 @@ impl Label {
     #[inline]
     pub const fn record(self) -> RecordId {
         RecordId(self.rid)
+    }
+
+    /// Encodes as a JSON object `{"rid": .., "fid": .., "vid": ..}`.
+    pub fn to_json(self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::Obj(vec![
+            ("rid".into(), Json::Int(i64::from(self.rid))),
+            ("fid".into(), Json::Int(i64::from(self.fid))),
+            ("vid".into(), Json::Int(i64::from(self.vid))),
+        ])
+    }
+
+    /// Decodes from the representation produced by [`Label::to_json`].
+    pub fn from_json(json: &crate::json::Json) -> crate::error::Result<Self> {
+        Ok(Self {
+            rid: json.expect("rid")?.as_u32()?,
+            fid: json.expect("fid")?.as_u32()?,
+            vid: json.expect("vid")?.as_u32()?,
+        })
     }
 }
 
@@ -167,10 +182,11 @@ mod tests {
     }
 
     #[test]
-    fn label_serde() {
+    fn label_json_roundtrip() {
         let l = Label::new(4, 1, 1);
-        let json = serde_json::to_string(&l).unwrap();
-        let back: Label = serde_json::from_str(&json).unwrap();
+        let json = l.to_json().to_string_compact();
+        assert_eq!(json, r#"{"rid":4,"fid":1,"vid":1}"#);
+        let back = Label::from_json(&crate::json::parse(&json).unwrap()).unwrap();
         assert_eq!(l, back);
     }
 }

@@ -29,6 +29,7 @@ mod csv;
 mod dataset;
 mod error;
 mod ids;
+pub mod json;
 mod record;
 mod schema;
 mod value;

@@ -1,8 +1,9 @@
 //! Base records.
 
+use crate::error::Result;
 use crate::ids::{RecordId, SchemaId};
+use crate::json::Json;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// A base record: one tuple under one source schema.
 ///
@@ -10,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// are the "simplest super record, where each field stores one value"
 /// (§II-A); `hera-core` lifts them into
 /// [`SuperRecord`](https://docs.rs/hera-core)s when HERA starts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Record {
     /// Dense record id within its dataset.
     pub id: RecordId,
@@ -41,6 +42,33 @@ impl Record {
     /// Iterates `(field position, value)` over non-null fields.
     pub fn present_fields(&self) -> impl Iterator<Item = (usize, &Value)> {
         self.values.iter().enumerate().filter(|(_, v)| !v.is_null())
+    }
+
+    /// Encodes as JSON: `{"id": .., "schema": .., "values": [..]}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), Json::Int(i64::from(self.id.raw()))),
+            ("schema".into(), Json::Int(i64::from(self.schema.raw()))),
+            (
+                "values".into(),
+                Json::Arr(self.values.iter().map(Value::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Decodes from the representation produced by [`Record::to_json`].
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let values = json
+            .expect("values")?
+            .as_arr()?
+            .iter()
+            .map(Value::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            id: RecordId::new(json.expect("id")?.as_u32()?),
+            schema: SchemaId::new(json.expect("schema")?.as_u32()?),
+            values,
+        })
     }
 }
 

@@ -1,10 +1,11 @@
 //! Source schemas and the schema registry.
 
+use crate::error::Result;
 use crate::ids::{SchemaId, SourceAttrId};
-use serde::{Deserialize, Serialize};
+use crate::json::Json;
 
 /// One attribute of a source schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SourceAttr {
     /// Globally unique id of this attribute.
     pub id: SourceAttrId,
@@ -14,7 +15,7 @@ pub struct SourceAttr {
 }
 
 /// A source schema: an ordered list of attributes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     /// Id of this schema.
     pub id: SchemaId,
@@ -48,14 +49,14 @@ impl Schema {
 /// The registry is the single authority for "which attribute is this" —
 /// every record's field positions resolve through it, and the schema-based
 /// method's votes are keyed by the `SourceAttrId`s it mints.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SchemaRegistry {
     schemas: Vec<Schema>,
-    /// Maps each `SourceAttrId` back to its owning schema.
-    #[serde(skip)]
+    /// Maps each `SourceAttrId` back to its owning schema. Derived; not
+    /// serialized — rebuilt via [`SchemaRegistry::rebuild_lookups`].
     attr_owner: Vec<SchemaId>,
     /// Maps each `SourceAttrId` to its position within its schema.
-    #[serde(skip)]
+    /// Derived; not serialized.
     attr_pos: Vec<u32>,
     next_attr: u32,
 }
@@ -148,6 +149,64 @@ impl SchemaRegistry {
         format!("{}.{}", schema.name, schema.attrs[pos].name)
     }
 
+    /// Encodes as JSON: `{"schemas": [..], "next_attr": n}`. The derived
+    /// lookup tables are omitted, matching the serde `skip` encoding of
+    /// earlier builds.
+    pub fn to_json(&self) -> Json {
+        let schemas = self
+            .schemas
+            .iter()
+            .map(|schema| {
+                let attrs = schema
+                    .attrs
+                    .iter()
+                    .map(|a| {
+                        Json::Obj(vec![
+                            ("id".into(), Json::Int(i64::from(a.id.raw()))),
+                            ("name".into(), Json::Str(a.name.clone())),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("id".into(), Json::Int(i64::from(schema.id.raw()))),
+                    ("name".into(), Json::Str(schema.name.clone())),
+                    ("attrs".into(), Json::Arr(attrs)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schemas".into(), Json::Arr(schemas)),
+            ("next_attr".into(), Json::Int(i64::from(self.next_attr))),
+        ])
+    }
+
+    /// Decodes from the representation produced by
+    /// [`SchemaRegistry::to_json`]. The derived lookup tables start empty;
+    /// call [`SchemaRegistry::rebuild_lookups`] before resolving attributes.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let mut schemas = Vec::new();
+        for s in json.expect("schemas")?.as_arr()? {
+            let mut attrs = Vec::new();
+            for a in s.expect("attrs")?.as_arr()? {
+                attrs.push(SourceAttr {
+                    id: SourceAttrId::new(a.expect("id")?.as_u32()?),
+                    name: a.expect("name")?.as_str()?.to_owned(),
+                });
+            }
+            schemas.push(Schema {
+                id: SchemaId::new(s.expect("id")?.as_u32()?),
+                name: s.expect("name")?.as_str()?.to_owned(),
+                attrs,
+            });
+        }
+        Ok(Self {
+            schemas,
+            attr_owner: Vec::new(),
+            attr_pos: Vec::new(),
+            next_attr: json.expect("next_attr")?.as_u32()?,
+        })
+    }
+
     /// Rebuilds the derived (non-serialized) lookup tables after
     /// deserialization.
     pub fn rebuild_lookups(&mut self) {
@@ -223,10 +282,10 @@ mod tests {
     }
 
     #[test]
-    fn rebuild_lookups_after_serde_roundtrip() {
+    fn rebuild_lookups_after_json_roundtrip() {
         let reg = registry_with_two();
-        let json = serde_json::to_string(&reg).unwrap();
-        let mut back: SchemaRegistry = serde_json::from_str(&json).unwrap();
+        let json = reg.to_json().to_string_compact();
+        let mut back = SchemaRegistry::from_json(&crate::json::parse(&json).unwrap()).unwrap();
         back.rebuild_lookups();
         let s1 = back.schema(SchemaId::new(1));
         let tel = s1.attrs[1].id;

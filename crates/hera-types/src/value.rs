@@ -1,6 +1,7 @@
 //! Attribute values.
 
-use serde::{Deserialize, Serialize};
+use crate::error::{HeraError, Result};
+use crate::json::Json;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -11,7 +12,7 @@ use std::fmt;
 /// concrete carrier those black boxes dispatch on. `Null` exists for the
 /// homogeneous datasets produced by data exchange, where target attributes
 /// with no source counterpart become labeled nulls.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// Free-form text (the dominant case; compared with q-gram Jaccard by
     /// default).
@@ -25,7 +26,7 @@ pub enum Value {
 }
 
 /// Discriminant of a [`Value`], used by similarity dispatch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueKind {
     /// String value.
     Str,
@@ -84,6 +85,39 @@ impl Value {
             Value::Int(i) => i.to_string(),
             Value::Float(f) => format!("{f}"),
             Value::Null => String::new(),
+        }
+    }
+
+    /// Encodes as externally tagged JSON — `{"Str": ..}`, `{"Int": ..}`,
+    /// `{"Float": ..}`, or the bare string `"Null"` — matching the format
+    /// earlier (serde-based) builds exported.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Value::Str(s) => Json::Obj(vec![("Str".into(), Json::Str(s.clone()))]),
+            Value::Int(i) => Json::Obj(vec![("Int".into(), Json::Int(*i))]),
+            Value::Float(f) => Json::Obj(vec![("Float".into(), Json::Float(*f))]),
+            Value::Null => Json::Str("Null".into()),
+        }
+    }
+
+    /// Decodes from the representation produced by [`Value::to_json`].
+    pub fn from_json(json: &Json) -> Result<Self> {
+        match json {
+            Json::Str(tag) if tag == "Null" => Ok(Value::Null),
+            Json::Obj(pairs) if pairs.len() == 1 => {
+                let (tag, payload) = &pairs[0];
+                match tag.as_str() {
+                    "Str" => Ok(Value::Str(payload.as_str()?.to_owned())),
+                    "Int" => Ok(Value::Int(payload.as_i64()?)),
+                    "Float" => Ok(Value::Float(payload.as_f64()?)),
+                    other => Err(HeraError::Serialization(format!(
+                        "unknown value tag {other:?}"
+                    ))),
+                }
+            }
+            _ => Err(HeraError::Serialization(
+                "expected a tagged value object or \"Null\"".into(),
+            )),
         }
     }
 
@@ -264,6 +298,22 @@ mod tests {
         assert_eq!(Value::from(2.5).as_number(), Some(2.5));
         assert_eq!(Value::from("2").as_number(), None);
         assert_eq!(Value::Null.as_number(), None);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_kind() {
+        for v in [
+            Value::from("a\"b"),
+            Value::from(-3i64),
+            Value::from(2.0),
+            Value::from(2.5),
+            Value::Null,
+        ] {
+            let json = v.to_json().to_string_compact();
+            let back = Value::from_json(&crate::json::parse(&json).unwrap()).unwrap();
+            assert_eq!(v.kind(), back.kind(), "{json}");
+            assert_eq!(v, back, "{json}");
+        }
     }
 
     #[test]

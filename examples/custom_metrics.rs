@@ -37,7 +37,12 @@ fn main() {
     // tuning δ/ξ per metric is exactly the knob the paper leaves to the
     // user.
     let stacks: Vec<(&str, TypeDispatch, f64, f64)> = vec![
-        ("2-gram Jaccard (paper default)", TypeDispatch::paper_default(), 0.5, 0.5),
+        (
+            "2-gram Jaccard (paper default)",
+            TypeDispatch::paper_default(),
+            0.5,
+            0.5,
+        ),
         (
             "3-gram Jaccard",
             TypeDispatch::paper_default().with_string_metric(Arc::new(QGramJaccard::new(3))),
@@ -64,8 +69,7 @@ fn main() {
         ),
         (
             "forgiving years (numeric scale 3)",
-            TypeDispatch::paper_default()
-                .with_numeric_metric(Arc::new(NumericProximity::new(3.0))),
+            TypeDispatch::paper_default().with_numeric_metric(Arc::new(NumericProximity::new(3.0))),
             0.5,
             0.5,
         ),

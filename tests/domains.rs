@@ -67,8 +67,13 @@ fn domains_are_deterministic_and_distinct() {
         .schemas()
         .flat_map(|s| s.attrs.iter().map(|x| x.name.clone()))
         .collect();
-    assert!(pub_names.iter().any(|n| n.contains("author") || n == "venue" || n == "conference"
-        || n == "booktitle" || n == "published_in" || n == "creator" || n == "lead_author"
+    assert!(pub_names.iter().any(|n| n.contains("author")
+        || n == "venue"
+        || n == "conference"
+        || n == "booktitle"
+        || n == "published_in"
+        || n == "creator"
+        || n == "lead_author"
         || n == "first_author"));
     assert_eq!(movies.truth.distinct_attr_count(), 16);
 }

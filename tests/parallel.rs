@@ -1,0 +1,83 @@
+//! Determinism of the parallel pipeline: every `num_threads` setting must
+//! produce bit-identical results — same joins, same entities, same
+//! counters — because parallelism only reschedules read-only snapshot
+//! verifications, never reorders decisions.
+
+use hera::{Hera, HeraConfig, ValuePairIndex};
+use hera_datagen::{CorruptionConfig, DatagenConfig, Generator};
+
+/// Seeded dataset big enough to exercise the parallel paths (the join
+/// parallelizes above ~1k candidate pairs; verification above 32).
+fn dataset() -> hera::Dataset {
+    Generator::new(DatagenConfig {
+        name: "parallel-test".into(),
+        seed: 4242,
+        n_records: 400,
+        n_entities: 60,
+        n_attrs: 12,
+        n_sources: 4,
+        min_source_attrs: 6,
+        max_source_attrs: 10,
+        corruption: CorruptionConfig::moderate(),
+        domain: Default::default(),
+    })
+    .generate()
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let ds = dataset();
+    let base = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(1)).run(&ds);
+    for threads in [2, 4] {
+        let r = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(threads)).run(&ds);
+        assert_eq!(base.entity_of, r.entity_of, "{threads} threads");
+        assert_eq!(base.stats.merges, r.stats.merges, "{threads} threads");
+        assert_eq!(base.stats.comparisons, r.stats.comparisons);
+        assert_eq!(base.stats.iterations, r.stats.iterations);
+        assert_eq!(base.stats.pruned, r.stats.pruned);
+        assert_eq!(
+            base.schema_matchings.len(),
+            r.schema_matchings.len(),
+            "{threads} threads"
+        );
+    }
+}
+
+#[test]
+fn auto_threads_match_explicit_single_thread() {
+    let ds = dataset();
+    let auto = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds); // 0 = auto
+    let one = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(1)).run(&ds);
+    assert_eq!(auto.entity_of, one.entity_of);
+    assert_eq!(auto.stats.merges, one.stats.merges);
+    assert!(auto.stats.threads >= 1);
+}
+
+#[test]
+fn parallel_join_is_bit_identical() {
+    let ds = dataset();
+    let seq = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(1)).join(&ds);
+    for threads in [2, 4, 8] {
+        let par = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(threads)).join(&ds);
+        assert_eq!(seq.len(), par.len(), "{threads} threads");
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.a, b.a);
+            assert_eq!(a.b, b.b);
+            assert_eq!(a.sim.to_bits(), b.sim.to_bits(), "{threads} threads");
+        }
+    }
+}
+
+#[test]
+fn parallel_built_index_passes_invariants() {
+    let ds = dataset();
+    let pairs = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(4)).join(&ds);
+    let index = ValuePairIndex::build(pairs);
+    index.check_invariants().unwrap();
+    // And the invariants survive a whole multi-threaded run.
+    let cfg = HeraConfig::new(0.5, 0.5)
+        .with_threads(4)
+        .with_index_validation();
+    let r = Hera::new(cfg).run(&ds);
+    assert!(r.stats.merges > 0);
+}

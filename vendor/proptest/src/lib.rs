@@ -1,0 +1,275 @@
+//! Minimal vendored property-testing harness, API-compatible with the
+//! subset of `proptest` 1.x this workspace uses.
+//!
+//! Differences from crates.io proptest, by design:
+//!
+//! * No shrinking — a failing case panics with the generated inputs in the
+//!   assertion message instead of a minimized counterexample.
+//! * Deterministic: cases are derived from a fixed seed per (test name,
+//!   case index), so CI failures always reproduce locally.
+//! * String strategies implement only the small regex subset the
+//!   workspace uses (char classes with ranges plus `{m,n}` / `*` / `+` /
+//!   `?` repetition).
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::Rng;
+    use rand_chacha::ChaCha8Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use rand::SeedableRng;
+
+        #[test]
+        fn lengths_respect_spec() {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let ranged = vec(0u32..5, 0..40);
+            let exact = vec(0u32..4, 5usize);
+            for _ in 0..100 {
+                let v = ranged.sample(&mut rng);
+                assert!(v.len() < 40);
+                assert!(v.iter().all(|&x| x < 5));
+                assert_eq!(exact.sample(&mut rng).len(), 5);
+            }
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod config {
+    /// Subset of proptest's config: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+}
+
+/// Runtime support for the [`proptest!`] macro.
+pub mod test_runner {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Deterministic per-case generator: seeded from the test's fully
+    /// qualified name and the case index, so every case reproduces.
+    pub fn case_rng(test_name: &str, case: u64) -> ChaCha8Rng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        ChaCha8Rng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// The strategy prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same value
+/// type (each arm is boxed).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests: each function runs its body over many
+/// generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::config::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::config::ProptestConfig = $cfg;
+            for case in 0..u64::from(config.cases) {
+                let mut __proptest_rng = $crate::test_runner::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $pat = $crate::strategy::Strategy::sample(
+                    &$strat,
+                    &mut __proptest_rng,
+                );)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_hold(x in 0..100u32, y in -3i64..=3, f in 0.0..1.0f64) {
+            prop_assert!(x < 100);
+            prop_assert!((-3..=3).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn any_and_map(seed in any::<u64>(), s in "[a-z]{1,8}") {
+            let doubled = (0..=1u8).prop_map(|b| u64::from(b) + seed / 2);
+            let _ = doubled;
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn oneof_covers_arms(pick in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert_eq!(pick, pick);
+            prop_assert_ne!(pick, 0);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        let s = 0..1_000_000u64;
+        let a: Vec<u64> = (0..10)
+            .map(|i| s.sample(&mut crate::test_runner::case_rng("t", i)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|i| s.sample(&mut crate::test_runner::case_rng("t", i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,360 @@
+//! Value-generation strategies.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut ChaCha8Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if no arms are given.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Mapped strategy (see [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut ChaCha8Rng) -> Self;
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generates unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut ChaCha8Rng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut ChaCha8Rng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut ChaCha8Rng) -> f64 {
+        // Finite values only: properties over similarities don't want NaN.
+        rng.gen_range(-1.0e12..1.0e12)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut ChaCha8Rng) -> f32 {
+        rng.gen_range(-1.0e6f32..1.0e6)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+// ---- The string-pattern strategy. ----------------------------------------
+//
+// `proptest` treats `&str` as a regex; this vendored subset supports the
+// patterns the workspace uses: literal characters, `[a-z0-9_]`-style
+// classes (with ranges), and the repetitions `{m}`, `{m,n}`, `*`, `+`,
+// `?` applied to the preceding atom.
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces: Vec<Piece> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            assert!(lo <= hi, "bad class range {lo}-{hi} in {pattern:?}");
+                            ranges.push((lo, hi));
+                        }
+                        Some(ch) => {
+                            if let Some(p) = prev.replace(ch) {
+                                ranges.push((p, p));
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    ranges.push((p, p));
+                }
+                assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition lower bound"),
+                        hi.trim().parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad repetition {min}..{max} in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut ChaCha8Rng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut pick = rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick).expect("class range yields chars");
+                }
+                pick -= span;
+            }
+            unreachable!("pick exceeded class total")
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let count = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let s = "[ -~]{0,24}";
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = s.sample(&mut r);
+            assert!(v.len() <= 24);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_repetitions() {
+        let mut r = rng();
+        assert_eq!("abc".sample(&mut r), "abc");
+        let v = "x{3}".sample(&mut r);
+        assert_eq!(v, "xxx");
+        let v = "[ab]+".sample(&mut r);
+        assert!(!v.is_empty() && v.chars().all(|c| c == 'a' || c == 'b'));
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let strat = crate::prop_oneof!["[0-9]{2}".prop_map(|s| s.len()), Just(7usize),];
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = strat.sample(&mut r);
+            assert!(v == 2 || v == 7);
+        }
+    }
+
+    #[test]
+    fn tuples_sample_componentwise() {
+        let mut r = rng();
+        let (a, b): (u32, f64) = (0..10u32, 0.0..1.0f64).sample(&mut r);
+        assert!(a < 10);
+        assert!((0.0..1.0).contains(&b));
+    }
+}

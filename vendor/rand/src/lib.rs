@@ -1,0 +1,279 @@
+//! Minimal vendored subset of the `rand` 0.8 API.
+//!
+//! Implements exactly the surface this workspace uses: [`RngCore`],
+//! [`Rng::gen_range`] / [`Rng::gen_bool`], [`SeedableRng`] (including the
+//! SplitMix64-based `seed_from_u64` default), and
+//! [`seq::SliceRandom::shuffle`] / [`seq::SliceRandom::choose`].
+//!
+//! Determinism is the only contract that matters to the workspace (seeded
+//! generators must reproduce the same datasets run over run); the exact
+//! output streams of crates.io `rand` are *not* reproduced.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods over an [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits to a uniform float in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// (the same construction crates.io rand uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Uniform sampling from range types.
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A type uniformly samplable between two bounds. The single blanket
+    /// [`SampleRange`] impl below mirrors crates.io rand's structure so
+    /// that integer-literal ranges unify with the call site's expected
+    /// type (`v[rng.gen_range(0..n)]` infers `usize`).
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Draws a sample in `[lo, hi)` (`hi` included when `inclusive`).
+        fn sample_between<R: RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    /// A range a value can be uniformly sampled from.
+    pub trait SampleRange<T> {
+        /// Draws one sample.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        #[inline]
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "empty range");
+            T::sample_between(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        #[inline]
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range");
+            T::sample_between(lo, hi, true, rng)
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: Self,
+                    hi: Self,
+                    _inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    lo + (unit_f64(rng.next_u64()) as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f32, f64);
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Picks a uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic generator for testing the trait plumbing.
+    struct XorShift(u64);
+
+    impl RngCore for XorShift {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = XorShift(0x1234_5678);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = XorShift(42);
+        assert!(!rng.gen_bool(0.0));
+        let heads = (0..100).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((20..=80).contains(&heads), "suspiciously biased: {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut rng = XorShift(7);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert!(v.as_slice().choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = XorShift(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
