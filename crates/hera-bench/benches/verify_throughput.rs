@@ -1,0 +1,100 @@
+//! Verify-stage throughput with the similarity memo cache cold, warm,
+//! and absent. The workload is a mid-resolution state (three ground-truth
+//! merge rounds in) where the forced-pair path dominates — the state the
+//! driver's later rounds actually verify from. `exp_verify` records the
+//! multi-round numbers in `results/BENCH_verify.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hera_bench::verify_workload::VerifyWorkload;
+use hera_core::{InstanceVerifier, SimCache, VerifyScratch};
+use hera_datagen::{CorruptionConfig, DatagenConfig, Generator};
+use hera_sim::{MongeElkan, TypeDispatch};
+use std::sync::Arc;
+
+const XI: f64 = 0.6;
+
+fn bench_verify(c: &mut Criterion) {
+    let ds = Generator::new(DatagenConfig {
+        name: "verify-bench".into(),
+        seed: 7,
+        n_records: 200,
+        n_entities: 10,
+        n_attrs: 14,
+        n_sources: 5,
+        min_source_attrs: 7,
+        max_source_attrs: 12,
+        corruption: CorruptionConfig::heavy(),
+        domain: Default::default(),
+    })
+    .generate();
+    let metric = TypeDispatch::paper_default().with_string_metric(Arc::new(MongeElkan::default()));
+    let verifier = InstanceVerifier::new(&metric, XI, true);
+    let mut w = VerifyWorkload::build(ds, XI, &metric);
+    let mut scratch = VerifyScratch::new();
+    let mut none = None;
+    for _ in 0..3 {
+        w.merge_truth_round(&verifier, &mut none, &mut scratch);
+    }
+    let list = w.candidates();
+
+    let mut g = c.benchmark_group("verify_throughput");
+    g.sample_size(10);
+
+    g.bench_function("uncached", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for &(i, j) in &list {
+                sum += verifier
+                    .verify_with(
+                        &w.index,
+                        &w.supers[&i],
+                        &w.supers[&j],
+                        &w.ds.registry,
+                        Some(&w.voter),
+                        None,
+                        &mut scratch,
+                    )
+                    .sim;
+            }
+            sum
+        });
+    });
+
+    // Warm cache: one priming sweep fills it, the measured sweeps hit.
+    let mut cache = SimCache::new();
+    for &(i, j) in &list {
+        verifier.verify_with(
+            &w.index,
+            &w.supers[&i],
+            &w.supers[&j],
+            &w.ds.registry,
+            Some(&w.voter),
+            Some(&cache),
+            &mut scratch,
+        );
+        cache.apply(&scratch.delta);
+    }
+    g.bench_function("cached_warm", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for &(i, j) in &list {
+                sum += verifier
+                    .verify_with(
+                        &w.index,
+                        &w.supers[&i],
+                        &w.supers[&j],
+                        &w.ds.registry,
+                        Some(&w.voter),
+                        Some(&cache),
+                        &mut scratch,
+                    )
+                    .sim;
+            }
+            sum
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

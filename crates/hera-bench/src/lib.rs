@@ -13,6 +13,8 @@ use hera_core::{Hera, HeraConfig, HeraResult};
 use hera_eval::PairMetrics;
 use hera_types::Dataset;
 
+pub mod verify_workload;
+
 /// The four Table I datasets, generation-cached per process.
 pub fn datasets() -> Vec<Dataset> {
     ["dm1", "dm2", "dm3", "dm4"]

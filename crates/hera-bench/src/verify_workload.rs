@@ -1,0 +1,143 @@
+//! A reproducible verify-stage workload for the memoization benches.
+//!
+//! The similarity memo cache earns its keep on *re-verification*: every
+//! compare-and-merge round sweeps the surviving candidate pairs again,
+//! and super records only grow, so most value-pair similarities were
+//! already computed the round before. This module replays that shape
+//! deterministically — sweep all candidate pairs, merge each entity's
+//! surviving roots pairwise along the ground truth, repeat — so
+//! `exp_verify` and the `verify_throughput` Criterion bench measure the
+//! same thing the driver's hot loop does, without the driver's
+//! thresholds hiding the stage behind candidate pruning.
+
+use hera_core::{InstanceVerifier, SchemaVoter, SimCache, SuperRecord, VerifyScratch};
+use hera_index::{UnionFind, ValuePairIndex};
+use hera_join::{JoinConfig, SimilarityJoin};
+use hera_sim::ValueSimilarity;
+use hera_types::{Dataset, RecordId, SourceAttrId};
+use rustc_hash::FxHashMap;
+
+/// Mid-resolution state: the value-pair index, the surviving super
+/// records, and a voter pre-seeded with the ground-truth attribute
+/// classes (so verification exercises the forced-pair path — the one
+/// that calls `metric.sim`).
+pub struct VerifyWorkload {
+    /// The generated dataset (kept for registry and ground truth).
+    pub ds: Dataset,
+    /// Value-pair index, maintained through the merges.
+    pub index: ValuePairIndex,
+    /// Surviving super records by root rid.
+    pub supers: FxHashMap<u32, SuperRecord>,
+    /// Union–find over record ids.
+    pub uf: UnionFind,
+    /// Voter with every true attribute pair decided.
+    pub voter: SchemaVoter,
+}
+
+impl VerifyWorkload {
+    /// Joins the dataset at `xi`, builds the index and singleton super
+    /// records, and decides every ground-truth attribute matching.
+    pub fn build(ds: Dataset, xi: f64, metric: &dyn ValueSimilarity) -> Self {
+        let pairs = SimilarityJoin::new(JoinConfig::new(xi), metric).join_dataset(&ds);
+        let index = ValuePairIndex::build(pairs);
+        let supers: FxHashMap<u32, SuperRecord> = ds
+            .iter()
+            .map(|r| (r.id.raw(), SuperRecord::from_record(&ds, r)))
+            .collect();
+        let uf = UnionFind::new(ds.len());
+        let mut voter = SchemaVoter::new();
+        let n_attrs = ds.registry.attr_count();
+        for a in 0..n_attrs as u32 {
+            for b in 0..n_attrs as u32 {
+                let (sa, sb) = (SourceAttrId::new(a), SourceAttrId::new(b));
+                if a != b
+                    && ds.registry.attr_schema(sa) != ds.registry.attr_schema(sb)
+                    && ds.truth.canon_of(sa) == ds.truth.canon_of(sb)
+                {
+                    for _ in 0..30 {
+                        voter.add_vote(&ds.registry, sa, sb);
+                    }
+                }
+            }
+        }
+        voter.decide(0.8, 0.6, 3);
+        Self {
+            ds,
+            index,
+            supers,
+            uf,
+            voter,
+        }
+    }
+
+    /// Surviving candidate pairs: index record pairs whose sides are
+    /// still distinct roots, in index order.
+    pub fn candidates(&mut self) -> Vec<(u32, u32)> {
+        let pairs: Vec<(u32, u32)> = self.index.record_pairs().collect();
+        pairs
+            .into_iter()
+            .filter(|&(i, j)| self.uf.find(i) != self.uf.find(j))
+            .collect()
+    }
+
+    /// One tree-reduction round along the ground truth: pairs up each
+    /// entity's surviving roots (ascending rid) and merges them, keeping
+    /// the index — and the cache, when given — consistent through the
+    /// same label remap. Returns `false` once every entity is a single
+    /// root.
+    pub fn merge_truth_round(
+        &mut self,
+        verifier: &InstanceVerifier,
+        cache: &mut Option<SimCache>,
+        scratch: &mut VerifyScratch,
+    ) -> bool {
+        let mut by_entity: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for rid in 0..self.ds.len() as u32 {
+            if self.uf.find(rid) == rid {
+                by_entity
+                    .entry(self.ds.truth.entity_of(RecordId::new(rid)).raw())
+                    .or_default()
+                    .push(rid);
+            }
+        }
+        let mut plan: Vec<(u32, u32)> = Vec::new();
+        for roots in by_entity.into_values() {
+            for pair in roots.chunks(2) {
+                if let [i, j] = *pair {
+                    plan.push((i.min(j), i.max(j)));
+                }
+            }
+        }
+        plan.sort_unstable();
+        let merged_any = !plan.is_empty();
+        for (i, j) in plan {
+            let v = verifier.verify_with(
+                &self.index,
+                &self.supers[&i],
+                &self.supers[&j],
+                &self.ds.registry,
+                Some(&self.voter),
+                cache.as_ref(),
+                scratch,
+            );
+            if let Some(c) = cache.as_mut() {
+                c.apply(&scratch.delta);
+            }
+            let k = self.uf.union(i, j);
+            let loser_rid = if k == i { j } else { i };
+            let loser = self.supers.remove(&loser_rid).expect("loser exists");
+            let winner = self.supers.get_mut(&k).expect("winner exists");
+            let m: Vec<(u32, u32)> = if k == i {
+                v.matching.iter().map(|&(l, r, _)| (l, r)).collect()
+            } else {
+                v.matching.iter().map(|&(l, r, _)| (r, l)).collect()
+            };
+            let remap = winner.absorb(&loser, &m);
+            self.index.merge(i, j, k, |l| remap.apply(l));
+            if let Some(c) = cache.as_mut() {
+                c.merge(i, j, k, |l| remap.apply(l));
+            }
+        }
+        merged_any
+    }
+}

@@ -17,7 +17,7 @@ USAGE:
                 [--name NAME] [--out FILE]
   hera-cli generate --preset <dm1|dm2|dm3|dm4> [--seed N] [--out FILE]
   hera-cli resolve  --input FILE [--delta 0.5] [--xi 0.5] [--threads N] [--labels FILE]
-                [--eval] [--matchings]
+                [--eval] [--matchings] [--no-sim-cache]
   hera-cli exchange --input FILE [--fraction 0.333] [--seed N] [--out FILE]
   hera-cli fuse     --input FILE --labels FILE [--fraction 1.0] [--seed N] [--out FILE]
   hera-cli baseline --input FILE --system <rswoosh|cc|cr> [--delta 0.5] [--xi 0.5] [--eval]
@@ -26,7 +26,9 @@ USAGE:
 
 Datasets are JSON (hera_types::Dataset). Labels are CSV `record_id,entity`.
 `--threads 0` (the default) auto-detects the cores; any setting yields
-bit-identical results.
+bit-identical results. `--no-sim-cache` disables the merge-aware similarity
+memo cache (results are bit-identical either way; the flag exists for
+baseline timing).
 ";
 
 /// Routes a parsed command line.
@@ -119,7 +121,11 @@ fn resolve(args: &Args) -> Result<(), String> {
     let delta = args.get_f64("delta", 0.5)?;
     let xi = args.get_f64("xi", 0.5)?;
     let threads = args.get_u64("threads", 0)? as usize;
-    let result = Hera::new(HeraConfig::new(delta, xi).with_threads(threads)).run(&ds);
+    let mut config = HeraConfig::new(delta, xi).with_threads(threads);
+    if args.has("no-sim-cache") {
+        config = config.without_sim_cache();
+    }
+    let result = Hera::new(config).run(&ds);
     eprintln!(
         "resolved {} records into {} entities ({} iterations, {} merges, {} threads, {:?})",
         ds.len(),
@@ -136,6 +142,22 @@ fn resolve(args: &Args) -> Result<(), String> {
         result.stats.verify_time,
         result.stats.verify_pairs_per_sec()
     );
+    if args.has("no-sim-cache") {
+        eprintln!(
+            "  sim cache: off · {} metric calls",
+            result.stats.metric_sim_calls
+        );
+    } else {
+        eprintln!(
+            "  sim cache: {} hits / {} misses ({:.0}% hit rate) · {} entries, {} invalidated · {} metric calls",
+            result.stats.sim_cache_hits,
+            result.stats.sim_cache_misses,
+            result.stats.sim_cache_hit_rate() * 100.0,
+            result.stats.sim_cache_size,
+            result.stats.sim_cache_invalidated,
+            result.stats.metric_sim_calls
+        );
+    }
     if args.has("eval") {
         let m = PairMetrics::score(&result.clusters(), &ds.truth);
         let (bp, br, bf) = bcubed(&result.clusters(), &ds.truth);

@@ -42,6 +42,11 @@ pub struct HeraConfig {
     /// Results are bit-identical for every setting — see
     /// [`crate::parallel`].
     pub num_threads: usize,
+    /// Memoize `metric.sim` results across rounds in a merge-aware cache
+    /// ([`crate::SimCache`]). Results are bit-identical on or off — the
+    /// cache stores exact metric outputs — so this is purely a speed
+    /// knob; disable to measure the uncached baseline.
+    pub sim_cache: bool,
 }
 
 impl HeraConfig {
@@ -64,6 +69,7 @@ impl HeraConfig {
             prefix_filter: true,
             validate_index: false,
             num_threads: 0,
+            sim_cache: true,
         }
     }
 
@@ -101,6 +107,12 @@ impl HeraConfig {
         self.num_threads = num_threads;
         self
     }
+
+    /// Disables the merge-aware similarity memo cache (baseline runs).
+    pub fn without_sim_cache(mut self) -> Self {
+        self.sim_cache = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -135,10 +147,13 @@ mod tests {
             .without_schema_voting()
             .with_greedy_matching()
             .with_bound_mode(BoundMode::Paper)
-            .with_threads(4);
+            .with_threads(4)
+            .without_sim_cache();
         assert!(!c.schema_voting);
         assert!(!c.use_kuhn_munkres);
         assert_eq!(c.bound_mode, BoundMode::Paper);
         assert_eq!(c.num_threads, 4);
+        assert!(!c.sim_cache);
+        assert!(HeraConfig::paper_example().sim_cache);
     }
 }

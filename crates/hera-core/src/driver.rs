@@ -1,9 +1,10 @@
 //! The HERA driver — Algorithm 2 (§V).
 
 use crate::config::HeraConfig;
+use crate::simcache::SimCache;
 use crate::stats::RunStats;
 use crate::super_record::SuperRecord;
-use crate::verify::InstanceVerifier;
+use crate::verify::{InstanceVerifier, VerifyScratch};
 use crate::voter::{DecidedMatching, SchemaVoter};
 use hera_index::{UnionFind, ValuePairIndex};
 use hera_join::{JoinConfig, SimilarityJoin};
@@ -120,6 +121,12 @@ impl Hera {
         let verifier = InstanceVerifier::new(self.metric.as_ref(), cfg.xi, cfg.use_kuhn_munkres);
         let threads = crate::parallel::effective_threads(cfg.num_threads);
         stats.threads = threads;
+        // Merge-aware similarity memo cache (read-only during the parallel
+        // snapshot phases; filled and invalidated in the sequential apply
+        // phases, so results stay bit-identical at every thread count).
+        let mut cache: Option<SimCache> = cfg.sim_cache.then(SimCache::new);
+        // Scratch for the sequential re-verifications of the apply phases.
+        let mut scratch = VerifyScratch::new();
 
         // ---- Lines 2–10: iterate until no two super records merge.
         //
@@ -137,6 +144,7 @@ impl Hera {
             stats.iterations += 1;
             let mut merged_any = false;
             let mut merged_rids: FxHashSet<u32> = FxHashSet::default();
+            let round_metric_calls_before = stats.metric_sim_calls;
 
             // Candidate generation (line 3): scan every record pair that
             // shares at least one similar value. Groups snapshot — merges
@@ -198,16 +206,33 @@ impl Hera {
             }
             let td = Instant::now();
             let direct_verifications = {
-                let (index, supers, voter) = (&index, &supers, &voter);
-                crate::parallel::par_map(threads, &direct_list, |&(a, b)| {
-                    self.verify_pair(&verifier, index, supers, ds, voter, a, b)
-                })
+                let (index, supers, voter, cache) = (&index, &supers, &voter, &cache);
+                crate::parallel::par_map_with(
+                    threads,
+                    &direct_list,
+                    VerifyScratch::new,
+                    |scratch, &(a, b)| {
+                        let v = self.verify_pair(
+                            &verifier,
+                            index,
+                            supers,
+                            ds,
+                            voter,
+                            cache.as_ref(),
+                            a,
+                            b,
+                            scratch,
+                        );
+                        (v, std::mem::take(&mut scratch.delta))
+                    },
+                )
             };
             stats.verify_time += td.elapsed();
-            for v in &direct_verifications {
+            for (v, delta) in &direct_verifications {
                 stats.simplified_nodes_sum += v.simplified_nodes;
                 stats.graph_nodes_sum += v.graph_nodes;
                 stats.matchings_run += 1;
+                stats.record_cache_delta(delta);
             }
 
             // Phase B: merge in pair order. A pair re-rooted by an
@@ -217,6 +242,16 @@ impl Hera {
             // so its field matching and votes are fresh.
             let mut touched: FxHashSet<u32> = FxHashSet::default();
             for (idx, &key) in direct_list.iter().enumerate() {
+                // Memoize the snapshot verdict's metric calls — even when
+                // the verdict itself goes stale below, its fills are exact
+                // metric outputs, so the sequential re-verification can
+                // reuse them. Fills naming a since-folded record are
+                // filtered out (only root labels stay valid across merges).
+                if let Some(c) = cache.as_mut() {
+                    c.apply_if(&direct_verifications[idx].1, |l| {
+                        uf.find_const(l.rid) == l.rid
+                    });
+                }
                 let (ri, rj) = (uf.find(key.0), uf.find(key.1));
                 if ri == rj {
                     continue;
@@ -232,22 +267,35 @@ impl Hera {
                 let reverified;
                 let v = if stale {
                     let t = Instant::now();
-                    reverified =
-                        self.verify_pair(&verifier, &index, &supers, ds, &voter, key.0, key.1);
+                    reverified = self.verify_pair(
+                        &verifier,
+                        &index,
+                        &supers,
+                        ds,
+                        &voter,
+                        cache.as_ref(),
+                        key.0,
+                        key.1,
+                        &mut scratch,
+                    );
                     stats.verify_time += t.elapsed();
                     stats.simplified_nodes_sum += reverified.simplified_nodes;
                     stats.graph_nodes_sum += reverified.graph_nodes;
                     stats.matchings_run += 1;
+                    stats.record_cache_delta(&scratch.delta);
+                    if let Some(c) = cache.as_mut() {
+                        c.apply(&scratch.delta);
+                    }
                     &reverified
                 } else {
-                    &direct_verifications[idx]
+                    &direct_verifications[idx].0
                 };
                 // Directly-decided similar pairs are just as much
                 // evidence for schema matchings as verified ones: the
                 // schema-based method consumes every field matching of
                 // a pair judged to co-refer (§IV-B).
                 if cfg.schema_voting {
-                    self.cast_votes(&mut voter, &supers, ds, key.0, key.1, &v.predicted);
+                    self.cast_votes(&mut voter, &supers, ds, key.0, key.1, v.predicted());
                     let fresh =
                         voter.decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
                     stats.schema_matchings_decided += fresh.len();
@@ -256,6 +304,7 @@ impl Hera {
                     &mut index,
                     &mut supers,
                     &mut uf,
+                    &mut cache,
                     key.0,
                     key.1,
                     &v.matching,
@@ -290,17 +339,34 @@ impl Hera {
             }
             let tv = Instant::now();
             let verifications = {
-                let (index, supers, voter) = (&index, &supers, &voter);
-                crate::parallel::par_map(threads, &verify_list, |&(a, b)| {
-                    self.verify_pair(&verifier, index, supers, ds, voter, a, b)
-                })
+                let (index, supers, voter, cache) = (&index, &supers, &voter, &cache);
+                crate::parallel::par_map_with(
+                    threads,
+                    &verify_list,
+                    VerifyScratch::new,
+                    |scratch, &(a, b)| {
+                        let v = self.verify_pair(
+                            &verifier,
+                            index,
+                            supers,
+                            ds,
+                            voter,
+                            cache.as_ref(),
+                            a,
+                            b,
+                            scratch,
+                        );
+                        (v, std::mem::take(&mut scratch.delta))
+                    },
+                )
             };
             stats.verify_time += tv.elapsed();
-            for v in &verifications {
+            for (v, delta) in &verifications {
                 stats.comparisons += 1;
                 stats.simplified_nodes_sum += v.simplified_nodes;
                 stats.graph_nodes_sum += v.graph_nodes;
                 stats.matchings_run += 1;
+                stats.record_cache_delta(delta);
             }
 
             // Phase B: apply in candidate order. A merge earlier in this
@@ -310,6 +376,11 @@ impl Hera {
             // match what a fully sequential pass would make.
             let mut touched: FxHashSet<u32> = FxHashSet::default();
             for (idx, &key) in verify_list.iter().enumerate() {
+                // Memoize this verdict's metric calls up front (filtered
+                // to still-root labels) — see the direct phase above.
+                if let Some(c) = cache.as_mut() {
+                    c.apply_if(&verifications[idx].1, |l| uf.find_const(l.rid) == l.rid);
+                }
                 let (ri, rj) = (uf.find(key.0), uf.find(key.1));
                 if ri == rj {
                     continue;
@@ -322,21 +393,34 @@ impl Hera {
                 let reverified;
                 let v = if stale {
                     let t = Instant::now();
-                    reverified =
-                        self.verify_pair(&verifier, &index, &supers, ds, &voter, cur.0, cur.1);
+                    reverified = self.verify_pair(
+                        &verifier,
+                        &index,
+                        &supers,
+                        ds,
+                        &voter,
+                        cache.as_ref(),
+                        cur.0,
+                        cur.1,
+                        &mut scratch,
+                    );
                     stats.verify_time += t.elapsed();
                     stats.comparisons += 1;
                     stats.simplified_nodes_sum += reverified.simplified_nodes;
                     stats.graph_nodes_sum += reverified.graph_nodes;
                     stats.matchings_run += 1;
+                    stats.record_cache_delta(&scratch.delta);
+                    if let Some(c) = cache.as_mut() {
+                        c.apply(&scratch.delta);
+                    }
                     &reverified
                 } else {
-                    &verifications[idx]
+                    &verifications[idx].0
                 };
                 if v.sim >= cfg.delta {
                     // Line 9: schema-based method on the new predictions.
                     if cfg.schema_voting {
-                        self.cast_votes(&mut voter, &supers, ds, cur.0, cur.1, &v.predicted);
+                        self.cast_votes(&mut voter, &supers, ds, cur.0, cur.1, v.predicted());
                         let fresh =
                             voter.decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
                         stats.schema_matchings_decided += fresh.len();
@@ -346,6 +430,7 @@ impl Hera {
                         &mut index,
                         &mut supers,
                         &mut uf,
+                        &mut cache,
                         cur.0,
                         cur.1,
                         &v.matching,
@@ -358,6 +443,10 @@ impl Hera {
                 }
             }
 
+            stats
+                .metric_calls_by_round
+                .push(stats.metric_sim_calls - round_metric_calls_before);
+
             if cfg.validate_index {
                 index.check_invariants().unwrap_or_else(|e| {
                     panic!(
@@ -365,6 +454,14 @@ impl Hera {
                         stats.iterations
                     )
                 });
+                if let Some(c) = &cache {
+                    c.check_invariants().unwrap_or_else(|e| {
+                        panic!(
+                            "sim-cache invariant broken after iteration {}: {e}",
+                            stats.iterations
+                        )
+                    });
+                }
             }
 
             if !merged_any {
@@ -374,6 +471,10 @@ impl Hera {
         }
 
         stats.final_index_size = index.len();
+        if let Some(c) = &cache {
+            stats.sim_cache_size = c.len();
+            stats.sim_cache_invalidated = c.invalidated();
+        }
         stats.resolve_time = t1.elapsed();
 
         // ---- Lines 11–12: entity labels via union–find.
@@ -393,11 +494,21 @@ impl Hera {
         supers: &FxHashMap<u32, SuperRecord>,
         ds: &Dataset,
         voter: &SchemaVoter,
+        cache: Option<&SimCache>,
         i: u32,
         j: u32,
+        scratch: &mut VerifyScratch,
     ) -> crate::verify::Verification {
         let voter_opt = self.config.schema_voting.then_some(voter);
-        verifier.verify(index, &supers[&i], &supers[&j], &ds.registry, voter_opt)
+        verifier.verify_with(
+            index,
+            &supers[&i],
+            &supers[&j],
+            &ds.registry,
+            voter_opt,
+            cache,
+            scratch,
+        )
     }
 
     /// Casts schema-matching votes for every attribute pair aggregated by
@@ -429,6 +540,7 @@ impl Hera {
         index: &mut ValuePairIndex,
         supers: &mut FxHashMap<u32, SuperRecord>,
         uf: &mut UnionFind,
+        cache: &mut Option<SimCache>,
         i: u32,
         j: u32,
         matching: &[(u32, u32, f64)],
@@ -442,6 +554,11 @@ impl Hera {
         let field_matching: Vec<(u32, u32)> = matching.iter().map(|&(l, r, _)| (l, r)).collect();
         let remap = winner.absorb(&loser, &field_matching);
         index.merge(i, j, k, |l| remap.apply(l));
+        // The memo cache survives the merge through the same remap: the
+        // (i, j) group is invalidated, third-party groups are re-homed.
+        if let Some(c) = cache.as_mut() {
+            c.merge(i, j, k, |l| remap.apply(l));
+        }
         stats.merges += 1;
     }
 }
@@ -552,6 +669,24 @@ mod tests {
         let cfg = HeraConfig::paper_example().with_index_validation();
         let result = Hera::new(cfg).run(&ds);
         assert_eq!(result.entity_count(), 2);
+    }
+
+    #[test]
+    fn sim_cache_does_not_change_results() {
+        let ds = motivating_example();
+        // validate_index also exercises SimCache::check_invariants after
+        // every iteration's merges.
+        let on = Hera::new(HeraConfig::paper_example().with_index_validation()).run(&ds);
+        let off = Hera::new(HeraConfig::paper_example().without_sim_cache()).run(&ds);
+        assert_eq!(on.entity_of, off.entity_of);
+        assert_eq!(on.stats.merges, off.stats.merges);
+        assert_eq!(on.stats.comparisons, off.stats.comparisons);
+        // The cache-off run never touches the cache…
+        assert_eq!(off.stats.sim_cache_hits + off.stats.sim_cache_misses, 0);
+        assert_eq!(off.stats.sim_cache_size, 0);
+        // …and never calls the metric more often than the uncached run.
+        assert!(on.stats.metric_sim_calls <= off.stats.metric_sim_calls);
+        assert_eq!(on.stats.metric_calls_by_round.len(), on.stats.iterations);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * [`parallel`] — the scoped worker pool behind the parallel join and
 //!   verification stages (deterministic: results are bit-identical for
 //!   every thread count);
+//! * [`SimCache`] — merge-aware memoization of `metric.sim` on the
+//!   verification hot path, invalidated/re-homed through the same label
+//!   remap the index uses, populated deterministically in the sequential
+//!   apply phase;
 //! * [`RunStats`] — the counters behind Table II, Fig. 10 and Fig. 12.
 //!
 //! ```
@@ -37,6 +41,7 @@ mod config;
 mod driver;
 pub mod parallel;
 mod session;
+mod simcache;
 mod stats;
 mod super_record;
 mod verify;
@@ -45,9 +50,10 @@ mod voter;
 pub use config::HeraConfig;
 pub use driver::{Hera, HeraResult};
 pub use session::HeraSession;
+pub use simcache::{SimCache, SimDelta};
 pub use stats::RunStats;
 pub use super_record::{Field, SuperRecord};
-pub use verify::{InstanceVerifier, Verification};
+pub use verify::{InstanceVerifier, Verification, VerifyScratch};
 pub use voter::{vote_error_bound, DecidedMatching, SchemaVoter};
 
 pub use hera_index::BoundMode;

@@ -51,23 +51,49 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    par_map_with(threads, items, || (), |(), item| f(item))
+}
+
+/// [`par_map`] with per-worker mutable scratch state.
+///
+/// `init` builds one fresh state per worker thread (one total on the inline
+/// path); `f` receives `&mut` access to its worker's state alongside each
+/// item. This is how the verification stage reuses allocation-heavy scratch
+/// buffers across items without sharing them across threads. The state must
+/// not influence results (scratch, caches of pure functions) — determinism
+/// still requires `f(&mut s, &items[i])` to equal `f(&mut fresh, &items[i])`
+/// for the output to be thread-count-invariant.
+pub fn par_map_with<T, U, S, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
     let threads = threads.clamp(1, items.len().max(1));
     if threads == 1 || items.len() < MIN_PARALLEL_ITEMS {
-        return items.iter().map(&f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let block = items.len().div_ceil(threads * BLOCKS_PER_THREAD).max(1);
     let next = AtomicUsize::new(0);
     let finished: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let start = next.fetch_add(block, Ordering::Relaxed);
-                if start >= items.len() {
-                    break;
+            s.spawn(|| {
+                let mut state = init();
+                loop {
+                    let start = next.fetch_add(block, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + block).min(items.len());
+                    let out: Vec<U> = items[start..end]
+                        .iter()
+                        .map(|item| f(&mut state, item))
+                        .collect();
+                    finished.lock().unwrap().push((start, out));
                 }
-                let end = (start + block).min(items.len());
-                let out: Vec<U> = items[start..end].iter().map(&f).collect();
-                finished.lock().unwrap().push((start, out));
             });
         }
     });
@@ -119,6 +145,31 @@ mod tests {
         };
         let seq: Vec<u64> = items.iter().map(f).collect();
         assert_eq!(par_map(4, &items, f), seq);
+    }
+
+    #[test]
+    fn par_map_with_reuses_worker_state() {
+        // State must be per-worker scratch, not shared: count how many
+        // inits ran and verify the map is still order-preserving.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..5_000).collect();
+        let out = par_map_with(
+            4,
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u64>::new()
+            },
+            |buf, &x| {
+                buf.clear();
+                buf.extend([x, x]);
+                buf.iter().sum::<u64>()
+            },
+        );
+        let expected: Vec<u64> = items.iter().map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+        assert!(inits.load(Ordering::Relaxed) <= 4);
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //!   schema-based method's intended long-run behavior.
 
 use crate::config::HeraConfig;
+use crate::simcache::SimCache;
 use crate::super_record::SuperRecord;
-use crate::verify::InstanceVerifier;
+use crate::verify::{InstanceVerifier, VerifyScratch};
 use crate::voter::{DecidedMatching, SchemaVoter};
 use hera_index::{UnionFind, ValuePairIndex};
 use hera_join::IncrementalJoin;
@@ -43,6 +44,11 @@ pub struct HeraSession {
     /// Records whose evidence changed since the last `resolve`.
     dirty: FxHashSet<u32>,
     merges: usize,
+    /// Merge-aware `metric.sim` memo cache; persists across `resolve`
+    /// calls, so a long-lived session keeps amortizing its metric work.
+    cache: Option<SimCache>,
+    /// Scratch for the sequential re-verifications of the apply phase.
+    scratch: VerifyScratch,
 }
 
 impl HeraSession {
@@ -55,6 +61,8 @@ impl HeraSession {
     pub fn with_metric(config: HeraConfig, metric: Arc<dyn ValueSimilarity>) -> Self {
         Self {
             join: IncrementalJoin::new(config.xi, 2, metric.clone()),
+            cache: config.sim_cache.then(SimCache::new),
+            scratch: VerifyScratch::new(),
             config,
             metric,
             registry: SchemaRegistry::new(),
@@ -190,11 +198,26 @@ impl HeraSession {
                 verify_list.push(key);
             }
             let verifications = {
-                let (index, supers, registry) = (&self.index, &self.supers, &self.registry);
+                let (index, supers, registry, cache) =
+                    (&self.index, &self.supers, &self.registry, &self.cache);
                 let voter_opt = cfg.schema_voting.then_some(&self.voter);
-                crate::parallel::par_map(threads, &verify_list, |&(a, b)| {
-                    verifier.verify(index, &supers[&a], &supers[&b], registry, voter_opt)
-                })
+                crate::parallel::par_map_with(
+                    threads,
+                    &verify_list,
+                    VerifyScratch::new,
+                    |scratch, &(a, b)| {
+                        let v = verifier.verify_with(
+                            index,
+                            &supers[&a],
+                            &supers[&b],
+                            registry,
+                            voter_opt,
+                            cache.as_ref(),
+                            scratch,
+                        );
+                        (v, std::mem::take(&mut scratch.delta))
+                    },
+                )
             };
 
             // Phase B: apply sequentially in candidate order; stale
@@ -202,6 +225,15 @@ impl HeraSession {
             // recomputed against the current state.
             let mut touched: FxHashSet<u32> = FxHashSet::default();
             for (idx, &key) in verify_list.iter().enumerate() {
+                // Memoize this snapshot verdict's metric calls up front,
+                // even if the verdict goes stale below — the fills are
+                // exact metric outputs, so the sequential re-verification
+                // reuses them. Fills naming a since-folded record are
+                // filtered out (only root labels stay valid across merges).
+                if let Some(c) = self.cache.as_mut() {
+                    let uf = &self.uf;
+                    c.apply_if(&verifications[idx].1, |l| uf.find_const(l.rid) == l.rid);
+                }
                 let (ri, rj) = (self.uf.find(key.0), self.uf.find(key.1));
                 if ri == rj {
                     continue;
@@ -214,22 +246,27 @@ impl HeraSession {
                 let reverified;
                 let v = if stale {
                     let voter_opt = cfg.schema_voting.then_some(&self.voter);
-                    reverified = verifier.verify(
+                    reverified = verifier.verify_with(
                         &self.index,
                         &self.supers[&cur.0],
                         &self.supers[&cur.1],
                         &self.registry,
                         voter_opt,
+                        self.cache.as_ref(),
+                        &mut self.scratch,
                     );
+                    if let Some(c) = self.cache.as_mut() {
+                        c.apply(&self.scratch.delta);
+                    }
                     &reverified
                 } else {
-                    &verifications[idx]
+                    &verifications[idx].0
                 };
                 if v.sim < cfg.delta {
                     continue;
                 }
                 if cfg.schema_voting {
-                    for &(lf, rf, _) in &v.predicted {
+                    for &(lf, rf, _) in v.predicted() {
                         let left = &self.supers[&cur.0];
                         let right = &self.supers[&cur.1];
                         // Collect votes before mutating.
@@ -253,6 +290,9 @@ impl HeraSession {
                     v.matching.iter().map(|&(l, r, _)| (l, r)).collect();
                 let remap = winner.absorb(&loser, &matching);
                 self.index.merge(cur.0, cur.1, k, |l| remap.apply(l));
+                if let Some(c) = self.cache.as_mut() {
+                    c.merge(cur.0, cur.1, k, |l| remap.apply(l));
+                }
                 self.join.relabel(cur.0, cur.1, |l| remap.apply(l));
                 self.dirty.insert(k);
                 touched.insert(cur.0);
@@ -292,6 +332,12 @@ impl HeraSession {
     /// Index size `|𝒱|` right now.
     pub fn index_size(&self) -> usize {
         self.index.len()
+    }
+
+    /// Entries currently held by the similarity memo cache (0 when the
+    /// cache is disabled via [`HeraConfig::sim_cache`]).
+    pub fn sim_cache_size(&self) -> usize {
+        self.cache.as_ref().map_or(0, SimCache::len)
     }
 
     /// Schema matchings decided so far.
@@ -460,6 +506,39 @@ mod tests {
                 .unwrap();
             session.resolve();
             session.index.check_invariants().unwrap();
+            if let Some(c) = &session.cache {
+                c.check_invariants().unwrap();
+            }
         }
+    }
+
+    #[test]
+    fn session_cache_on_off_agree() {
+        let ds = motivating_example();
+        let stream = |cfg: HeraConfig| {
+            let mut session = HeraSession::new(cfg);
+            let schemas: Vec<SchemaId> = ds
+                .registry
+                .schemas()
+                .map(|s| {
+                    session.add_schema(
+                        s.name.clone(),
+                        s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            for rec in ds.iter() {
+                session
+                    .add_record(schemas[rec.schema.index()], rec.values.clone())
+                    .unwrap();
+                session.resolve();
+            }
+            session
+        };
+        let mut cached = stream(HeraConfig::paper_example());
+        let mut uncached = stream(HeraConfig::paper_example().without_sim_cache());
+        assert_eq!(cached.clusters(), uncached.clusters());
+        assert_eq!(cached.merge_count(), uncached.merge_count());
+        assert_eq!(uncached.sim_cache_size(), 0);
     }
 }

@@ -41,6 +41,20 @@ pub struct RunStats {
     pub verify_time: Duration,
     /// Worker threads used by the parallel stages.
     pub threads: usize,
+    /// Similarity-cache lookups answered from the cache.
+    pub sim_cache_hits: u64,
+    /// Similarity-cache lookups that fell through to the metric.
+    pub sim_cache_misses: u64,
+    /// Cache entries invalidated or folded by merge maintenance.
+    pub sim_cache_invalidated: u64,
+    /// Entries held by the cache when the run finished.
+    pub sim_cache_size: usize,
+    /// Total `metric.sim` invocations on the verification path.
+    pub metric_sim_calls: u64,
+    /// `metric.sim` invocations per compare-and-merge iteration — with
+    /// the cache on, this should fall across rounds as re-verifications
+    /// hit memoized value pairs.
+    pub metric_calls_by_round: Vec<u64>,
 }
 
 impl RunStats {
@@ -81,6 +95,24 @@ impl RunStats {
         }
     }
 
+    /// Fraction of similarity-cache lookups answered from the cache.
+    /// Zero when no lookup happened (cache off or no forced-pair work).
+    pub fn sim_cache_hit_rate(&self) -> f64 {
+        let total = self.sim_cache_hits + self.sim_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.sim_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Folds one verification's cache traffic into the counters.
+    pub fn record_cache_delta(&mut self, delta: &crate::simcache::SimDelta) {
+        self.sim_cache_hits += delta.hits;
+        self.sim_cache_misses += delta.misses;
+        self.metric_sim_calls += delta.metric_calls;
+    }
+
     /// Index-construction throughput: indexed value pairs per second of
     /// [`RunStats::index_build_time`]. Zero when nothing ran.
     pub fn index_pairs_per_sec(&self) -> f64 {
@@ -114,6 +146,20 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.total_time(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn cache_hit_rate() {
+        let mut s = RunStats::default();
+        assert_eq!(s.sim_cache_hit_rate(), 0.0);
+        s.record_cache_delta(&crate::simcache::SimDelta {
+            fills: Vec::new(),
+            hits: 3,
+            misses: 1,
+            metric_calls: 1,
+        });
+        assert!((s.sim_cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.metric_sim_calls, 1);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Instance-based verification (§IV-A): record similarity without schema
 //! matchings.
 
+use crate::simcache::{SimCache, SimDelta};
 use crate::super_record::SuperRecord;
 use crate::voter::SchemaVoter;
-use hera_index::ValuePairIndex;
-use hera_matching::{greedy_matching, max_weight_matching, BipartiteGraph};
+use hera_index::{FieldPairSim, ValuePairIndex};
+use hera_matching::{
+    greedy_matching_into, max_weight_matching_into, BipartiteGraph, Edge, MatchScratch,
+};
 use hera_sim::ValueSimilarity;
-use hera_types::SchemaRegistry;
+use hera_types::{Label, SchemaRegistry};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Outcome of verifying one candidate record pair.
@@ -14,22 +17,35 @@ use rustc_hash::{FxHashMap, FxHashSet};
 pub struct Verification {
     /// `Sim(Rᵢ, Rⱼ)` per Definition 5.
     pub sim: f64,
-    /// The field matching set `ℱᵢⱼ` as `(left_fid, right_fid, simf)`,
-    /// forced pairs included. One-to-one.
+    /// The field matching set `ℱᵢⱼ` as `(left_fid, right_fid, simf)`.
+    /// One-to-one. Laid out as the forced pairs (first
+    /// [`forced_count`](Self::forced_count) entries) followed by the
+    /// matcher's predictions, each segment sorted by `(left, right)` —
+    /// [`Verification::predicted`] is a slice into this vector, not a
+    /// second allocation.
     pub matching: Vec<(u32, u32, f64)>,
-    /// The subset of `matching` produced by the matcher (not forced) —
-    /// these are the schema-matching *predictions* handed to the voter.
-    pub predicted: Vec<(u32, u32, f64)>,
     /// Nodes left after graph simplification (contributes to `m̄`).
     pub simplified_nodes: usize,
     /// Nodes of the bipartite graph *before* simplification (distinct
     /// fields covered by similar field pairs).
     pub graph_nodes: usize,
-    /// Field pairs injected by decided schema matchings.
+    /// Field pairs injected by decided schema matchings — the length of
+    /// the forced prefix of [`matching`](Self::matching).
     pub forced_count: usize,
 }
 
 impl Verification {
+    /// The field pairs injected by decided schema matchings.
+    pub fn forced(&self) -> &[(u32, u32, f64)] {
+        &self.matching[..self.forced_count]
+    }
+
+    /// The subset of `matching` produced by the matcher (not forced) —
+    /// these are the schema-matching *predictions* handed to the voter.
+    pub fn predicted(&self) -> &[(u32, u32, f64)] {
+        &self.matching[self.forced_count..]
+    }
+
     /// Renders a human-readable breakdown of the decision: which fields
     /// matched, under which attributes, at what similarity — the
     /// explanation a data steward reviewing a merge wants to see.
@@ -63,8 +79,8 @@ impl Verification {
                 .collect::<Vec<_>>()
                 .join(" / ")
         };
-        for &(lf, rf, s) in &self.matching {
-            let forced = !self.predicted.iter().any(|&(l, r, _)| l == lf && r == rf);
+        for (idx, &(lf, rf, s)) in self.matching.iter().enumerate() {
+            let forced = idx < self.forced_count;
             let lfield = &left.fields[lf as usize];
             let rfield = &right.fields[rf as usize];
             let _ = writeln!(
@@ -81,6 +97,36 @@ impl Verification {
         let denom = left.informative_size().min(right.informative_size()).max(1);
         let _ = writeln!(out, "  normalized by min(|R_i|, |R_j|) = {denom}");
         out
+    }
+}
+
+/// Reusable per-worker buffers for [`InstanceVerifier::verify_with`]: all
+/// intermediate state of one verification lives here, so the steady state
+/// allocates nothing per verified pair beyond the returned
+/// [`Verification::matching`] vector itself.
+#[derive(Debug, Default)]
+pub struct VerifyScratch {
+    field_pairs: Vec<FieldPairSim>,
+    sim_of: FxHashMap<(u32, u32), f64>,
+    cands: Vec<(f64, u32, u32)>,
+    forced: Vec<(u32, u32, f64)>,
+    forced_left: FxHashSet<u32>,
+    forced_right: FxHashSet<u32>,
+    graph: BipartiteGraph,
+    node_buf: Vec<u32>,
+    edges: Vec<Edge>,
+    matcher: MatchScratch,
+    /// Cache traffic recorded by the last `verify_with` call: fills to
+    /// apply (sequentially, if the verdict is used) plus hit/miss/metric
+    /// counters. Take it with [`std::mem::take`] before the next call.
+    pub delta: SimDelta,
+}
+
+impl VerifyScratch {
+    /// Creates empty scratch; buffers grow to the working-set size over
+    /// the first few verifications and are then reused.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -102,6 +148,20 @@ impl<'m> InstanceVerifier<'m> {
         }
     }
 
+    /// Computes `Sim(left, right)` (Definition 5) on fresh scratch, without
+    /// memoization. Convenience wrapper over [`InstanceVerifier::verify_with`].
+    pub fn verify(
+        &self,
+        index: &ValuePairIndex,
+        left: &SuperRecord,
+        right: &SuperRecord,
+        registry: &SchemaRegistry,
+        voter: Option<&SchemaVoter>,
+    ) -> Verification {
+        let mut scratch = VerifyScratch::new();
+        self.verify_with(index, left, right, registry, voter, None, &mut scratch)
+    }
+
     /// Computes `Sim(left, right)` (Definition 5).
     ///
     /// Pipeline (§IV-A): fetch the similar field pairs `𝒱′ᵢⱼ` from the
@@ -111,29 +171,43 @@ impl<'m> InstanceVerifier<'m> {
     /// remaining pairs as a maximum-weight bipartite matching (after
     /// simplification + component decomposition); accumulate and normalize
     /// by `min(|Rᵢ|, |Rⱼ|)` over informative fields.
-    pub fn verify(
+    ///
+    /// `cache` is consulted read-only for `metric.sim` results on the
+    /// forced-pair path; misses (and hit/miss/metric-call counts) are
+    /// recorded into `scratch.delta` for the caller to apply sequentially.
+    /// Cached values are exact metric outputs, so results are bit-identical
+    /// with the cache on or off.
+    #[allow(clippy::too_many_arguments)]
+    pub fn verify_with(
         &self,
         index: &ValuePairIndex,
         left: &SuperRecord,
         right: &SuperRecord,
         registry: &SchemaRegistry,
         voter: Option<&SchemaVoter>,
+        cache: Option<&SimCache>,
+        scratch: &mut VerifyScratch,
     ) -> Verification {
-        let field_pairs = index.similar_field_pairs(left.rid, right.rid);
+        scratch.delta.clear();
+        index.similar_field_pairs_into(left.rid, right.rid, &mut scratch.field_pairs);
 
         // ---- Forced pairs from decided schema matchings.
-        let mut forced: Vec<(u32, u32, f64)> = Vec::new();
-        let mut forced_left: FxHashSet<u32> = FxHashSet::default();
-        let mut forced_right: FxHashSet<u32> = FxHashSet::default();
+        scratch.forced.clear();
+        scratch.forced_left.clear();
+        scratch.forced_right.clear();
         if let Some(voter) = voter {
             // Candidate forced pairs: any (lf, rf) whose attribute
             // provenances contain a decided pair. simf comes from the
-            // index when available, else is computed directly.
-            let sim_of: FxHashMap<(u32, u32), f64> = field_pairs
-                .iter()
-                .map(|p| ((p.left_fid, p.right_fid), p.sim))
-                .collect();
-            let mut cands: Vec<(f64, u32, u32)> = Vec::new();
+            // index when available, else is computed directly (through
+            // the memo cache when one is supplied).
+            scratch.sim_of.clear();
+            scratch.sim_of.extend(
+                scratch
+                    .field_pairs
+                    .iter()
+                    .map(|p| ((p.left_fid, p.right_fid), p.sim)),
+            );
+            scratch.cands.clear();
             for (lf, lfield) in left.fields.iter().enumerate() {
                 for (rf, rfield) in right.fields.iter().enumerate() {
                     let decided = lfield.attrs.iter().any(|&a| {
@@ -145,55 +219,71 @@ impl<'m> InstanceVerifier<'m> {
                     if !decided {
                         continue;
                     }
-                    let s = sim_of
-                        .get(&(lf as u32, rf as u32))
-                        .copied()
-                        .unwrap_or_else(|| self.field_sim(lfield, rfield));
+                    let s = match scratch.sim_of.get(&(lf as u32, rf as u32)) {
+                        Some(&s) => s,
+                        None => self.field_sim(
+                            left.rid,
+                            lf as u32,
+                            lfield,
+                            right.rid,
+                            rf as u32,
+                            rfield,
+                            cache,
+                            &mut scratch.delta,
+                        ),
+                    };
                     if s > 0.0 {
-                        cands.push((s, lf as u32, rf as u32));
+                        scratch.cands.push((s, lf as u32, rf as u32));
                     }
                 }
             }
             // Keep forced pairs one-to-one, heaviest first.
-            cands.sort_unstable_by(|a, b| {
+            scratch.cands.sort_unstable_by(|a, b| {
                 b.0.partial_cmp(&a.0)
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
             });
-            for (s, lf, rf) in cands {
-                if !forced_left.contains(&lf) && !forced_right.contains(&rf) {
-                    forced_left.insert(lf);
-                    forced_right.insert(rf);
-                    forced.push((lf, rf, s));
+            for &(s, lf, rf) in scratch.cands.iter() {
+                if !scratch.forced_left.contains(&lf) && !scratch.forced_right.contains(&rf) {
+                    scratch.forced_left.insert(lf);
+                    scratch.forced_right.insert(rf);
+                    scratch.forced.push((lf, rf, s));
                 }
             }
+            scratch.forced.sort_unstable_by_key(|&(l, r, _)| (l, r));
         }
 
         // ---- Bipartite matching over the remaining similar field pairs.
-        let mut graph = BipartiteGraph::new();
-        for p in &field_pairs {
+        scratch.graph.clear();
+        for p in &scratch.field_pairs {
             if p.sim >= self.xi
-                && !forced_left.contains(&p.left_fid)
-                && !forced_right.contains(&p.right_fid)
+                && !scratch.forced_left.contains(&p.left_fid)
+                && !scratch.forced_right.contains(&p.right_fid)
             {
-                graph.add_edge(p.left_fid, p.right_fid, p.sim);
+                scratch.graph.add_edge(p.left_fid, p.right_fid, p.sim);
             }
         }
-        let graph_nodes = graph.left_count() + graph.right_count();
-        let solved = if self.use_kuhn_munkres {
-            max_weight_matching(&graph)
-        } else {
-            greedy_matching(&graph)
-        };
+        scratch.graph.left_nodes_into(&mut scratch.node_buf);
+        let mut graph_nodes = scratch.node_buf.len();
+        scratch.graph.right_nodes_into(&mut scratch.node_buf);
+        graph_nodes += scratch.node_buf.len();
 
-        let predicted: Vec<(u32, u32, f64)> = solved
-            .edges
-            .iter()
-            .map(|e| (e.left, e.right, e.weight))
-            .collect();
-        let mut matching = forced.clone();
-        matching.extend(predicted.iter().copied());
-        matching.sort_unstable_by_key(|&(l, r, _)| (l, r));
+        scratch.edges.clear();
+        let simplified_nodes = if self.use_kuhn_munkres {
+            max_weight_matching_into(&scratch.graph, &mut scratch.matcher, &mut scratch.edges)
+        } else {
+            greedy_matching_into(&scratch.graph, &mut scratch.matcher, &mut scratch.edges);
+            0
+        };
+        scratch.edges.sort_unstable_by_key(|e| (e.left, e.right));
+
+        // ---- Assemble the result: one allocation, forced prefix then
+        // predicted suffix; `predicted()` is a view, not a copy.
+        let forced_count = scratch.forced.len();
+        let mut matching: Vec<(u32, u32, f64)> =
+            Vec::with_capacity(forced_count + scratch.edges.len());
+        matching.extend_from_slice(&scratch.forced);
+        matching.extend(scratch.edges.iter().map(|e| (e.left, e.right, e.weight)));
 
         let total: f64 = matching.iter().map(|&(_, _, s)| s).sum();
         let denom = left.informative_size().min(right.informative_size()).max(1) as f64;
@@ -201,19 +291,55 @@ impl<'m> InstanceVerifier<'m> {
         Verification {
             sim: total / denom,
             matching,
-            predicted,
-            simplified_nodes: solved.simplified_nodes,
+            simplified_nodes,
             graph_nodes,
-            forced_count: forced.len(),
+            forced_count,
         }
     }
 
     /// Field similarity per Definition 3: max value-pair similarity.
-    fn field_sim(&self, a: &crate::super_record::Field, b: &crate::super_record::Field) -> f64 {
+    ///
+    /// Each value pair is looked up in `cache` (when present) by its label
+    /// pair before falling back to the metric; fallback results are pushed
+    /// into `delta.fills` for deferred, deterministic memoization.
+    #[allow(clippy::too_many_arguments)]
+    fn field_sim(
+        &self,
+        left_rid: u32,
+        left_fid: u32,
+        a: &crate::super_record::Field,
+        right_rid: u32,
+        right_fid: u32,
+        b: &crate::super_record::Field,
+        cache: Option<&SimCache>,
+        delta: &mut SimDelta,
+    ) -> f64 {
         let mut best = 0.0f64;
-        for va in &a.values {
-            for vb in &b.values {
-                let s = self.metric.sim(va, vb);
+        for (vai, va) in a.values.iter().enumerate() {
+            for (vbi, vb) in b.values.iter().enumerate() {
+                let s = match cache {
+                    Some(cache) => {
+                        let la = Label::new(left_rid, left_fid, vai as u32);
+                        let lb = Label::new(right_rid, right_fid, vbi as u32);
+                        match cache.get(la, lb) {
+                            Some(s) => {
+                                delta.hits += 1;
+                                s
+                            }
+                            None => {
+                                delta.misses += 1;
+                                delta.metric_calls += 1;
+                                let s = self.metric.sim(va, vb);
+                                delta.fills.push((la, lb, s));
+                                s
+                            }
+                        }
+                    }
+                    None => {
+                        delta.metric_calls += 1;
+                        self.metric.sim(va, vb)
+                    }
+                };
                 if s > best {
                     best = s;
                 }
@@ -341,12 +467,93 @@ mod tests {
         let v = verifier.verify(&index, &supers[0], &supers[5], &ds.registry, Some(&voter));
         assert!(v.forced_count >= 1);
         assert!(v.matching.iter().any(|&(l, r, _)| l == 0 && r == 0));
-        // Forced pairs are not re-predicted.
-        assert!(v.predicted.iter().all(|&(l, r, _)| !(l == 0 && r == 0)));
+        // Forced pairs are not re-predicted, and forced() holds them.
+        assert!(v.predicted().iter().all(|&(l, r, _)| !(l == 0 && r == 0)));
+        assert!(v.forced().iter().any(|&(l, r, _)| l == 0 && r == 0));
+        assert_eq!(v.forced().len() + v.predicted().len(), v.matching.len());
         // Similarity unchanged vs the unforced run (the matcher would have
         // picked name↔name anyway).
         let v0 = verifier.verify(&index, &supers[0], &supers[5], &ds.registry, None);
         assert!((v.sim - v0.sim).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_verify_is_bit_identical_and_hits() {
+        let (ds, index, supers) = setup(0.5);
+        let metric = TypeDispatch::paper_default();
+        let verifier = InstanceVerifier::new(&metric, 0.5, true);
+
+        // Force the voter path so field_sim actually runs (index pairs at
+        // ξ=0.5 miss the dissimilar cross products).
+        let name1 = ds.attr_of_field(hera_types::RecordId::new(0), 0);
+        let name3 = ds.attr_of_field(hera_types::RecordId::new(5), 0);
+        let mut voter = SchemaVoter::new();
+        for _ in 0..20 {
+            voter.add_vote(&ds.registry, name1, name3);
+        }
+        assert!(!voter.decide(0.8, 0.6, 3).is_empty());
+
+        let mut scratch = VerifyScratch::new();
+        let mut cache = SimCache::new();
+
+        let plain = verifier.verify(&index, &supers[0], &supers[5], &ds.registry, Some(&voter));
+        let first = verifier.verify_with(
+            &index,
+            &supers[0],
+            &supers[5],
+            &ds.registry,
+            Some(&voter),
+            Some(&cache),
+            &mut scratch,
+        );
+        assert_eq!(plain.sim.to_bits(), first.sim.to_bits());
+        assert_eq!(plain.matching, first.matching);
+        let first_misses = scratch.delta.misses;
+        cache.apply(&scratch.delta);
+        cache.check_invariants().unwrap();
+
+        let second = verifier.verify_with(
+            &index,
+            &supers[0],
+            &supers[5],
+            &ds.registry,
+            Some(&voter),
+            Some(&cache),
+            &mut scratch,
+        );
+        assert_eq!(first.sim.to_bits(), second.sim.to_bits());
+        assert_eq!(first.matching, second.matching);
+        assert_eq!(scratch.delta.misses, 0, "second pass must be all hits");
+        assert_eq!(scratch.delta.hits, first_misses);
+        assert_eq!(scratch.delta.metric_calls, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_pairs_is_clean() {
+        let (ds, index, supers) = setup(0.5);
+        let metric = TypeDispatch::paper_default();
+        let verifier = InstanceVerifier::new(&metric, 0.5, true);
+        let mut scratch = VerifyScratch::new();
+        // Drive one scratch across every record pair and compare against
+        // fresh-scratch verification.
+        for i in 0..supers.len() {
+            for j in (i + 1)..supers.len() {
+                let reused = verifier.verify_with(
+                    &index,
+                    &supers[i],
+                    &supers[j],
+                    &ds.registry,
+                    None,
+                    None,
+                    &mut scratch,
+                );
+                let fresh = verifier.verify(&index, &supers[i], &supers[j], &ds.registry, None);
+                assert_eq!(fresh.sim.to_bits(), reused.sim.to_bits(), "pair {i},{j}");
+                assert_eq!(fresh.matching, reused.matching, "pair {i},{j}");
+                assert_eq!(fresh.graph_nodes, reused.graph_nodes);
+                assert_eq!(fresh.simplified_nodes, reused.simplified_nodes);
+            }
+        }
     }
 
     #[test]

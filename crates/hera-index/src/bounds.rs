@@ -58,6 +58,15 @@ impl Bounds {
 /// output preserves that descending order.
 pub fn refined_field_set(group: &[ValuePair]) -> Vec<FieldPairSim> {
     let mut out: Vec<FieldPairSim> = Vec::with_capacity(group.len().min(16));
+    refined_field_set_into(group, &mut out);
+    out
+}
+
+/// [`refined_field_set`] into a caller buffer: `out` is cleared and
+/// refilled, so a reused buffer makes the hottest candidate-generation
+/// loop allocation-free.
+pub fn refined_field_set_into(group: &[ValuePair], out: &mut Vec<FieldPairSim>) {
+    out.clear();
     // Hybrid dedupe: linear scan for the common small groups (index groups
     // typically hold a handful of entries — this is the hottest loop of
     // candidate generation), hash set beyond that.
@@ -92,7 +101,6 @@ pub fn refined_field_set(group: &[ValuePair]) -> Vec<FieldPairSim> {
         out.windows(2).all(|w| w[0].sim >= w[1].sim - 1e-12),
         "refined set must stay similarity-descending"
     );
-    out
 }
 
 /// Computes `Up` / `Low` from a refined field set and the two record sizes

@@ -1,6 +1,8 @@
 //! The production value-pair index: grouped, ordered, and maintainable.
 
-use crate::bounds::{compute_bounds, refined_field_set, BoundMode, Bounds, FieldPairSim};
+use crate::bounds::{
+    compute_bounds, refined_field_set, refined_field_set_into, BoundMode, Bounds, FieldPairSim,
+};
 use hera_join::ValuePair;
 use hera_types::Label;
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -106,19 +108,22 @@ impl ValuePairIndex {
     /// record pair with their field similarities (the verification step's
     /// input, §IV-A Step 1).
     pub fn similar_field_pairs(&self, i: u32, j: u32) -> Vec<FieldPairSim> {
+        let mut out = Vec::new();
+        self.similar_field_pairs_into(i, j, &mut out);
+        out
+    }
+
+    /// [`ValuePairIndex::similar_field_pairs`] into a caller buffer: `out`
+    /// is cleared and refilled, so the verifier's per-pair lookup reuses
+    /// one allocation across its whole run.
+    pub fn similar_field_pairs_into(&self, i: u32, j: u32, out: &mut Vec<FieldPairSim>) {
         let group = self.group(i, j);
-        if i < j {
-            refined_field_set(group)
-        } else {
-            // Caller views `i` as the left record: swap sides.
-            refined_field_set(group)
-                .into_iter()
-                .map(|p| FieldPairSim {
-                    left_fid: p.right_fid,
-                    right_fid: p.left_fid,
-                    sim: p.sim,
-                })
-                .collect()
+        refined_field_set_into(group, out);
+        if i > j {
+            // Caller views `i` as the left record: swap sides in place.
+            for p in out.iter_mut() {
+                std::mem::swap(&mut p.left_fid, &mut p.right_fid);
+            }
         }
     }
 

@@ -28,7 +28,7 @@ mod flat;
 mod index;
 mod union_find;
 
-pub use bounds::{BoundMode, Bounds, FieldPairSim};
+pub use bounds::{refined_field_set_into, BoundMode, Bounds, FieldPairSim};
 pub use flat::FlatIndex;
 pub use index::{IndexStats, ValuePairIndex};
 pub use union_find::UnionFind;

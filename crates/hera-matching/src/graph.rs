@@ -46,6 +46,12 @@ impl BipartiteGraph {
         }
     }
 
+    /// Removes every edge but keeps the allocated capacity, so a graph can
+    /// be rebuilt per verification without reallocating (scratch reuse).
+    pub fn clear(&mut self) {
+        self.edges.clear();
+    }
+
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
         self.edges.len()
@@ -58,33 +64,52 @@ impl BipartiteGraph {
 
     /// All edges in deterministic `(left, right)` order.
     pub fn edges(&self) -> Vec<Edge> {
-        let mut out: Vec<Edge> = self
-            .edges
-            .iter()
-            .map(|(&(left, right), &weight)| Edge {
-                left,
-                right,
-                weight,
-            })
-            .collect();
-        out.sort_unstable_by_key(|e| (e.left, e.right));
+        let mut out = Vec::new();
+        self.edges_into(&mut out);
         out
+    }
+
+    /// Fills `out` with all edges in deterministic `(left, right)` order,
+    /// replacing its previous contents. Allocation-free once `out` has
+    /// grown to the working-set size.
+    pub fn edges_into(&self, out: &mut Vec<Edge>) {
+        out.clear();
+        out.extend(self.edges.iter().map(|(&(left, right), &weight)| Edge {
+            left,
+            right,
+            weight,
+        }));
+        out.sort_unstable_by_key(|e| (e.left, e.right));
     }
 
     /// Distinct left node ids, ascending.
     pub fn left_nodes(&self) -> Vec<u32> {
-        let mut ls: Vec<u32> = self.edges.keys().map(|&(l, _)| l).collect();
-        ls.sort_unstable();
-        ls.dedup();
+        let mut ls = Vec::new();
+        self.left_nodes_into(&mut ls);
         ls
+    }
+
+    /// Fills `out` with the distinct left node ids, ascending.
+    pub fn left_nodes_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.edges.keys().map(|&(l, _)| l));
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Distinct right node ids, ascending.
     pub fn right_nodes(&self) -> Vec<u32> {
-        let mut rs: Vec<u32> = self.edges.keys().map(|&(_, r)| r).collect();
-        rs.sort_unstable();
-        rs.dedup();
+        let mut rs = Vec::new();
+        self.right_nodes_into(&mut rs);
         rs
+    }
+
+    /// Fills `out` with the distinct right node ids, ascending.
+    pub fn right_nodes_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.edges.keys().map(|&(_, r)| r));
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Number of distinct left nodes (`|X|`).

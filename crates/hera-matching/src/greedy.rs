@@ -1,7 +1,7 @@
 //! Greedy maximal matching — a fast 2-approximation.
 
-use crate::graph::{BipartiteGraph, Matching};
-use rustc_hash::FxHashSet;
+use crate::graph::{BipartiteGraph, Edge, Matching};
+use crate::scratch::MatchScratch;
 
 /// Builds a maximal matching by scanning edges in descending weight order
 /// and keeping each edge whose endpoints are still free.
@@ -14,24 +14,34 @@ use rustc_hash::FxHashSet;
 ///
 /// Ties are broken by `(left, right)` so results are deterministic.
 pub fn greedy_matching(graph: &BipartiteGraph) -> Matching {
-    let mut edges = graph.edges();
-    edges.sort_unstable_by(|a, b| {
+    let mut picked: Vec<Edge> = Vec::new();
+    greedy_matching_into(graph, &mut MatchScratch::new(), &mut picked);
+    Matching::from_edges(picked)
+}
+
+/// [`greedy_matching`] on caller-provided scratch: **appends** the picked
+/// edges to `out` in descending-weight pick order without allocating.
+pub fn greedy_matching_into(
+    graph: &BipartiteGraph,
+    scratch: &mut MatchScratch,
+    out: &mut Vec<Edge>,
+) {
+    graph.edges_into(&mut scratch.edges);
+    scratch.edges.sort_unstable_by(|a, b| {
         b.weight
             .partial_cmp(&a.weight)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| (a.left, a.right).cmp(&(b.left, b.right)))
     });
-    let mut used_l: FxHashSet<u32> = FxHashSet::default();
-    let mut used_r: FxHashSet<u32> = FxHashSet::default();
-    let mut picked = Vec::new();
-    for e in edges {
-        if !used_l.contains(&e.left) && !used_r.contains(&e.right) {
-            used_l.insert(e.left);
-            used_r.insert(e.right);
-            picked.push(e);
+    scratch.used_l.clear();
+    scratch.used_r.clear();
+    for &e in &scratch.edges {
+        if !scratch.used_l.contains(&e.left) && !scratch.used_r.contains(&e.right) {
+            scratch.used_l.insert(e.left);
+            scratch.used_r.insert(e.right);
+            out.push(e);
         }
     }
-    Matching::from_edges(picked)
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! matching, `O(n³)`.
 
 use crate::graph::{BipartiteGraph, Edge, Matching};
+use crate::scratch::{KmScratch, MatchScratch};
 
 /// Solves maximum-weight matching on `graph` exactly.
 ///
@@ -13,81 +14,109 @@ use crate::graph::{BipartiteGraph, Edge, Matching};
 /// matrix. Zero-weight assignments (dummies / non-edges) are dropped from
 /// the returned [`Matching`], so only genuine field pairs appear.
 pub fn kuhn_munkres(graph: &BipartiteGraph) -> Matching {
-    let lefts = graph.left_nodes();
-    let rights = graph.right_nodes();
-    if lefts.is_empty() || rights.is_empty() {
-        return Matching::default();
+    kuhn_munkres_with(graph, &mut MatchScratch::new())
+}
+
+/// [`kuhn_munkres`] on caller-provided scratch: identical result, no
+/// per-call allocation of the cost matrix or potential arrays.
+pub fn kuhn_munkres_with(graph: &BipartiteGraph, scratch: &mut MatchScratch) -> Matching {
+    let mut edges: Vec<Edge> = Vec::new();
+    km_into(graph, &mut scratch.km, &mut edges);
+    Matching::from_edges(edges)
+}
+
+/// The scratch-backed solver core. **Appends** matched edges to `out` in
+/// column order of the internal assignment (deterministic for a given
+/// graph, but not sorted) — callers wanting `(left, right)` order sort
+/// afterwards.
+pub(crate) fn km_into(graph: &BipartiteGraph, s: &mut KmScratch, out: &mut Vec<Edge>) {
+    graph.left_nodes_into(&mut s.lefts);
+    graph.right_nodes_into(&mut s.rights);
+    if s.lefts.is_empty() || s.rights.is_empty() {
+        return;
     }
 
     // Rows must be the smaller side for the assignment solver.
-    let transpose = lefts.len() > rights.len();
-    let (rows, cols) = if transpose {
-        (rights.clone(), lefts.clone())
+    let transpose = s.lefts.len() > s.rights.len();
+    let (n, m) = if transpose {
+        (s.rights.len(), s.lefts.len())
     } else {
-        (lefts.clone(), rights.clone())
+        (s.lefts.len(), s.rights.len())
     };
-    let n = rows.len();
-    let m = cols.len();
+    // `(left, right)` node ids of the cell at row i, column j (1-indexed).
+    let cell = |s: &KmScratch, i: usize, j: usize| -> (u32, u32) {
+        if transpose {
+            (s.lefts[j - 1], s.rights[i - 1])
+        } else {
+            (s.lefts[i - 1], s.rights[j - 1])
+        }
+    };
 
     // Cost matrix (minimization): cost = -weight; absent edges cost 0.
-    let mut cost = vec![vec![0.0f64; m + 1]; n + 1];
-    for (i, &row_id) in rows.iter().enumerate() {
-        for (j, &col_id) in cols.iter().enumerate() {
-            let w = if transpose {
-                graph.weight(col_id, row_id)
-            } else {
-                graph.weight(row_id, col_id)
-            };
-            cost[i + 1][j + 1] = -w.unwrap_or(0.0);
+    // Stored flat, row-major, (n+1) × (m+1) with the 0 row/column the
+    // algorithm's virtual slots.
+    let width = m + 1;
+    s.cost.clear();
+    s.cost.resize((n + 1) * width, 0.0);
+    for i in 1..=n {
+        for j in 1..=m {
+            let (l, r) = cell(s, i, j);
+            s.cost[i * width + j] = -graph.weight(l, r).unwrap_or(0.0);
         }
     }
 
     // Potential-based assignment (e-maxx formulation), 1-indexed.
     let inf = f64::INFINITY;
-    let mut u = vec![0.0f64; n + 1];
-    let mut v = vec![0.0f64; m + 1];
-    let mut p = vec![0usize; m + 1]; // p[j] = row assigned to column j
-    let mut way = vec![0usize; m + 1];
+    s.u.clear();
+    s.u.resize(n + 1, 0.0);
+    s.v.clear();
+    s.v.resize(m + 1, 0.0);
+    s.p.clear();
+    s.p.resize(m + 1, 0); // p[j] = row assigned to column j
+    s.way.clear();
+    s.way.resize(m + 1, 0);
     for i in 1..=n {
-        p[0] = i;
+        s.p[0] = i;
         let mut j0 = 0usize;
-        let mut minv = vec![inf; m + 1];
-        let mut used = vec![false; m + 1];
+        s.minv.clear();
+        s.minv.resize(m + 1, inf);
+        s.used.clear();
+        s.used.resize(m + 1, false);
         loop {
-            used[j0] = true;
-            let i0 = p[j0];
+            s.used[j0] = true;
+            let i0 = s.p[j0];
             let mut delta = inf;
             let mut j1 = 0usize;
             for j in 1..=m {
-                if !used[j] {
-                    let cur = cost[i0][j] - u[i0] - v[j];
-                    if cur < minv[j] {
-                        minv[j] = cur;
-                        way[j] = j0;
+                if !s.used[j] {
+                    let cur = s.cost[i0 * width + j] - s.u[i0] - s.v[j];
+                    if cur < s.minv[j] {
+                        s.minv[j] = cur;
+                        s.way[j] = j0;
                     }
-                    if minv[j] < delta {
-                        delta = minv[j];
+                    if s.minv[j] < delta {
+                        delta = s.minv[j];
                         j1 = j;
                     }
                 }
             }
             for j in 0..=m {
-                if used[j] {
-                    u[p[j]] += delta;
-                    v[j] -= delta;
+                if s.used[j] {
+                    s.u[s.p[j]] += delta;
+                    s.v[j] -= delta;
                 } else {
-                    minv[j] -= delta;
+                    s.minv[j] -= delta;
                 }
             }
             j0 = j1;
-            if p[j0] == 0 {
+            if s.p[j0] == 0 {
                 break;
             }
         }
         // Augment along the alternating path.
         loop {
-            let j1 = way[j0];
-            p[j0] = p[j1];
+            let j1 = s.way[j0];
+            s.p[j0] = s.p[j1];
             j0 = j1;
             if j0 == 0 {
                 break;
@@ -95,20 +124,15 @@ pub fn kuhn_munkres(graph: &BipartiteGraph) -> Matching {
         }
     }
 
-    let mut edges: Vec<Edge> = Vec::new();
     for j in 1..=m {
-        let i = p[j];
+        let i = s.p[j];
         if i == 0 {
             continue;
         }
-        let (left, right) = if transpose {
-            (cols[j - 1], rows[i - 1])
-        } else {
-            (rows[i - 1], cols[j - 1])
-        };
+        let (left, right) = cell(s, i, j);
         if let Some(w) = graph.weight(left, right) {
             if w > 0.0 {
-                edges.push(Edge {
+                out.push(Edge {
                     left,
                     right,
                     weight: w,
@@ -116,7 +140,6 @@ pub fn kuhn_munkres(graph: &BipartiteGraph) -> Matching {
             }
         }
     }
-    Matching::from_edges(edges)
 }
 
 #[cfg(test)]

@@ -28,12 +28,14 @@
 mod graph;
 mod greedy;
 mod hungarian;
+mod scratch;
 mod simplify;
 
 pub use graph::{BipartiteGraph, Edge, Matching};
-pub use greedy::greedy_matching;
-pub use hungarian::kuhn_munkres;
-pub use simplify::{connected_components, simplify, Simplified};
+pub use greedy::{greedy_matching, greedy_matching_into};
+pub use hungarian::{kuhn_munkres, kuhn_munkres_with};
+pub use scratch::MatchScratch;
+pub use simplify::{connected_components, simplify, simplify_with, Simplified};
 
 /// Solves maximum-weight bipartite matching with the paper's full pipeline:
 /// simplification, component decomposition, and Kuhn–Munkres per component.
@@ -42,20 +44,112 @@ pub use simplify::{connected_components, simplify, Simplified};
 /// simplification (the paper's `m̄` statistic is the average of
 /// `simplified_nodes` over all verifications).
 pub fn max_weight_matching(graph: &BipartiteGraph) -> Matching {
-    let Simplified {
-        mapped_edges,
-        remaining,
-    } = simplify(graph);
-    let simplified_nodes = remaining.left_count() + remaining.right_count();
+    max_weight_matching_with(graph, &mut MatchScratch::new())
+}
 
-    let mut edges: Vec<Edge> = mapped_edges;
-    for component in connected_components(&remaining) {
-        let solved = kuhn_munkres(&component);
-        edges.extend(solved.edges);
-    }
+/// [`max_weight_matching`] on caller-provided scratch — same result, no
+/// per-call allocation inside the pipeline (the returned [`Matching`]
+/// still owns its edge list).
+pub fn max_weight_matching_with(graph: &BipartiteGraph, scratch: &mut MatchScratch) -> Matching {
+    let mut edges: Vec<Edge> = Vec::new();
+    let simplified_nodes = max_weight_matching_into(graph, scratch, &mut edges);
     let mut m = Matching::from_edges(edges);
     m.simplified_nodes = simplified_nodes;
     m
+}
+
+/// Fully scratch-backed pipeline: **appends** the matched edges to `out`
+/// (mapped edges first, then per-component Kuhn–Munkres results; not
+/// sorted) and returns the number of nodes that survived simplification.
+///
+/// This is the zero-allocation entry point the verifier's hot loop uses:
+/// simplification, component decomposition, and the Hungarian solver all
+/// run on pooled buffers inside `scratch`.
+pub fn max_weight_matching_into(
+    graph: &BipartiteGraph,
+    scratch: &mut MatchScratch,
+    out: &mut Vec<Edge>,
+) -> usize {
+    let scratch::MatchScratch {
+        edges,
+        deg_l,
+        deg_r,
+        key_of,
+        parent,
+        comp_of_root,
+        comps,
+        km,
+        ..
+    } = scratch;
+    graph.edges_into(edges);
+    deg_l.clear();
+    deg_r.clear();
+    for e in edges.iter() {
+        *deg_l.entry(e.left).or_insert(0) += 1;
+        *deg_r.entry(e.right).or_insert(0) += 1;
+    }
+
+    // Theorem-1 peeling fused with the component union–find: mapped edges
+    // (both endpoints degree one) go straight to `out`; contested edges
+    // are interned for component decomposition.
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    key_of.clear();
+    parent.clear();
+    let mut mapped_count = 0usize;
+    for e in edges.iter() {
+        if deg_l[&e.left] == 1 && deg_r[&e.right] == 1 {
+            out.push(*e);
+            mapped_count += 1;
+            continue;
+        }
+        let mut intern = |key: (bool, u32)| -> usize {
+            *key_of.entry(key).or_insert_with(|| {
+                parent.push(parent.len());
+                parent.len() - 1
+            })
+        };
+        let l = intern((false, e.left));
+        let r = intern((true, e.right));
+        let (rl, rr) = (find(parent, l), find(parent, r));
+        if rl != rr {
+            parent[rl] = rr;
+        }
+    }
+    // Every mapped edge retires one (otherwise untouched) node per side,
+    // so the contested remainder has these many distinct nodes.
+    let simplified_nodes = deg_l.len() + deg_r.len() - 2 * mapped_count;
+
+    // Group contested edges into pooled component graphs, components in
+    // first-seen edge order (the same deterministic order
+    // `connected_components` yields).
+    comp_of_root.clear();
+    let mut n_comps = 0usize;
+    for e in edges.iter() {
+        if deg_l[&e.left] == 1 && deg_r[&e.right] == 1 {
+            continue;
+        }
+        let root = find(parent, key_of[&(false, e.left)]);
+        let idx = *comp_of_root.entry(root).or_insert_with(|| {
+            if comps.len() == n_comps {
+                comps.push(BipartiteGraph::new());
+            }
+            comps[n_comps].clear();
+            n_comps += 1;
+            n_comps - 1
+        });
+        comps[idx].add_edge(e.left, e.right, e.weight);
+    }
+
+    for comp in comps[..n_comps].iter() {
+        hungarian::km_into(comp, km, out);
+    }
+    simplified_nodes
 }
 
 /// Exhaustive maximum-weight matching by branch-and-bound enumeration.
@@ -185,6 +279,47 @@ mod tests {
         let m = max_weight_matching(&g(&[(9, 9, 0.5), (0, 0, 0.9), (0, 1, 0.8), (1, 0, 0.8)]));
         assert_eq!(m.simplified_nodes, 4); // nodes 0,1 on both sides
         assert!((m.weight - 0.5 - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        // One scratch driven across graphs of very different shapes must
+        // produce exactly what the allocating entry points produce.
+        let graphs = [
+            g(&[]),
+            g(&[(0, 0, 0.8)]),
+            g(&[(0, 0, 0.9), (0, 1, 0.8), (1, 0, 0.8), (9, 9, 0.5)]),
+            g(&[
+                (2, 4, 0.37),
+                (3, 2, 1.0),
+                (3, 1, 0.33),
+                (4, 3, 1.0),
+                (5, 5, 1.0),
+            ]),
+            g(&[(7, 7, 0.6), (1, 2, 0.3)]),
+        ];
+        let mut scratch = MatchScratch::new();
+        for gr in &graphs {
+            let fresh = max_weight_matching(gr);
+            let reused = max_weight_matching_with(gr, &mut scratch);
+            assert_eq!(fresh.edges, reused.edges);
+            assert_eq!(fresh.weight.to_bits(), reused.weight.to_bits());
+            assert_eq!(fresh.simplified_nodes, reused.simplified_nodes);
+
+            let km_fresh = kuhn_munkres(gr);
+            let km_reused = kuhn_munkres_with(gr, &mut scratch);
+            assert_eq!(km_fresh.edges, km_reused.edges);
+
+            let greedy_fresh = greedy_matching(gr);
+            let mut picked = Vec::new();
+            greedy_matching_into(gr, &mut scratch, &mut picked);
+            assert_eq!(greedy_fresh.edges, Matching::from_edges(picked).edges);
+
+            let s = simplify(gr);
+            let (mapped, remaining) = simplify_with(gr, &mut scratch);
+            assert_eq!(s.mapped_edges, mapped);
+            assert_eq!(s.remaining.edges(), remaining.edges());
+        }
     }
 
     proptest! {

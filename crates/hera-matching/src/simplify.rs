@@ -1,6 +1,7 @@
 //! Graph simplification (§IV-A) and connected-component decomposition.
 
 use crate::graph::{BipartiteGraph, Edge};
+use crate::scratch::MatchScratch;
 use rustc_hash::FxHashMap;
 
 /// Result of [`simplify`].
@@ -41,6 +42,40 @@ pub fn simplify(graph: &BipartiteGraph) -> Simplified {
         mapped_edges,
         remaining,
     }
+}
+
+/// [`simplify`] on caller-provided scratch: peels mapped edges into
+/// scratch-owned buffers and returns `(mapped_edges, remaining)` borrows —
+/// identical content, no per-call allocation.
+pub fn simplify_with<'s>(
+    graph: &BipartiteGraph,
+    scratch: &'s mut MatchScratch,
+) -> (&'s [Edge], &'s BipartiteGraph) {
+    let MatchScratch {
+        edges,
+        deg_l,
+        deg_r,
+        mapped,
+        remaining,
+        ..
+    } = scratch;
+    graph.edges_into(edges);
+    deg_l.clear();
+    deg_r.clear();
+    for e in edges.iter() {
+        *deg_l.entry(e.left).or_insert(0) += 1;
+        *deg_r.entry(e.right).or_insert(0) += 1;
+    }
+    mapped.clear();
+    remaining.clear();
+    for &e in edges.iter() {
+        if deg_l[&e.left] == 1 && deg_r[&e.right] == 1 {
+            mapped.push(e);
+        } else {
+            remaining.add_edge(e.left, e.right, e.weight);
+        }
+    }
+    (mapped, remaining)
 }
 
 /// Splits a bipartite graph into its connected components.

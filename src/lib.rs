@@ -52,7 +52,7 @@ pub use hera_baselines::{
 };
 pub use hera_core::{
     BoundMode, Hera, HeraConfig, HeraResult, HeraSession, InstanceVerifier, RunStats, SchemaVoter,
-    SuperRecord,
+    SimCache, SimDelta, SuperRecord, Verification, VerifyScratch,
 };
 pub use hera_datagen::{table1_dataset, DatagenConfig, Domain, Generator};
 pub use hera_eval::{adjusted_rand_index, bcubed, v_measure, PairMetrics};

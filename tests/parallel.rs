@@ -69,6 +69,61 @@ fn parallel_join_is_bit_identical() {
 }
 
 #[test]
+fn thread_count_does_not_change_results_with_cache() {
+    // The memo cache is read-only during the parallel snapshot phase and
+    // populated in the sequential apply phase, so every thread count must
+    // see the same hit/miss history — and produce the same entities.
+    let ds = dataset();
+    let base = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(1)).run(&ds);
+    assert!(
+        base.stats.sim_cache_hits > 0,
+        "workload must exercise the cache for this test to mean anything"
+    );
+    for threads in [2, 4, 8] {
+        let r = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(threads)).run(&ds);
+        assert_eq!(base.entity_of, r.entity_of, "{threads} threads");
+        assert_eq!(base.stats.merges, r.stats.merges, "{threads} threads");
+        assert_eq!(base.stats.sim_cache_hits, r.stats.sim_cache_hits);
+        assert_eq!(base.stats.sim_cache_misses, r.stats.sim_cache_misses);
+        assert_eq!(base.stats.sim_cache_size, r.stats.sim_cache_size);
+        assert_eq!(
+            base.stats.sim_cache_invalidated,
+            r.stats.sim_cache_invalidated
+        );
+        assert_eq!(base.stats.metric_sim_calls, r.stats.metric_sim_calls);
+        assert_eq!(
+            base.stats.metric_calls_by_round,
+            r.stats.metric_calls_by_round
+        );
+    }
+}
+
+#[test]
+fn cache_on_and_off_are_bit_identical() {
+    // Cached values are exact metric outputs, so disabling the cache may
+    // only change speed, never results.
+    let ds = dataset();
+    for threads in [1, 4] {
+        let on = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(threads)).run(&ds);
+        let off = Hera::new(
+            HeraConfig::new(0.5, 0.5)
+                .with_threads(threads)
+                .without_sim_cache(),
+        )
+        .run(&ds);
+        assert_eq!(on.entity_of, off.entity_of, "{threads} threads");
+        assert_eq!(on.stats.merges, off.stats.merges);
+        assert_eq!(on.stats.comparisons, off.stats.comparisons);
+        assert_eq!(on.stats.iterations, off.stats.iterations);
+        assert_eq!(on.schema_matchings.len(), off.schema_matchings.len());
+        // The cache must actually save metric work on this multi-round
+        // workload.
+        assert!(on.stats.metric_sim_calls < off.stats.metric_sim_calls);
+        assert_eq!(off.stats.sim_cache_hits, 0);
+    }
+}
+
+#[test]
 fn parallel_built_index_passes_invariants() {
     let ds = dataset();
     let pairs = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(4)).join(&ds);
