@@ -99,6 +99,21 @@ fn main() {
         ]));
     }
 
+    // One traced run at the top thread count: the journal artifact rides
+    // next to BENCH_parallel.json, and must match the 1-thread baseline.
+    std::fs::create_dir_all("results").expect("create results/");
+    let trace_path = "results/TRACE_parallel.jsonl";
+    let recorder = hera_obs::Recorder::to_file(trace_path).expect("create trace journal");
+    let traced = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(THREADS[THREADS.len() - 1]))
+        .with_recorder(recorder.clone())
+        .run(&ds);
+    recorder.flush();
+    assert_eq!(traced.entity_of, baseline.entity_of);
+    let text = std::fs::read_to_string(trace_path).expect("read trace journal back");
+    let summary = hera_obs::validate(&text).expect("trace journal validates");
+    assert_eq!(summary.count("merge"), traced.stats.merges);
+    println!("\nwrote {trace_path} ({} journal lines)", summary.lines);
+
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let doc = Json::Obj(vec![
         ("experiment".into(), Json::Str("parallel_scaling".into())),

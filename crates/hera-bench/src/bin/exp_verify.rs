@@ -311,6 +311,35 @@ fn main() {
         }
     }
 
+    // ---- Part 3: one traced run — the journal rides next to the JSON
+    // artifact. Smoke mode exercises the full serialization path through
+    // a null sink instead of touching results/.
+    let trace_path = "results/TRACE_verify.jsonl";
+    let recorder = if smoke {
+        hera_obs::Recorder::to_null()
+    } else {
+        std::fs::create_dir_all("results").expect("create results/");
+        hera_obs::Recorder::to_file(trace_path).expect("create trace journal")
+    };
+    let mut traced_cfg = HeraConfig::new(0.45, xi).with_threads(n_threads);
+    traced_cfg.vote_min_n = 2;
+    traced_cfg.vote_error_threshold = 0.8;
+    let traced = Hera::new(traced_cfg)
+        .with_recorder(recorder.clone())
+        .run(&ds);
+    recorder.flush();
+    assert_eq!(
+        baseline_entity_of.as_deref(),
+        Some(traced.entity_of.as_slice()),
+        "traced run must be bit-identical to the untraced pipeline"
+    );
+    if !smoke {
+        let text = std::fs::read_to_string(trace_path).expect("read trace journal back");
+        let summary = hera_obs::validate(&text).expect("trace journal validates");
+        assert_eq!(summary.count("merge"), traced.stats.merges);
+        println!("\nwrote {trace_path} ({} journal lines)", summary.lines);
+    }
+
     if smoke {
         println!("\nsmoke mode: skipping results/BENCH_verify.json");
         return;

@@ -88,6 +88,32 @@ impl Args {
     pub fn has(&self, key: &str) -> bool {
         self.switches.iter().any(|s| s == key)
     }
+
+    /// Names given more than once that are *not* declared repeatable —
+    /// for value flags the last occurrence silently wins ([`Args::get`]),
+    /// so the caller should warn the user. Covers both value flags and
+    /// switches; sorted, deduplicated.
+    pub fn duplicated(&self, repeatable: &[&str]) -> Vec<String> {
+        let mut dup: Vec<String> = self
+            .flags
+            .iter()
+            .filter(|(k, v)| v.len() > 1 && !repeatable.contains(&k.as_str()))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for s in &self.switches {
+            *counts.entry(s.as_str()).or_insert(0) += 1;
+        }
+        dup.extend(
+            counts
+                .into_iter()
+                .filter(|&(k, n)| n > 1 && !repeatable.contains(&k))
+                .map(|(k, _)| k.to_owned()),
+        );
+        dup.sort_unstable();
+        dup.dedup();
+        dup
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +169,52 @@ mod tests {
         // get() yields the last occurrence.
         assert_eq!(a.get("source"), Some("b=2.csv"));
         assert!(a.get_all("missing").is_empty());
+    }
+
+    #[test]
+    fn repeated_value_flag_is_last_wins_and_reported() {
+        let a = parse("resolve --threads 2 --threads 4").unwrap();
+        // Defined behavior: the last occurrence wins…
+        assert_eq!(a.get("threads"), Some("4"));
+        assert_eq!(a.get_u64("threads", 0).unwrap(), 4);
+        // …and the duplicate is reported unless declared repeatable.
+        assert_eq!(a.duplicated(&[]), vec!["threads".to_string()]);
+        assert!(a.duplicated(&["threads"]).is_empty());
+    }
+
+    #[test]
+    fn repeated_switch_is_reported() {
+        let a = parse("resolve --eval --eval --quiet").unwrap();
+        assert!(a.has("eval"));
+        assert_eq!(a.duplicated(&[]), vec!["eval".to_string()]);
+    }
+
+    #[test]
+    fn declared_repeatable_flags_are_not_reported() {
+        let a = parse("import --source a=1.csv --source b=2.csv --out x").unwrap();
+        assert!(a.duplicated(&["source"]).is_empty());
+        // Without the declaration the same line would warn.
+        assert_eq!(a.duplicated(&[]), vec!["source".to_string()]);
+    }
+
+    #[test]
+    fn unique_flags_report_no_duplicates() {
+        let a = parse("resolve --input x.json --delta 0.6 --eval").unwrap();
+        assert!(a.duplicated(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_flag_name_is_error() {
+        let err = parse("resolve -- value").unwrap_err();
+        assert!(err.contains("empty flag name"), "{err}");
+        let err = parse("resolve --input x.json --").unwrap_err();
+        assert!(err.contains("empty flag name"), "{err}");
+    }
+
+    #[test]
+    fn positional_argument_error_names_the_token() {
+        let err = parse("resolve --input x.json stray extra").unwrap_err();
+        // `--input` swallows `x.json`; `stray` is the offender.
+        assert!(err.contains("stray"), "{err}");
     }
 }

@@ -17,10 +17,12 @@ USAGE:
                 [--name NAME] [--out FILE]
   hera-cli generate --preset <dm1|dm2|dm3|dm4> [--seed N] [--out FILE]
   hera-cli resolve  --input FILE [--delta 0.5] [--xi 0.5] [--threads N] [--labels FILE]
-                [--eval] [--matchings] [--no-sim-cache]
+                [--eval] [--matchings] [--no-sim-cache] [--trace FILE.jsonl]
+                [--trace-stderr] [--trace-deterministic]
   hera-cli exchange --input FILE [--fraction 0.333] [--seed N] [--out FILE]
   hera-cli fuse     --input FILE --labels FILE [--fraction 1.0] [--seed N] [--out FILE]
   hera-cli baseline --input FILE --system <rswoosh|cc|cr> [--delta 0.5] [--xi 0.5] [--eval]
+  hera-cli trace-check --input FILE.jsonl
   hera-cli demo
   hera-cli help
 
@@ -29,6 +31,15 @@ Datasets are JSON (hera_types::Dataset). Labels are CSV `record_id,entity`.
 bit-identical results. `--no-sim-cache` disables the merge-aware similarity
 memo cache (results are bit-identical either way; the flag exists for
 baseline timing).
+
+`--trace FILE` writes a structured run journal (JSON Lines: per-stage
+spans, every merge, every decided schema matching — see DESIGN.md,
+Observability). Core journal events are byte-identical at every thread
+count and cache setting; `--trace-deterministic` drops the host-dependent
+timing/diag lines too, making the whole file reproducible.
+`--trace-stderr` mirrors per-round summaries to stderr as the run goes.
+`trace-check` validates a journal (every line parses, every line has an
+event kind) and prints per-kind counts.
 ";
 
 /// Routes a parsed command line.
@@ -40,6 +51,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "exchange" => exchange(args),
         "fuse" => fuse(args),
         "baseline" => baseline(args),
+        "trace-check" => trace_check(args),
         "demo" => demo(),
         other => Err(format!(
             "unknown subcommand {other:?} (try `hera-cli help`)"
@@ -125,7 +137,22 @@ fn resolve(args: &Args) -> Result<(), String> {
     if args.has("no-sim-cache") {
         config = config.without_sim_cache();
     }
-    let result = Hera::new(config).run(&ds);
+    let mut recorder = hera_obs::Recorder::disabled();
+    if let Some(path) = args.get("trace") {
+        recorder =
+            hera_obs::Recorder::to_file(path).map_err(|e| format!("creating trace {path}: {e}"))?;
+    }
+    if args.has("trace-deterministic") {
+        recorder = recorder.deterministic();
+    }
+    if args.has("trace-stderr") {
+        recorder = recorder.with_progress(true);
+    }
+    let result = Hera::new(config).with_recorder(recorder.clone()).run(&ds);
+    recorder.flush();
+    if let Some(path) = args.get("trace") {
+        eprintln!("trace journal written to {path}");
+    }
     eprintln!(
         "resolved {} records into {} entities ({} iterations, {} merges, {} threads, {:?})",
         ds.len(),
@@ -295,6 +322,19 @@ fn baseline(args: &Args) -> Result<(), String> {
         }
     }
     write_out(args.get("labels"), &csv)
+}
+
+fn trace_check(args: &Args) -> Result<(), String> {
+    let path = args.require("input")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let summary = hera_obs::validate(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: {} journal lines, all valid", summary.lines);
+    for (kind, n) in &summary.by_kind {
+        println!("  {kind}: {n}");
+    }
+    let core_lines = hera_obs::deterministic_view(&text).lines().count();
+    println!("  ({core_lines} deterministic core lines)");
+    Ok(())
 }
 
 fn demo() -> Result<(), String> {

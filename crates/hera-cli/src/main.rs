@@ -31,6 +31,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--source` legitimately repeats (multi-file import); anything else
+    // given twice is almost certainly a mistake — the last value wins.
+    for name in args.duplicated(&["source"]) {
+        eprintln!("warning: --{name} given more than once; the last value wins");
+    }
     match commands::dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

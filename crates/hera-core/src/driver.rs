@@ -56,6 +56,7 @@ impl HeraResult {
 pub struct Hera {
     config: HeraConfig,
     metric: Arc<dyn ValueSimilarity>,
+    recorder: hera_obs::Recorder,
 }
 
 impl Hera {
@@ -65,12 +66,24 @@ impl Hera {
         Self {
             config,
             metric: Arc::new(TypeDispatch::paper_default()),
+            recorder: hera_obs::Recorder::from_env(),
         }
     }
 
     /// Creates a runner with a custom black-box value similarity.
     pub fn with_metric(config: HeraConfig, metric: Arc<dyn ValueSimilarity>) -> Self {
-        Self { config, metric }
+        Self {
+            config,
+            metric,
+            recorder: hera_obs::Recorder::from_env(),
+        }
+    }
+
+    /// Attaches a journal recorder; every stage of the run emits through
+    /// it (see the `hera-obs` crate docs for the event schema).
+    pub fn with_recorder(mut self, recorder: hera_obs::Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Read access to the configuration.
@@ -85,7 +98,9 @@ impl Hera {
         let mut join_cfg = JoinConfig::new(self.config.xi);
         join_cfg.prefix_filter = self.config.prefix_filter;
         join_cfg.num_threads = self.config.num_threads;
-        SimilarityJoin::new(join_cfg, self.metric.as_ref()).join_dataset(ds)
+        SimilarityJoin::new(join_cfg, self.metric.as_ref())
+            .with_recorder(self.recorder.clone())
+            .join_dataset(ds)
     }
 
     /// Runs Algorithm 2 on a dataset.
@@ -103,12 +118,16 @@ impl Hera {
     pub fn run_with_pairs(&self, ds: &Dataset, pairs: Vec<hera_join::ValuePair>) -> HeraResult {
         let mut stats = RunStats::default();
         let cfg = &self.config;
+        let rec = &self.recorder;
+        rec.run_start("batch", &ds.name, ds.len(), cfg.delta, cfg.xi);
 
         // ---- Line 1: build index (offline, Prop. 1).
         let t0 = Instant::now();
         let mut index = ValuePairIndex::build(pairs);
         stats.index_size = index.len();
         stats.index_build_time = t0.elapsed();
+        index.record_span(rec, "index_build");
+        rec.timing("index_build", None, stats.index_build_time);
 
         let t1 = Instant::now();
         let n = ds.len();
@@ -142,9 +161,12 @@ impl Hera {
                 break;
             }
             stats.iterations += 1;
+            let round = stats.iterations;
             let mut merged_any = false;
             let mut merged_rids: FxHashSet<u32> = FxHashSet::default();
             let round_metric_calls_before = stats.metric_sim_calls;
+            let round_merges_before = stats.merges;
+            let round_pruned_before = stats.pruned;
 
             // Candidate generation (line 3): scan every record pair that
             // shares at least one similar value. Groups snapshot — merges
@@ -157,6 +179,7 @@ impl Hera {
                     .filter(|(i, j)| d.contains(i) || d.contains(j))
                     .collect(),
             };
+            let groups_scanned = groups.len();
             let mut direct: Vec<(u32, u32)> = Vec::new();
             let mut candidates: Vec<(u32, u32)> = Vec::new();
             for (i, j) in groups {
@@ -173,6 +196,16 @@ impl Hera {
                     candidates.push((i, j));
                 }
             }
+            rec.span(
+                "candidates",
+                Some(round),
+                &[
+                    ("groups", groups_scanned as i64),
+                    ("pruned", (stats.pruned - round_pruned_before) as i64),
+                    ("direct", direct.len() as i64),
+                    ("deferred", candidates.len() as i64),
+                ],
+            );
 
             // Lines 4–5: merge the directly-decided pairs. Like the
             // candidate stage below, this runs as a parallel snapshot
@@ -227,13 +260,21 @@ impl Hera {
                     },
                 )
             };
-            stats.verify_time += td.elapsed();
+            let td_elapsed = td.elapsed();
+            stats.verify_time += td_elapsed;
+            // Per-worker aggregation: verdicts arrive in input order
+            // regardless of thread count, so folding them here yields
+            // one deterministic span per stage.
+            let mut direct_agg = StageAgg::default();
             for (v, delta) in &direct_verifications {
                 stats.simplified_nodes_sum += v.simplified_nodes;
                 stats.graph_nodes_sum += v.graph_nodes;
                 stats.matchings_run += 1;
                 stats.record_cache_delta(delta);
+                direct_agg.add(v, delta);
             }
+            direct_agg.emit(rec, "verify_direct", round);
+            rec.timing("verify_direct", Some(round), td_elapsed);
 
             // Phase B: merge in pair order. A pair re-rooted by an
             // earlier merge in this phase falls through to the candidate
@@ -241,6 +282,7 @@ impl Hera {
             // another record) gets re-verified against the current state
             // so its field matching and votes are fresh.
             let mut touched: FxHashSet<u32> = FxHashSet::default();
+            let mut direct_reverify = StageAgg::default();
             for (idx, &key) in direct_list.iter().enumerate() {
                 // Memoize the snapshot verdict's metric calls — even when
                 // the verdict itself goes stale below, its fills are exact
@@ -283,6 +325,7 @@ impl Hera {
                     stats.graph_nodes_sum += reverified.graph_nodes;
                     stats.matchings_run += 1;
                     stats.record_cache_delta(&scratch.delta);
+                    direct_reverify.add(&reverified, &scratch.delta);
                     if let Some(c) = cache.as_mut() {
                         c.apply(&scratch.delta);
                     }
@@ -299,7 +342,9 @@ impl Hera {
                     let fresh =
                         voter.decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
                     stats.schema_matchings_decided += fresh.len();
+                    self.emit_decided(ds, round, &fresh);
                 }
+                rec.merge(round, key.0, key.1, v.sim, v.matching.len());
                 self.merge_pair(
                     &mut index,
                     &mut supers,
@@ -315,6 +360,15 @@ impl Hera {
                 touched.insert(key.0);
                 touched.insert(key.1);
             }
+            rec.span(
+                "apply_direct",
+                Some(round),
+                &[
+                    ("merges", (stats.merges - round_merges_before) as i64),
+                    ("reverified", direct_reverify.pairs),
+                    ("lookups", direct_reverify.lookups),
+                ],
+            );
 
             // Lines 6–10: verify candidates, vote, merge — split into a
             // parallel snapshot phase (A) and a sequential apply phase
@@ -360,14 +414,19 @@ impl Hera {
                     },
                 )
             };
-            stats.verify_time += tv.elapsed();
+            let tv_elapsed = tv.elapsed();
+            stats.verify_time += tv_elapsed;
+            let mut cand_agg = StageAgg::default();
             for (v, delta) in &verifications {
                 stats.comparisons += 1;
                 stats.simplified_nodes_sum += v.simplified_nodes;
                 stats.graph_nodes_sum += v.graph_nodes;
                 stats.matchings_run += 1;
                 stats.record_cache_delta(delta);
+                cand_agg.add(v, delta);
             }
+            cand_agg.emit(rec, "verify_candidates", round);
+            rec.timing("verify_candidates", Some(round), tv_elapsed);
 
             // Phase B: apply in candidate order. A merge earlier in this
             // phase can re-root or grow a super record a later snapshot
@@ -375,6 +434,8 @@ impl Hera {
             // sequentially against the current state, so the decisions
             // match what a fully sequential pass would make.
             let mut touched: FxHashSet<u32> = FxHashSet::default();
+            let mut cand_reverify = StageAgg::default();
+            let apply_merges_before = stats.merges;
             for (idx, &key) in verify_list.iter().enumerate() {
                 // Memoize this verdict's metric calls up front (filtered
                 // to still-root labels) — see the direct phase above.
@@ -410,6 +471,7 @@ impl Hera {
                     stats.graph_nodes_sum += reverified.graph_nodes;
                     stats.matchings_run += 1;
                     stats.record_cache_delta(&scratch.delta);
+                    cand_reverify.add(&reverified, &scratch.delta);
                     if let Some(c) = cache.as_mut() {
                         c.apply(&scratch.delta);
                     }
@@ -424,8 +486,10 @@ impl Hera {
                         let fresh =
                             voter.decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
                         stats.schema_matchings_decided += fresh.len();
+                        self.emit_decided(ds, round, &fresh);
                     }
                     // Line 10: merge.
+                    rec.merge(round, cur.0, cur.1, v.sim, v.matching.len());
                     self.merge_pair(
                         &mut index,
                         &mut supers,
@@ -442,10 +506,25 @@ impl Hera {
                     touched.insert(cur.1);
                 }
             }
+            rec.span(
+                "apply_candidates",
+                Some(round),
+                &[
+                    ("merges", (stats.merges - apply_merges_before) as i64),
+                    ("reverified", cand_reverify.pairs),
+                    ("lookups", cand_reverify.lookups),
+                ],
+            );
 
             stats
                 .metric_calls_by_round
                 .push(stats.metric_sim_calls - round_metric_calls_before);
+            rec.round_end(
+                round,
+                (stats.merges - round_merges_before) as i64,
+                index.len() as i64,
+                voter.open_buckets() as i64,
+            );
 
             if cfg.validate_index {
                 index.check_invariants().unwrap_or_else(|e| {
@@ -476,6 +555,57 @@ impl Hera {
             stats.sim_cache_invalidated = c.invalidated();
         }
         stats.resolve_time = t1.elapsed();
+
+        rec.run_end(&[
+            ("iterations", stats.iterations as i64),
+            ("merges", stats.merges as i64),
+            ("comparisons", stats.comparisons as i64),
+            ("pruned", stats.pruned as i64),
+            ("direct_decisions", stats.direct_decisions as i64),
+            ("matchings_run", stats.matchings_run as i64),
+            (
+                "schema_matchings_decided",
+                stats.schema_matchings_decided as i64,
+            ),
+            ("index_size", stats.index_size as i64),
+            ("final_index_size", stats.final_index_size as i64),
+            ("graph_nodes_sum", stats.graph_nodes_sum as i64),
+            ("simplified_nodes_sum", stats.simplified_nodes_sum as i64),
+            ("sim_lookups", stats.sim_lookups() as i64),
+        ]);
+        // Host- and configuration-dependent numbers go on a diagnostic
+        // line: raw hit/miss counts differ with the cache off, thread
+        // count differs per run — neither may touch the core journal.
+        rec.emit_diag(
+            "diag",
+            vec![
+                ("threads", hera_types::json::Json::Int(stats.threads as i64)),
+                ("sim_cache", hera_types::json::Json::Bool(cfg.sim_cache)),
+                (
+                    "cache_hits",
+                    hera_types::json::Json::Int(stats.sim_cache_hits as i64),
+                ),
+                (
+                    "cache_misses",
+                    hera_types::json::Json::Int(stats.sim_cache_misses as i64),
+                ),
+                (
+                    "metric_sim_calls",
+                    hera_types::json::Json::Int(stats.metric_sim_calls as i64),
+                ),
+                (
+                    "cache_size",
+                    hera_types::json::Json::Int(stats.sim_cache_size as i64),
+                ),
+                (
+                    "cache_invalidated",
+                    hera_types::json::Json::Int(stats.sim_cache_invalidated as i64),
+                ),
+            ],
+        );
+        rec.timing("resolve", None, stats.resolve_time);
+        rec.timing("verify", None, stats.verify_time);
+        rec.flush();
 
         // ---- Lines 11–12: entity labels via union–find.
         let entity_of: Vec<u32> = (0..n as u32).map(|r| uf.find(r)).collect();
@@ -509,6 +639,22 @@ impl Hera {
             cache,
             scratch,
         )
+    }
+
+    /// Journals freshly decided schema matchings. Name resolution only
+    /// runs when a sink is attached.
+    fn emit_decided(&self, ds: &Dataset, round: usize, fresh: &[DecidedMatching]) {
+        if !self.recorder.enabled() || fresh.is_empty() {
+            return;
+        }
+        for d in fresh {
+            self.recorder.schema_decided(
+                round,
+                &ds.registry.attr_qualified_name(d.attr),
+                &ds.registry.attr_qualified_name(d.partner),
+                d.up_error(),
+            );
+        }
     }
 
     /// Casts schema-matching votes for every attribute pair aggregated by
@@ -560,6 +706,48 @@ impl Hera {
             c.merge(i, j, k, |l| remap.apply(l));
         }
         stats.merges += 1;
+    }
+}
+
+/// Deterministic per-stage aggregate over a list of verifications, folded
+/// in input order (the `par_map_with` output order, which is independent
+/// of thread count). `lookups` uses [`SimDelta::lookups`], the
+/// cache-invariant counter, so the emitted span is byte-identical with
+/// the similarity cache on or off.
+#[derive(Debug, Default)]
+pub(crate) struct StageAgg {
+    pub(crate) pairs: i64,
+    pub(crate) lookups: i64,
+    graph_nodes: i64,
+    simplified_nodes: i64,
+    components: i64,
+}
+
+impl StageAgg {
+    pub(crate) fn add(
+        &mut self,
+        v: &crate::verify::Verification,
+        delta: &crate::simcache::SimDelta,
+    ) {
+        self.pairs += 1;
+        self.lookups += delta.lookups() as i64;
+        self.graph_nodes += v.graph_nodes as i64;
+        self.simplified_nodes += v.simplified_nodes as i64;
+        self.components += v.components as i64;
+    }
+
+    pub(crate) fn emit(&self, rec: &hera_obs::Recorder, stage: &str, round: usize) {
+        rec.span(
+            stage,
+            Some(round),
+            &[
+                ("pairs", self.pairs),
+                ("lookups", self.lookups),
+                ("graph_nodes", self.graph_nodes),
+                ("simplified_nodes", self.simplified_nodes),
+                ("components", self.components),
+            ],
+        );
     }
 }
 

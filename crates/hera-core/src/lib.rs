@@ -57,3 +57,4 @@ pub use verify::{InstanceVerifier, Verification, VerifyScratch};
 pub use voter::{vote_error_bound, DecidedMatching, SchemaVoter};
 
 pub use hera_index::BoundMode;
+pub use hera_obs::{JournalBuffer, Recorder};

@@ -49,6 +49,11 @@ pub struct HeraSession {
     cache: Option<SimCache>,
     /// Scratch for the sequential re-verifications of the apply phase.
     scratch: VerifyScratch,
+    /// Journal recorder (disabled by default).
+    recorder: hera_obs::Recorder,
+    /// Compare-and-merge rounds executed over the session's lifetime —
+    /// the monotonic `round` of its journal events.
+    rounds: usize,
 }
 
 impl HeraSession {
@@ -73,7 +78,16 @@ impl HeraSession {
             voter: SchemaVoter::new(),
             dirty: FxHashSet::default(),
             merges: 0,
+            recorder: hera_obs::Recorder::from_env(),
+            rounds: 0,
         }
+    }
+
+    /// Attaches a journal recorder; every `resolve` round emits through
+    /// it (see the `hera-obs` crate docs for the event schema).
+    pub fn with_recorder(mut self, recorder: hera_obs::Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Registers a source schema (streaming sources can appear at any
@@ -160,12 +174,16 @@ impl HeraSession {
     /// [`HeraConfig::num_threads`] setting.
     pub fn resolve(&mut self) -> usize {
         let cfg = self.config.clone();
+        let rec = self.recorder.clone();
         let verifier = InstanceVerifier::new(self.metric.as_ref(), cfg.xi, cfg.use_kuhn_munkres);
         let threads = crate::parallel::effective_threads(cfg.num_threads);
         let mut total = 0usize;
         let mut iterations = 0usize;
         while !self.dirty.is_empty() && iterations < cfg.max_iterations {
             iterations += 1;
+            self.rounds += 1;
+            let round = self.rounds;
+            let round_merges_before = self.merges;
             let dirty = std::mem::take(&mut self.dirty);
             let groups: Vec<(u32, u32)> = self
                 .index
@@ -197,6 +215,7 @@ impl HeraSession {
                 }
                 verify_list.push(key);
             }
+            let tv = std::time::Instant::now();
             let verifications = {
                 let (index, supers, registry, cache) =
                     (&self.index, &self.supers, &self.registry, &self.cache);
@@ -219,11 +238,20 @@ impl HeraSession {
                     },
                 )
             };
+            // Per-worker aggregation: verdicts are in input order for
+            // every thread count, so one fold gives a deterministic span.
+            let mut verify_agg = crate::driver::StageAgg::default();
+            for (v, delta) in &verifications {
+                verify_agg.add(v, delta);
+            }
+            verify_agg.emit(&rec, "resolve_verify", round);
+            rec.timing("resolve_verify", Some(round), tv.elapsed());
 
             // Phase B: apply sequentially in candidate order; stale
             // verdicts (a side was merged earlier in this phase) are
             // recomputed against the current state.
             let mut touched: FxHashSet<u32> = FxHashSet::default();
+            let mut reverify_agg = crate::driver::StageAgg::default();
             for (idx, &key) in verify_list.iter().enumerate() {
                 // Memoize this snapshot verdict's metric calls up front,
                 // even if the verdict goes stale below — the fills are
@@ -255,6 +283,7 @@ impl HeraSession {
                         self.cache.as_ref(),
                         &mut self.scratch,
                     );
+                    reverify_agg.add(&reverified, &self.scratch.delta);
                     if let Some(c) = self.cache.as_mut() {
                         c.apply(&self.scratch.delta);
                     }
@@ -278,10 +307,22 @@ impl HeraSession {
                             }
                         }
                     }
-                    self.voter
-                        .decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
+                    let fresh =
+                        self.voter
+                            .decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
+                    if rec.enabled() {
+                        for d in &fresh {
+                            rec.schema_decided(
+                                round,
+                                &self.registry.attr_qualified_name(d.attr),
+                                &self.registry.attr_qualified_name(d.partner),
+                                d.up_error(),
+                            );
+                        }
+                    }
                 }
                 // Merge.
+                rec.merge(round, cur.0, cur.1, v.sim, v.matching.len());
                 let k = self.uf.union(cur.0, cur.1);
                 debug_assert_eq!(k, cur.0);
                 let loser = self.supers.remove(&cur.1).expect("loser exists");
@@ -300,7 +341,23 @@ impl HeraSession {
                 total += 1;
                 self.merges += 1;
             }
+            rec.span(
+                "resolve_apply",
+                Some(round),
+                &[
+                    ("merges", (self.merges - round_merges_before) as i64),
+                    ("reverified", reverify_agg.pairs),
+                    ("lookups", reverify_agg.lookups),
+                ],
+            );
+            rec.round_end(
+                round,
+                (self.merges - round_merges_before) as i64,
+                self.index.len() as i64,
+                self.voter.open_buckets() as i64,
+            );
         }
+        rec.flush();
         total
     }
 

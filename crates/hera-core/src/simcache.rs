@@ -252,6 +252,16 @@ impl SimDelta {
         self.misses = 0;
         self.metric_calls = 0;
     }
+
+    /// Value-pair similarity lookups this verification performed,
+    /// **identical with the cache on or off**: cache-on lookups are
+    /// `hits + misses` (every miss also calls the metric, so
+    /// `misses == metric_calls`); cache-off lookups all go straight to
+    /// the metric (`hits = misses = 0`). The max folds both cases into
+    /// one cache-invariant counter — the one journal spans report.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses.max(self.metric_calls)
+    }
 }
 
 #[cfg(test)]

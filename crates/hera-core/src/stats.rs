@@ -123,6 +123,77 @@ impl RunStats {
             self.index_size as f64 / secs
         }
     }
+
+    /// Cache-invariant count of value-pair similarity lookups on the
+    /// verification path. With the cache on every lookup is a hit or a
+    /// miss (`metric_sim_calls == sim_cache_misses`); with it off every
+    /// lookup calls the metric directly (`hits = misses = 0`). The max
+    /// folds both cases so the figure matches across cache modes — it is
+    /// the number journal spans report.
+    pub fn sim_lookups(&self) -> u64 {
+        self.sim_cache_hits + self.sim_cache_misses.max(self.metric_sim_calls)
+    }
+
+    /// Checks the internal-consistency invariants the observability layer
+    /// relies on. Returns a description of the first violated invariant.
+    ///
+    /// Invariants (for a finished run):
+    /// - cache on: every metric call is a recorded cache miss;
+    ///   cache off: no cache traffic and no retained entries
+    /// - `metric_calls_by_round` partitions `metric_sim_calls`
+    /// - one per-round entry per iteration
+    /// - verify time is a subset of resolve time
+    /// - every comparison runs at least one matching
+    pub fn check_consistency(&self, cache_enabled: bool) -> Result<(), String> {
+        if cache_enabled {
+            if self.metric_sim_calls != self.sim_cache_misses {
+                return Err(format!(
+                    "cache on: metric_sim_calls ({}) != sim_cache_misses ({})",
+                    self.metric_sim_calls, self.sim_cache_misses
+                ));
+            }
+        } else {
+            if self.sim_cache_hits != 0 || self.sim_cache_misses != 0 {
+                return Err(format!(
+                    "cache off: recorded cache traffic (hits {}, misses {})",
+                    self.sim_cache_hits, self.sim_cache_misses
+                ));
+            }
+            if self.sim_cache_size != 0 {
+                return Err(format!(
+                    "cache off: cache retained {} entries",
+                    self.sim_cache_size
+                ));
+            }
+        }
+        let by_round: u64 = self.metric_calls_by_round.iter().sum();
+        if by_round != self.metric_sim_calls {
+            return Err(format!(
+                "metric_calls_by_round sums to {by_round}, metric_sim_calls is {}",
+                self.metric_sim_calls
+            ));
+        }
+        if self.iterations != self.metric_calls_by_round.len() {
+            return Err(format!(
+                "iterations ({}) != metric_calls_by_round.len() ({})",
+                self.iterations,
+                self.metric_calls_by_round.len()
+            ));
+        }
+        if self.verify_time > self.resolve_time {
+            return Err(format!(
+                "verify_time ({:?}) exceeds resolve_time ({:?})",
+                self.verify_time, self.resolve_time
+            ));
+        }
+        if self.matchings_run < self.comparisons {
+            return Err(format!(
+                "matchings_run ({}) < comparisons ({})",
+                self.matchings_run, self.comparisons
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

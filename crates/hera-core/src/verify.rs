@@ -6,7 +6,7 @@ use crate::super_record::SuperRecord;
 use crate::voter::SchemaVoter;
 use hera_index::{FieldPairSim, ValuePairIndex};
 use hera_matching::{
-    greedy_matching_into, max_weight_matching_into, BipartiteGraph, Edge, MatchScratch,
+    greedy_matching_into, max_weight_matching_observed, BipartiteGraph, Edge, MatchScratch,
 };
 use hera_sim::ValueSimilarity;
 use hera_types::{Label, SchemaRegistry};
@@ -32,6 +32,9 @@ pub struct Verification {
     /// Field pairs injected by decided schema matchings — the length of
     /// the forced prefix of [`matching`](Self::matching).
     pub forced_count: usize,
+    /// Connected components the Kuhn–Munkres solver decomposed the
+    /// simplified graph into (zero under greedy matching).
+    pub components: usize,
 }
 
 impl Verification {
@@ -269,12 +272,13 @@ impl<'m> InstanceVerifier<'m> {
         graph_nodes += scratch.node_buf.len();
 
         scratch.edges.clear();
-        let simplified_nodes = if self.use_kuhn_munkres {
-            max_weight_matching_into(&scratch.graph, &mut scratch.matcher, &mut scratch.edges)
+        let outcome = if self.use_kuhn_munkres {
+            max_weight_matching_observed(&scratch.graph, &mut scratch.matcher, &mut scratch.edges)
         } else {
             greedy_matching_into(&scratch.graph, &mut scratch.matcher, &mut scratch.edges);
-            0
+            hera_matching::MatchOutcome::default()
         };
+        let simplified_nodes = outcome.simplified_nodes;
         scratch.edges.sort_unstable_by_key(|e| (e.left, e.right));
 
         // ---- Assemble the result: one allocation, forced prefix then
@@ -294,6 +298,7 @@ impl<'m> InstanceVerifier<'m> {
             simplified_nodes,
             graph_nodes,
             forced_count,
+            components: outcome.components,
         }
     }
 

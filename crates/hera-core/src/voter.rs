@@ -45,6 +45,13 @@ pub struct DecidedMatching {
     pub confidence: f64,
 }
 
+impl DecidedMatching {
+    /// Theorem 2's error bound at decision time (`1 − confidence`).
+    pub fn up_error(&self) -> f64 {
+        1.0 - self.confidence
+    }
+}
+
 /// Collects predictions and decides attribute matchings.
 #[derive(Debug, Default)]
 pub struct SchemaVoter {

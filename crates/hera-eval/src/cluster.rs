@@ -208,6 +208,33 @@ mod tests {
         assert_eq!(v_measure(&[], &t), (1.0, 1.0, 1.0));
     }
 
+    #[test]
+    fn degenerate_truths_are_not_nan() {
+        // Both degenerate truths (all-singleton, all-one-entity) against
+        // both degenerate predictions: every metric stays a number.
+        let singles = GroundTruth::new(
+            (0..5).map(EntityId::new).collect(),
+            vec![CanonAttrId::new(0)],
+        );
+        let giant = GroundTruth::new(vec![EntityId::new(0); 5], vec![CanonAttrId::new(0)]);
+        let single_pred: Vec<Vec<u32>> = (0..5).map(|i| vec![i]).collect();
+        let giant_pred = vec![vec![0u32, 1, 2, 3, 4]];
+        for t in [&singles, &giant] {
+            for pred in [&single_pred, &giant_pred] {
+                let ari = adjusted_rand_index(pred, t);
+                let (h, c, v) = v_measure(pred, t);
+                for x in [ari, h, c, v] {
+                    assert!(!x.is_nan());
+                }
+            }
+        }
+        // Matching degenerate shapes agree perfectly.
+        assert_eq!(adjusted_rand_index(&single_pred, &singles), 1.0);
+        assert_eq!(adjusted_rand_index(&giant_pred, &giant), 1.0);
+        assert_eq!(v_measure(&single_pred, &singles), (1.0, 1.0, 1.0));
+        assert_eq!(v_measure(&giant_pred, &giant), (1.0, 1.0, 1.0));
+    }
+
     proptest! {
         /// Bounds and identity for arbitrary partitions.
         #[test]

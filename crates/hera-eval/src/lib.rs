@@ -216,6 +216,85 @@ mod tests {
         assert!(s.contains("tp=1"));
     }
 
+    /// Truth where every record is its own entity (no positive pairs).
+    fn singleton_truth() -> GroundTruth {
+        GroundTruth::new(
+            (0..5).map(EntityId::new).collect(),
+            vec![CanonAttrId::new(0)],
+        )
+    }
+
+    /// Truth where all records are one entity.
+    fn giant_truth() -> GroundTruth {
+        GroundTruth::new(vec![EntityId::new(0); 5], vec![CanonAttrId::new(0)])
+    }
+
+    #[test]
+    fn empty_dataset_is_well_defined() {
+        // No records anywhere: vacuously perfect, never NaN.
+        let t = GroundTruth::new(vec![], vec![CanonAttrId::new(0)]);
+        let m = PairMetrics::score(&[], &t);
+        assert_eq!((m.precision(), m.recall(), m.f1()), (1.0, 1.0, 1.0));
+        assert_eq!(bcubed(&[], &t), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn singleton_truth_makes_recall_vacuous() {
+        // Truth has zero positive pairs; an all-singleton prediction is
+        // perfect, a giant cluster is pure false positives — all three
+        // numbers stay defined either way.
+        let t = singleton_truth();
+        let pred: Vec<Vec<u32>> = (0..5).map(|i| vec![i]).collect();
+        let m = PairMetrics::score(&pred, &t);
+        assert_eq!((m.precision(), m.recall(), m.f1()), (1.0, 1.0, 1.0));
+
+        let m = PairMetrics::score(&[vec![0, 1, 2, 3, 4]], &t);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 1.0); // vacuous: no positives to find
+        assert_eq!(m.f1(), 0.0);
+        for x in [m.precision(), m.recall(), m.f1()] {
+            assert!(!x.is_nan());
+        }
+    }
+
+    #[test]
+    fn giant_truth_extremes_are_not_nan() {
+        let t = giant_truth();
+        for pred in [
+            (0..5).map(|i| vec![i]).collect::<Vec<_>>(),
+            vec![vec![0, 1, 2, 3, 4]],
+        ] {
+            let m = PairMetrics::score(&pred, &t);
+            let (bp, br, bf) = bcubed(&pred, &t);
+            for x in [m.precision(), m.recall(), m.f1(), bp, br, bf] {
+                assert!(!x.is_nan(), "{pred:?}");
+                assert!((0.0..=1.0).contains(&x), "{pred:?}");
+            }
+        }
+        // The giant prediction exactly matches the giant truth.
+        let m = PairMetrics::score(&[vec![0, 1, 2, 3, 4]], &t);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn bcubed_extremes_are_exact() {
+        // All singletons vs truth {0,1,2},{3,4}: B³ precision is 1 (each
+        // cluster is pure), recall is 1/|truth cluster| averaged.
+        let pred: Vec<Vec<u32>> = (0..5).map(|i| vec![i]).collect();
+        let (bp, br, bf) = bcubed(&pred, &truth());
+        assert_eq!(bp, 1.0);
+        let expected_recall = (3.0 * (1.0 / 3.0) + 2.0 * (1.0 / 2.0)) / 5.0;
+        assert!((br - expected_recall).abs() < 1e-12);
+        assert!(!bf.is_nan());
+
+        // One giant cluster: recall is 1, precision the purity average.
+        let (bp, br, bf) = bcubed(&[vec![0, 1, 2, 3, 4]], &truth());
+        assert_eq!(br, 1.0);
+        let expected_precision = (3.0 * (3.0 / 5.0) + 2.0 * (2.0 / 5.0)) / 5.0;
+        assert!((bp - expected_precision).abs() < 1e-12);
+        assert!(!bf.is_nan());
+    }
+
     #[test]
     fn bcubed_penalizes_lumping_less_than_pairwise() {
         let (bp, _, _) = bcubed(&[vec![0, 1, 2, 3, 4]], &truth());

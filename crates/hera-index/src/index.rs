@@ -241,6 +241,25 @@ impl ValuePairIndex {
         }
     }
 
+    /// Emits a `stage` span with the index's structural statistics — all
+    /// deterministic totals, so the line is part of the core journal.
+    pub fn record_span(&self, recorder: &hera_obs::Recorder, stage: &str) {
+        if !recorder.enabled() {
+            return;
+        }
+        let s = self.stats();
+        recorder.span(
+            stage,
+            None,
+            &[
+                ("entries", s.entries as i64),
+                ("groups", s.groups as i64),
+                ("records", s.records as i64),
+                ("max_group", s.max_group as i64),
+            ],
+        );
+    }
+
     /// The `k` partners of `rid` with the highest single-value-pair
     /// similarity — a cheap "who could this record be?" query for
     /// interactive use (each group is similarity-descending, so its head

@@ -114,12 +114,24 @@ impl JoinConfig {
 pub struct SimilarityJoin<'m> {
     config: JoinConfig,
     metric: &'m dyn ValueSimilarity,
+    recorder: hera_obs::Recorder,
 }
 
 impl<'m> SimilarityJoin<'m> {
     /// Creates a join with the given config and verifying metric.
     pub fn new(config: JoinConfig, metric: &'m dyn ValueSimilarity) -> Self {
-        Self { config, metric }
+        Self {
+            config,
+            metric,
+            recorder: hera_obs::Recorder::disabled(),
+        }
+    }
+
+    /// Attaches a journal recorder; the join emits a `join` span with its
+    /// funnel counters (values → distinct → candidates → pairs).
+    pub fn with_recorder(mut self, recorder: hera_obs::Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Joins all values of a dataset: every field of every record
@@ -138,6 +150,7 @@ impl<'m> SimilarityJoin<'m> {
 
     /// Joins an explicit labeled value collection.
     pub fn join(&self, values: &[(Label, Value)]) -> Vec<ValuePair> {
+        let t0 = std::time::Instant::now();
         // 1. Group labels by distinct value.
         let mut groups: FxHashMap<&Value, Vec<Label>> = FxHashMap::default();
         for (label, v) in values {
@@ -260,6 +273,20 @@ impl<'m> SimilarityJoin<'m> {
                 })
                 .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
         });
+        // The funnel counters are all order-independent totals, so this
+        // span is part of the deterministic core journal; wall-clock is a
+        // separate diagnostic line.
+        self.recorder.span(
+            "join",
+            None,
+            &[
+                ("values", values.len() as i64),
+                ("distinct", distinct.len() as i64),
+                ("candidates", candidates.len() as i64),
+                ("pairs", out.len() as i64),
+            ],
+        );
+        self.recorder.timing("join", None, t0.elapsed());
         out
     }
 }

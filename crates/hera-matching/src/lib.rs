@@ -37,6 +37,39 @@ pub use hungarian::{kuhn_munkres, kuhn_munkres_with};
 pub use scratch::MatchScratch;
 pub use simplify::{connected_components, simplify, simplify_with, Simplified};
 
+#[cfg(test)]
+mod outcome_tests {
+    use super::*;
+
+    #[test]
+    fn outcome_reports_structure() {
+        let mut gr = BipartiteGraph::new();
+        gr.add_edge(9, 9, 0.5); // isolated: peeled by Theorem 1
+        gr.add_edge(0, 0, 0.9); // contested triangle: one component
+        gr.add_edge(0, 1, 0.8);
+        gr.add_edge(1, 0, 0.8);
+        gr.add_edge(5, 5, 0.7); // second isolated edge
+        let mut out = Vec::new();
+        let o = max_weight_matching_observed(&gr, &mut MatchScratch::new(), &mut out);
+        assert_eq!(o.mapped_edges, 2);
+        assert_eq!(o.components, 1);
+        assert_eq!(o.simplified_nodes, 4);
+        assert_eq!(
+            max_weight_matching_into(&gr, &mut MatchScratch::new(), &mut Vec::new()),
+            o.simplified_nodes
+        );
+    }
+
+    #[test]
+    fn empty_graph_outcome_is_zero() {
+        let gr = BipartiteGraph::new();
+        let mut out = Vec::new();
+        let o = max_weight_matching_observed(&gr, &mut MatchScratch::new(), &mut out);
+        assert_eq!(o, MatchOutcome::default());
+        assert!(out.is_empty());
+    }
+}
+
 /// Solves maximum-weight bipartite matching with the paper's full pipeline:
 /// simplification, component decomposition, and Kuhn–Munkres per component.
 ///
@@ -58,18 +91,43 @@ pub fn max_weight_matching_with(graph: &BipartiteGraph, scratch: &mut MatchScrat
     m
 }
 
-/// Fully scratch-backed pipeline: **appends** the matched edges to `out`
-/// (mapped edges first, then per-component Kuhn–Munkres results; not
-/// sorted) and returns the number of nodes that survived simplification.
-///
-/// This is the zero-allocation entry point the verifier's hot loop uses:
-/// simplification, component decomposition, and the Hungarian solver all
-/// run on pooled buffers inside `scratch`.
+/// Structural telemetry of one matching run — the per-verification
+/// numbers behind the paper's `m̄` statistic and the observability
+/// layer's verify spans. All counts are deterministic functions of the
+/// input graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchOutcome {
+    /// Nodes that survived Theorem-1 simplification (the `m̄` input).
+    pub simplified_nodes: usize,
+    /// Edges peeled directly by Theorem 1 (both endpoints degree one).
+    pub mapped_edges: usize,
+    /// Connected components the contested remainder split into (one
+    /// Kuhn–Munkres invocation each).
+    pub components: usize,
+}
+
+/// [`max_weight_matching_observed`] returning only the simplified-node
+/// count — the original zero-allocation entry point.
 pub fn max_weight_matching_into(
     graph: &BipartiteGraph,
     scratch: &mut MatchScratch,
     out: &mut Vec<Edge>,
 ) -> usize {
+    max_weight_matching_observed(graph, scratch, out).simplified_nodes
+}
+
+/// Fully scratch-backed pipeline: **appends** the matched edges to `out`
+/// (mapped edges first, then per-component Kuhn–Munkres results; not
+/// sorted) and returns the run's structural telemetry.
+///
+/// This is the zero-allocation entry point the verifier's hot loop uses:
+/// simplification, component decomposition, and the Hungarian solver all
+/// run on pooled buffers inside `scratch`.
+pub fn max_weight_matching_observed(
+    graph: &BipartiteGraph,
+    scratch: &mut MatchScratch,
+    out: &mut Vec<Edge>,
+) -> MatchOutcome {
     let scratch::MatchScratch {
         edges,
         deg_l,
@@ -149,7 +207,11 @@ pub fn max_weight_matching_into(
     for comp in comps[..n_comps].iter() {
         hungarian::km_into(comp, km, out);
     }
-    simplified_nodes
+    MatchOutcome {
+        simplified_nodes,
+        mapped_edges: mapped_count,
+        components: n_comps,
+    }
 }
 
 /// Exhaustive maximum-weight matching by branch-and-bound enumeration.

@@ -1,0 +1,488 @@
+//! Structured observability for HERA: a JSON Lines run journal.
+//!
+//! The resolve pipeline emits *events* — one JSON object per line —
+//! through a [`Recorder`] handle threaded from the driver down to the
+//! join, index, and verification stages. Events come in two classes,
+//! distinguished by their `"ev"` discriminator:
+//!
+//! * **Core events** (`run_start`, `span`, `merge`, `schema_decided`,
+//!   `gauge`, `round_end`, `run_end`) describe *what the algorithm
+//!   decided*: per-stage counter deltas, every merge `rid₁ ⊕ rid₂`, every
+//!   schema matching the voter promoted. Because the pipeline's decisions
+//!   are bit-identical at every thread count and with the similarity
+//!   cache on or off (the PR 1/PR 2 determinism discipline), the core
+//!   journal is **byte-identical** across all those configurations.
+//! * **Diagnostic events** (`timing`, `diag`) describe *how the run went
+//!   on this host*: wall-clock per stage, thread count, cache traffic.
+//!   These legitimately vary run to run, so they are a separate line
+//!   class that [`deterministic_view`] strips and
+//!   [`Recorder::deterministic`] suppresses at the source.
+//!
+//! Per-worker aggregation never happens in the recorder: parallel stages
+//! return per-item results in input order (`par_map_with`), the caller
+//! folds them in that order, and emits **one** span per stage — so the
+//! journal needs no locking discipline beyond the line sink itself.
+//!
+//! A disabled recorder ([`Recorder::disabled`]) is a `None` sink: every
+//! emit method returns after one branch, no formatting, no allocation —
+//! the hot path pays nothing. Call sites that must *build* data for an
+//! event (e.g. resolve attribute names) guard on [`Recorder::enabled`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hera_types::json::{self, Json};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Event kinds that are *diagnostic*: host- and configuration-dependent
+/// lines that [`deterministic_view`] removes.
+pub const DIAGNOSTIC_EVENTS: [&str; 2] = ["timing", "diag"];
+
+/// Where journal lines go.
+enum Sink {
+    /// Buffered file writer (flushed on [`Recorder::flush`] and drop).
+    File(std::io::BufWriter<std::fs::File>),
+    /// In-memory journal, shared with a [`JournalBuffer`].
+    Memory(String),
+    /// Encode and discard — exercises the serialization path (used by the
+    /// `HERA_TRACE=1` test mode) without touching the filesystem.
+    Null,
+}
+
+/// Read handle onto a memory-sink journal (see [`Recorder::to_memory`]).
+#[derive(Clone)]
+pub struct JournalBuffer(Arc<Mutex<Sink>>);
+
+impl JournalBuffer {
+    /// The journal accumulated so far, as JSON Lines text.
+    pub fn contents(&self) -> String {
+        match &*self.0.lock().expect("journal sink poisoned") {
+            Sink::Memory(s) => s.clone(),
+            _ => String::new(),
+        }
+    }
+}
+
+/// Handle for emitting journal events. Cheap to clone (an `Arc` plus two
+/// flags); a disabled recorder makes every emit method a no-op.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    sink: Option<Arc<Mutex<Sink>>>,
+    /// Emit diagnostic (`timing` / `diag`) lines.
+    diagnostics: bool,
+    /// Mirror `round_end` summaries to stderr as live progress lines.
+    progress: bool,
+}
+
+impl Recorder {
+    /// A recorder that records nothing — the zero-cost default.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Records to a file, creating or truncating it. Diagnostics on.
+    pub fn to_file(path: &str) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self {
+            sink: Some(Arc::new(Mutex::new(Sink::File(std::io::BufWriter::new(
+                file,
+            ))))),
+            diagnostics: true,
+            progress: false,
+        })
+    }
+
+    /// Records to an in-memory buffer; returns the recorder and a read
+    /// handle. Diagnostics on (use [`Recorder::deterministic`] to strip).
+    pub fn to_memory() -> (Self, JournalBuffer) {
+        let sink = Arc::new(Mutex::new(Sink::Memory(String::new())));
+        let rec = Self {
+            sink: Some(sink.clone()),
+            diagnostics: true,
+            progress: false,
+        };
+        (rec, JournalBuffer(sink))
+    }
+
+    /// Encodes every event and discards the bytes — the serialization
+    /// path runs, nothing is stored. Used by the `HERA_TRACE=1` test mode.
+    pub fn to_null() -> Self {
+        Self {
+            sink: Some(Arc::new(Mutex::new(Sink::Null))),
+            diagnostics: true,
+            progress: false,
+        }
+    }
+
+    /// Builds a recorder from the `HERA_TRACE` environment variable:
+    /// a null-sink recorder when set (non-empty, not `"0"`), disabled
+    /// otherwise. Lets CI drive the whole tracing path through ordinary
+    /// test runs without per-process output files.
+    pub fn from_env() -> Self {
+        match std::env::var("HERA_TRACE") {
+            Ok(v) if !v.is_empty() && v != "0" => Self::to_null(),
+            _ => Self::disabled(),
+        }
+    }
+
+    /// Suppresses diagnostic (`timing` / `diag`) lines at the source, so
+    /// the journal contains only the byte-identical core events.
+    pub fn deterministic(mut self) -> Self {
+        self.diagnostics = false;
+        self
+    }
+
+    /// Enables or disables live progress lines on stderr.
+    pub fn with_progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// True if any emit can have an effect — guard expensive event
+    /// construction (name lookups, string formatting) on this.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some() || self.progress
+    }
+
+    /// Flushes a file sink. Memory/null sinks are always current.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            if let Sink::File(w) = &mut *sink.lock().expect("journal sink poisoned") {
+                let _ = w.flush();
+            }
+        }
+    }
+
+    fn write_line(&self, ev: &str, fields: Vec<(&str, Json)>) {
+        let Some(sink) = &self.sink else { return };
+        let mut obj = Vec::with_capacity(fields.len() + 1);
+        obj.push(("ev".to_string(), Json::Str(ev.to_string())));
+        obj.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+        let line = Json::Obj(obj).to_string_compact();
+        match &mut *sink.lock().expect("journal sink poisoned") {
+            Sink::File(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+            Sink::Memory(s) => {
+                s.push_str(&line);
+                s.push('\n');
+            }
+            Sink::Null => {}
+        }
+    }
+
+    /// Emits a core event (always, when a sink is attached).
+    pub fn emit(&self, ev: &str, fields: Vec<(&str, Json)>) {
+        if self.sink.is_some() {
+            self.write_line(ev, fields);
+        }
+    }
+
+    /// Emits a diagnostic event (skipped in [`Recorder::deterministic`]
+    /// mode).
+    pub fn emit_diag(&self, ev: &str, fields: Vec<(&str, Json)>) {
+        if self.sink.is_some() && self.diagnostics {
+            self.write_line(ev, fields);
+        }
+    }
+
+    // ---- Typed conveniences over `emit` / `emit_diag`. --------------
+
+    /// Start-of-run marker: which pipeline, on what input, under which
+    /// thresholds.
+    pub fn run_start(&self, pipeline: &str, dataset: &str, records: usize, delta: f64, xi: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.emit(
+            "run_start",
+            vec![
+                ("pipeline", Json::Str(pipeline.to_string())),
+                ("dataset", Json::Str(dataset.to_string())),
+                ("records", Json::Int(records as i64)),
+                ("delta", Json::Float(delta)),
+                ("xi", Json::Float(xi)),
+            ],
+        );
+    }
+
+    /// One pipeline stage's counter deltas. `round` is `None` for stages
+    /// outside the compare-and-merge loop (join, index build).
+    pub fn span(&self, stage: &str, round: Option<usize>, counters: &[(&str, i64)]) {
+        if self.sink.is_none() {
+            return;
+        }
+        let mut fields: Vec<(&str, Json)> = vec![("stage", Json::Str(stage.to_string()))];
+        if let Some(r) = round {
+            fields.push(("round", Json::Int(r as i64)));
+        }
+        fields.extend(counters.iter().map(|&(k, v)| (k, Json::Int(v))));
+        self.emit("span", fields);
+    }
+
+    /// One merge decision: `winner ⊕ loser` at record similarity `sim`
+    /// over `matched_fields` matched field pairs.
+    pub fn merge(&self, round: usize, winner: u32, loser: u32, sim: f64, matched_fields: usize) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.emit(
+            "merge",
+            vec![
+                ("round", Json::Int(round as i64)),
+                ("winner", Json::Int(winner as i64)),
+                ("loser", Json::Int(loser as i64)),
+                ("sim", Json::Float(sim)),
+                ("matched_fields", Json::Int(matched_fields as i64)),
+            ],
+        );
+    }
+
+    /// One schema matching promoted by the voter, with its Theorem-2
+    /// error bound at decision time.
+    pub fn schema_decided(&self, round: usize, attr: &str, partner: &str, up_error: f64) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.emit(
+            "schema_decided",
+            vec![
+                ("round", Json::Int(round as i64)),
+                ("attr", Json::Str(attr.to_string())),
+                ("partner", Json::Str(partner.to_string())),
+                ("up_error", Json::Float(up_error)),
+            ],
+        );
+    }
+
+    /// A point-in-time measurement of a named quantity.
+    pub fn gauge(&self, name: &str, round: Option<usize>, value: i64) {
+        if self.sink.is_none() {
+            return;
+        }
+        let mut fields: Vec<(&str, Json)> = vec![("name", Json::Str(name.to_string()))];
+        if let Some(r) = round {
+            fields.push(("round", Json::Int(r as i64)));
+        }
+        fields.push(("value", Json::Int(value)));
+        self.emit("gauge", fields);
+    }
+
+    /// End-of-round summary; mirrors to stderr when progress is on.
+    pub fn round_end(&self, round: usize, merges: i64, index_size: i64, open_buckets: i64) {
+        if self.progress {
+            eprintln!("[trace] round {round}: {merges} merges, index {index_size} pairs");
+        }
+        if self.sink.is_none() {
+            return;
+        }
+        self.emit(
+            "round_end",
+            vec![
+                ("round", Json::Int(round as i64)),
+                ("merges", Json::Int(merges)),
+                ("index_size", Json::Int(index_size)),
+                ("open_vote_buckets", Json::Int(open_buckets)),
+            ],
+        );
+    }
+
+    /// End-of-run counters (deterministic totals only — host-dependent
+    /// numbers belong in a [`Recorder::emit_diag`] event).
+    pub fn run_end(&self, counters: &[(&str, i64)]) {
+        if self.sink.is_none() {
+            return;
+        }
+        let fields: Vec<(&str, Json)> = counters.iter().map(|&(k, v)| (k, Json::Int(v))).collect();
+        self.emit("run_end", fields);
+    }
+
+    /// Wall-clock of one stage — diagnostic (host-dependent).
+    pub fn timing(&self, stage: &str, round: Option<usize>, wall: Duration) {
+        if self.sink.is_none() || !self.diagnostics {
+            return;
+        }
+        let mut fields: Vec<(&str, Json)> = vec![("stage", Json::Str(stage.to_string()))];
+        if let Some(r) = round {
+            fields.push(("round", Json::Int(r as i64)));
+        }
+        fields.push(("wall_us", Json::Int(wall.as_micros() as i64)));
+        self.emit_diag("timing", fields);
+    }
+}
+
+/// Summary of a validated journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalSummary {
+    /// Total lines.
+    pub lines: usize,
+    /// Line counts per `"ev"` kind, sorted by kind.
+    pub by_kind: BTreeMap<String, usize>,
+}
+
+impl JournalSummary {
+    /// Lines of one event kind (0 when absent).
+    pub fn count(&self, kind: &str) -> usize {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+/// Validates a journal: every line must parse as a JSON object with a
+/// string `"ev"` key. Returns per-kind line counts.
+pub fn validate(journal: &str) -> Result<JournalSummary, String> {
+    let mut summary = JournalSummary {
+        lines: 0,
+        by_kind: BTreeMap::new(),
+    };
+    for (i, line) in journal.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let kind = doc
+            .get("ev")
+            .ok_or_else(|| format!("line {}: missing \"ev\" key", i + 1))?
+            .as_str()
+            .map_err(|e| format!("line {}: {e}", i + 1))?;
+        summary.lines += 1;
+        *summary.by_kind.entry(kind.to_string()).or_insert(0) += 1;
+    }
+    Ok(summary)
+}
+
+/// The deterministic core of a journal: every line whose `"ev"` kind is
+/// not diagnostic, in order. Two runs of the same dataset and config —
+/// at any thread count, cache on or off — produce byte-identical views.
+/// Unparseable lines are kept (validation is [`validate`]'s job).
+pub fn deterministic_view(journal: &str) -> String {
+    let mut out = String::new();
+    for line in journal.lines() {
+        let diagnostic = json::parse(line)
+            .ok()
+            .and_then(|doc| {
+                doc.get("ev")
+                    .and_then(|e| e.as_str().ok().map(String::from))
+            })
+            .is_some_and(|kind| DIAGNOSTIC_EVENTS.contains(&kind.as_str()));
+        if !diagnostic {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.enabled());
+        rec.run_start("batch", "d", 10, 0.5, 0.5);
+        rec.span("verify", Some(1), &[("pairs", 3)]);
+        rec.merge(1, 0, 5, 0.7, 4);
+        rec.run_end(&[("merges", 1)]);
+        rec.flush(); // no panic, no effect
+    }
+
+    #[test]
+    fn memory_journal_round_trip() {
+        let (rec, buf) = Recorder::to_memory();
+        assert!(rec.enabled());
+        rec.run_start("batch", "demo", 6, 0.5, 0.5);
+        rec.span("index_build", None, &[("entries", 20)]);
+        rec.span(
+            "verify_candidates",
+            Some(1),
+            &[("pairs", 7), ("lookups", 42)],
+        );
+        rec.merge(1, 0, 5, 0.574, 4);
+        rec.schema_decided(1, "S1.name", "S2.name", 0.57);
+        rec.gauge("index_entries", Some(1), 18);
+        rec.round_end(1, 1, 18, 2);
+        rec.timing("verify_candidates", Some(1), Duration::from_micros(1234));
+        rec.run_end(&[("iterations", 1), ("merges", 1)]);
+        let text = buf.contents();
+        let summary = validate(&text).unwrap();
+        assert_eq!(summary.lines, 9);
+        assert_eq!(summary.count("span"), 2);
+        assert_eq!(summary.count("merge"), 1);
+        assert_eq!(summary.count("timing"), 1);
+        assert!(text.contains("\"ev\":\"run_start\""));
+        assert!(text.contains("\"winner\":0"));
+        assert!(text.contains("\"wall_us\":1234"));
+    }
+
+    #[test]
+    fn deterministic_mode_drops_diagnostics_at_source() {
+        let (rec, buf) = Recorder::to_memory();
+        let rec = rec.deterministic();
+        rec.span("verify", Some(1), &[("pairs", 3)]);
+        rec.timing("verify", Some(1), Duration::from_millis(5));
+        rec.emit_diag("diag", vec![("threads", Json::Int(4))]);
+        let text = buf.contents();
+        let summary = validate(&text).unwrap();
+        assert_eq!(summary.lines, 1);
+        assert_eq!(summary.count("timing"), 0);
+        assert_eq!(summary.count("diag"), 0);
+    }
+
+    #[test]
+    fn deterministic_view_strips_exactly_diagnostics() {
+        let (rec, buf) = Recorder::to_memory();
+        rec.span("verify", Some(1), &[("pairs", 3)]);
+        rec.timing("verify", Some(1), Duration::from_millis(5));
+        rec.emit_diag("diag", vec![("threads", Json::Int(4))]);
+        rec.merge(1, 0, 2, 0.9, 1);
+        let full = buf.contents();
+        let core = deterministic_view(&full);
+        assert_eq!(validate(&core).unwrap().lines, 2);
+        assert!(!core.contains("\"ev\":\"timing\""));
+        assert!(!core.contains("\"ev\":\"diag\""));
+        assert!(core.contains("\"ev\":\"merge\""));
+        // A second pass is a fixpoint.
+        assert_eq!(deterministic_view(&core), core);
+    }
+
+    #[test]
+    fn null_sink_encodes_and_discards() {
+        let rec = Recorder::to_null();
+        assert!(rec.enabled());
+        rec.span("verify", Some(1), &[("pairs", 3)]);
+        rec.flush();
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let (rec, buf) = Recorder::to_memory();
+        let other = rec.clone();
+        rec.span("a", None, &[]);
+        other.span("b", None, &[]);
+        assert_eq!(validate(&buf.contents()).unwrap().lines, 2);
+    }
+
+    #[test]
+    fn file_sink_writes_and_flushes() {
+        let path = std::env::temp_dir().join("hera_obs_test_journal.jsonl");
+        let path = path.to_str().unwrap();
+        let rec = Recorder::to_file(path).unwrap();
+        rec.run_start("batch", "d", 1, 0.5, 0.5);
+        rec.flush();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(validate(&text).unwrap().lines, 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(validate("not json\n").is_err());
+        assert!(validate("{\"no_ev\":1}\n").is_err());
+        assert!(validate("{\"ev\":7}\n").is_err());
+        assert_eq!(validate("").unwrap().lines, 0);
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`join`] | `hera-join` | similarity self-join (inverted q-gram index + prefix filter) |
 //! | [`matching`] | `hera-matching` | Kuhn–Munkres max-weight bipartite matching, simplification, greedy |
 //! | [`index`] | `hera-index` | the value-pair index, Algorithm-1 bounds, union–find, merge maintenance |
+//! | [`obs`] | `hera-obs` | structured run journal: spans, counters, merge/promotion events (JSON Lines) |
 //! | [`core`] | `hera-core` | super records, instance-/schema-based verification, the HERA driver |
 //! | [`baselines`] | `hera-baselines` | R-Swoosh, correlation clustering, collective ER, nest-loop verifier |
 //! | [`datagen`] | `hera-datagen` | synthetic heterogeneous movie datasets (Table I presets) |
@@ -43,6 +44,7 @@ pub use hera_exchange as exchange;
 pub use hera_index as index;
 pub use hera_join as join;
 pub use hera_matching as matching;
+pub use hera_obs as obs;
 pub use hera_sim as sim;
 pub use hera_types as types;
 
@@ -62,6 +64,7 @@ pub use hera_exchange::{
 };
 pub use hera_index::{FlatIndex, UnionFind, ValuePair, ValuePairIndex};
 pub use hera_join::{IncrementalJoin, JoinConfig, SimilarityJoin};
+pub use hera_obs::{JournalBuffer, Recorder};
 pub use hera_sim::{
     CosineTf, DiceQGram, EditSimilarity, ExactMatch, Jaro, JaroWinkler, MongeElkan,
     NumericProximity, OverlapQGram, QGramJaccard, SoftTfIdf, TokenJaccard, TypeDispatch,

@@ -3,7 +3,7 @@
 //! counters — because parallelism only reschedules read-only snapshot
 //! verifications, never reorders decisions.
 
-use hera::{Hera, HeraConfig, ValuePairIndex};
+use hera::{Hera, HeraConfig, Recorder, ValuePairIndex};
 use hera_datagen::{CorruptionConfig, DatagenConfig, Generator};
 
 /// Seeded dataset big enough to exercise the parallel paths (the join
@@ -121,6 +121,70 @@ fn cache_on_and_off_are_bit_identical() {
         assert!(on.stats.metric_sim_calls < off.stats.metric_sim_calls);
         assert_eq!(off.stats.sim_cache_hits, 0);
     }
+}
+
+/// Runs the full pipeline with a deterministic (core-events-only) memory
+/// journal attached and returns the journal text.
+fn core_journal(cfg: HeraConfig, ds: &hera::Dataset) -> (String, hera::RunStats) {
+    let (rec, buf) = Recorder::to_memory();
+    let result = Hera::new(cfg).with_recorder(rec.deterministic()).run(ds);
+    (buf.contents(), result.stats)
+}
+
+#[test]
+fn trace_journal_is_byte_identical_across_threads_and_cache() {
+    let ds = dataset();
+    let (base, base_stats) = core_journal(HeraConfig::new(0.5, 0.5).with_threads(1), &ds);
+    assert!(!base.is_empty());
+
+    // Every line parses; merge lines match the stats counter; the core
+    // event kinds all appear on this multi-round workload.
+    let summary = hera::obs::validate(&base).unwrap();
+    assert_eq!(summary.count("merge"), base_stats.merges);
+    assert_eq!(summary.count("run_start"), 1);
+    assert_eq!(summary.count("run_end"), 1);
+    assert_eq!(summary.count("round_end"), base_stats.iterations);
+    assert!(summary.count("span") > 0);
+    assert_eq!(summary.count("timing"), 0, "deterministic mode: no timings");
+    assert_eq!(summary.count("diag"), 0);
+
+    for threads in [2, 4, 8] {
+        let (j, _) = core_journal(HeraConfig::new(0.5, 0.5).with_threads(threads), &ds);
+        assert_eq!(base, j, "journal differs at {threads} threads");
+    }
+    for threads in [1, 4] {
+        let (j, _) = core_journal(
+            HeraConfig::new(0.5, 0.5)
+                .with_threads(threads)
+                .without_sim_cache(),
+            &ds,
+        );
+        assert_eq!(
+            base, j,
+            "journal differs with the cache off at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn full_journal_deterministic_view_matches_core_journal() {
+    // A full journal (timings and diagnostics on) stripped through
+    // deterministic_view() equals the journal recorded in deterministic
+    // mode: diagnostics are *additive*, never interleaved into core data.
+    let ds = dataset();
+    let (core, _) = core_journal(HeraConfig::new(0.5, 0.5).with_threads(2), &ds);
+    let (rec, buf) = Recorder::to_memory();
+    let _ = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(2))
+        .with_recorder(rec)
+        .run(&ds);
+    let full = buf.contents();
+    let full_summary = hera::obs::validate(&full).unwrap();
+    assert!(
+        full_summary.count("timing") > 0,
+        "full mode records timings"
+    );
+    assert!(full_summary.count("diag") > 0);
+    assert_eq!(hera::obs::deterministic_view(&full), core);
 }
 
 #[test]

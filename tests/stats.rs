@@ -1,0 +1,108 @@
+//! Property tests for [`hera::RunStats`] internal consistency: on random
+//! datasets, the counters the observability layer reports must agree with
+//! each other — cache traffic accounts for every cached-path lookup,
+//! per-round metric calls partition the total, timings nest.
+
+use hera::{Hera, HeraConfig, RunStats};
+use hera_datagen::{CorruptionConfig, DatagenConfig, Generator};
+
+fn random_dataset(seed: u64, n_records: usize) -> hera::Dataset {
+    Generator::new(DatagenConfig {
+        name: format!("stats-prop-{seed}"),
+        seed,
+        n_records,
+        n_entities: (n_records / 6).max(2),
+        n_attrs: 10,
+        n_sources: 3,
+        min_source_attrs: 5,
+        max_source_attrs: 8,
+        corruption: CorruptionConfig::moderate(),
+        domain: Default::default(),
+    })
+    .generate()
+}
+
+/// The invariants behind `RunStats::check_consistency`, spelled out so a
+/// failure names the exact counter pair that disagreed.
+fn assert_consistent(s: &RunStats, cache_enabled: bool, ctx: &str) {
+    s.check_consistency(cache_enabled)
+        .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    // Cached-path lookups are fully accounted: every lookup is either a
+    // hit or a miss, and every miss is a metric call.
+    if cache_enabled {
+        assert_eq!(
+            s.sim_cache_hits + s.sim_cache_misses,
+            s.sim_lookups(),
+            "{ctx}: hits + misses must cover all cached-path lookups"
+        );
+        assert_eq!(s.metric_sim_calls, s.sim_cache_misses, "{ctx}");
+    } else {
+        assert_eq!(s.sim_cache_hits, 0, "{ctx}");
+        assert_eq!(s.sim_cache_misses, 0, "{ctx}");
+        assert_eq!(s.metric_sim_calls, s.sim_lookups(), "{ctx}");
+    }
+    // Per-round metric calls partition the total.
+    let by_round: u64 = s.metric_calls_by_round.iter().sum();
+    assert_eq!(by_round, s.metric_sim_calls, "{ctx}");
+    assert_eq!(s.iterations, s.metric_calls_by_round.len(), "{ctx}");
+    // Verification is a phase of the resolve loop.
+    assert!(s.verify_time <= s.resolve_time, "{ctx}");
+    // Every comparison runs a matching; direct-phase verifications may
+    // run more.
+    assert!(s.matchings_run >= s.comparisons, "{ctx}");
+    assert!(s.final_index_size <= s.index_size, "{ctx}");
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+    /// Random datasets, cache on: every counter invariant holds, and the
+    /// cache-invariant lookup count matches the cache-off run.
+    #[test]
+    fn run_stats_are_internally_consistent(
+        seed in proptest::prelude::any::<u64>(),
+        n in 80usize..140,
+    ) {
+        let ds = random_dataset(seed, n);
+        let on = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds);
+        assert_consistent(&on.stats, true, "cache on");
+
+        let off = Hera::new(HeraConfig::new(0.5, 0.5).without_sim_cache()).run(&ds);
+        assert_consistent(&off.stats, false, "cache off");
+
+        // The decisions are bit-identical, so the decision-driving
+        // counters — including the cache-invariant lookup count — agree.
+        assert_eq!(on.entity_of, off.entity_of);
+        assert_eq!(on.stats.merges, off.stats.merges);
+        assert_eq!(on.stats.iterations, off.stats.iterations);
+        assert_eq!(on.stats.sim_lookups(), off.stats.sim_lookups());
+    }
+}
+
+#[test]
+fn check_consistency_rejects_broken_counters() {
+    let ds = random_dataset(7, 90);
+    let result = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds);
+    let good = result.stats.clone();
+    good.check_consistency(true).unwrap();
+
+    let mut s = good.clone();
+    s.metric_sim_calls += 1;
+    assert!(s.check_consistency(true).is_err(), "miss accounting");
+
+    let mut s = good.clone();
+    s.metric_calls_by_round.push(1);
+    assert!(s.check_consistency(true).is_err(), "round partition");
+
+    let mut s = good.clone();
+    s.iterations += 1;
+    assert!(s.check_consistency(true).is_err(), "round count");
+
+    let mut s = good.clone();
+    s.verify_time = s.resolve_time + std::time::Duration::from_secs(1);
+    assert!(s.check_consistency(true).is_err(), "time nesting");
+
+    let mut s = good;
+    s.sim_cache_hits += 1;
+    assert!(s.check_consistency(false).is_err(), "cache-off traffic");
+}
