@@ -93,8 +93,10 @@ mod tests {
         assert!(plan.dropped_value_count > 0);
         let metric = TypeDispatch::paper_default();
         let swoosh = RSwoosh::new(0.5, 0.5).resolve(&lossy, &metric);
-        let hera = hera_core::Hera::new(hera_core::HeraConfig::paper_example())
+        let hera = hera_core::Hera::builder(hera_core::HeraConfig::paper_example())
+            .build()
             .run(&ds)
+            .unwrap()
             .clusters();
         let m_swoosh = PairMetrics::score(&swoosh, &lossy.truth);
         let m_hera = PairMetrics::score(&hera, &ds.truth);

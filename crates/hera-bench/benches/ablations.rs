@@ -75,7 +75,12 @@ fn bench_ablations(c: &mut Criterion) {
         ];
         for (name, cfg) in variants {
             g.bench_function(name, |b| {
-                b.iter(|| Hera::new(cfg.clone()).run_with_pairs(&ds, pairs.clone()))
+                b.iter(|| {
+                    Hera::builder(cfg.clone())
+                        .build()
+                        .run_with_pairs(&ds, pairs.clone())
+                        .unwrap()
+                })
             });
         }
         g.finish();

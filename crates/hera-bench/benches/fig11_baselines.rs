@@ -10,12 +10,17 @@ fn bench_systems(c: &mut Criterion) {
     let ds = hera_datagen::table1_dataset("dm1");
     let (homo, _) = hera_exchange::exchange_small(&ds, 1);
     let metric = TypeDispatch::paper_default();
-    let pairs = Hera::new(HeraConfig::new(0.5, 0.5)).join(&ds);
+    let pairs = Hera::builder(HeraConfig::new(0.5, 0.5)).build().join(&ds);
 
     let mut g = c.benchmark_group("fig11_systems");
     g.sample_size(10);
     g.bench_function("hera_hetero_dm1", |b| {
-        b.iter(|| Hera::new(HeraConfig::new(0.5, 0.5)).run_with_pairs(&ds, pairs.clone()))
+        b.iter(|| {
+            Hera::builder(HeraConfig::new(0.5, 0.5))
+                .build()
+                .run_with_pairs(&ds, pairs.clone())
+                .unwrap()
+        })
     });
     g.bench_function("rswoosh_dm1_s", |b| {
         b.iter(|| RSwoosh::new(0.5, 0.5).resolve(&homo, &metric))

@@ -9,14 +9,17 @@ fn bench_runtime(c: &mut Criterion) {
     g.sample_size(10);
     for name in ["dm1", "dm2"] {
         let ds = hera_datagen::table1_dataset(name);
-        let pairs = Hera::new(HeraConfig::new(0.5, 0.5)).join(&ds);
+        let pairs = Hera::builder(HeraConfig::new(0.5, 0.5)).build().join(&ds);
         for delta in [0.5, 0.8] {
             g.bench_with_input(
                 BenchmarkId::new(format!("resolve_{name}"), format!("delta_{delta:.1}")),
                 &delta,
                 |b, &delta| {
                     b.iter(|| {
-                        Hera::new(HeraConfig::new(delta, 0.5)).run_with_pairs(&ds, pairs.clone())
+                        Hera::builder(HeraConfig::new(delta, 0.5))
+                            .build()
+                            .run_with_pairs(&ds, pairs.clone())
+                            .unwrap()
                     })
                 },
             );

@@ -6,7 +6,7 @@ use hera_core::{Hera, HeraConfig};
 
 fn bench_quality_sweep(c: &mut Criterion) {
     let ds = hera_datagen::table1_dataset("dm1");
-    let pairs = Hera::new(HeraConfig::new(0.5, 0.5)).join(&ds);
+    let pairs = Hera::builder(HeraConfig::new(0.5, 0.5)).build().join(&ds);
 
     let mut g = c.benchmark_group("fig9_quality_sweep");
     g.sample_size(10);
@@ -15,7 +15,12 @@ fn bench_quality_sweep(c: &mut Criterion) {
             BenchmarkId::new("hera_dm1_delta", format!("{delta:.1}")),
             &delta,
             |b, &delta| {
-                b.iter(|| Hera::new(HeraConfig::new(delta, 0.5)).run_with_pairs(&ds, pairs.clone()))
+                b.iter(|| {
+                    Hera::builder(HeraConfig::new(delta, 0.5))
+                        .build()
+                        .run_with_pairs(&ds, pairs.clone())
+                        .unwrap()
+                })
             },
         );
     }

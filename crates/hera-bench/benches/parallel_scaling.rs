@@ -34,7 +34,7 @@ fn bench_join(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel_join");
     g.sample_size(10);
     for &t in &THREADS {
-        let hera = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(t));
+        let hera = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(t)).build();
         g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, _| {
             b.iter(|| hera.join(&ds));
         });
@@ -44,13 +44,13 @@ fn bench_join(c: &mut Criterion) {
 
 fn bench_resolve(c: &mut Criterion) {
     let ds = dataset();
-    let pairs = Hera::new(HeraConfig::new(0.5, 0.5)).join(&ds);
+    let pairs = Hera::builder(HeraConfig::new(0.5, 0.5)).build().join(&ds);
     let mut g = c.benchmark_group("parallel_resolve");
     g.sample_size(10);
     for &t in &THREADS {
-        let hera = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(t));
+        let hera = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(t)).build();
         g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, _| {
-            b.iter(|| hera.run_with_pairs(&ds, pairs.clone()));
+            b.iter(|| hera.run_with_pairs(&ds, pairs.clone()).unwrap());
         });
     }
     g.finish();

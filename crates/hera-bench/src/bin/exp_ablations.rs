@@ -78,7 +78,10 @@ fn main() {
         ("Kuhn–Munkres", HeraConfig::new(0.5, XI)),
         ("greedy", HeraConfig::new(0.5, XI).with_greedy_matching()),
     ] {
-        let result = Hera::new(cfg).run_with_pairs(&ds, pairs.clone());
+        let result = Hera::builder(cfg)
+            .build()
+            .run_with_pairs(&ds, pairs.clone())
+            .unwrap();
         let m = PairMetrics::score(&result.clusters(), &ds.truth);
         row(&[
             name.into(),
@@ -103,7 +106,10 @@ fn main() {
         ("on", HeraConfig::new(0.5, XI)),
         ("off", HeraConfig::new(0.5, XI).without_schema_voting()),
     ] {
-        let result = Hera::new(cfg).run_with_pairs(&ds, pairs.clone());
+        let result = Hera::builder(cfg)
+            .build()
+            .run_with_pairs(&ds, pairs.clone())
+            .unwrap();
         let m = PairMetrics::score(&result.clusters(), &ds.truth);
         row(&[
             name.into(),
@@ -129,7 +135,10 @@ fn main() {
     ]);
     for (name, mode) in [("Sound", BoundMode::Sound), ("Paper", BoundMode::Paper)] {
         let cfg = HeraConfig::new(0.5, XI).with_bound_mode(mode);
-        let result = Hera::new(cfg).run_with_pairs(&ds, pairs.clone());
+        let result = Hera::builder(cfg)
+            .build()
+            .run_with_pairs(&ds, pairs.clone())
+            .unwrap();
         let m = PairMetrics::score(&result.clusters(), &ds.truth);
         let s = &result.stats;
         row(&[

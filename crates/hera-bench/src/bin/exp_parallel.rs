@@ -38,12 +38,15 @@ fn main() {
         "pairs/s",
     ]);
 
-    let baseline = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(1)).run(&ds);
+    let baseline = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(1))
+        .build()
+        .run(&ds)
+        .unwrap();
     let mut entries: Vec<Json> = Vec::new();
     let mut base_join_ms = 0.0;
     let mut base_resolve_ms = 0.0;
     for &t in &THREADS {
-        let hera = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(t));
+        let hera = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(t)).build();
         // Best-of-REPS to damp scheduler noise.
         let mut join_ms = f64::INFINITY;
         let mut pairs = Vec::new();
@@ -58,7 +61,7 @@ fn main() {
         let mut result = None;
         for _ in 0..REPS {
             let t0 = Instant::now();
-            let r = hera.run_with_pairs(&ds, pairs.clone());
+            let r = hera.run_with_pairs(&ds, pairs.clone()).unwrap();
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             if ms < resolve_ms {
                 resolve_ms = ms;
@@ -104,9 +107,11 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results/");
     let trace_path = "results/TRACE_parallel.jsonl";
     let recorder = hera_obs::Recorder::to_file(trace_path).expect("create trace journal");
-    let traced = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(THREADS[THREADS.len() - 1]))
-        .with_recorder(recorder.clone())
-        .run(&ds);
+    let traced = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(THREADS[THREADS.len() - 1]))
+        .recorder(recorder.clone())
+        .build()
+        .run(&ds)
+        .unwrap();
     recorder.flush();
     assert_eq!(traced.entity_of, baseline.entity_of);
     let text = std::fs::read_to_string(trace_path).expect("read trace journal back");

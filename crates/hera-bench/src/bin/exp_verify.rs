@@ -235,12 +235,12 @@ fn main() {
             if !cache_on {
                 cfg = cfg.without_sim_cache();
             }
-            let hera = Hera::new(cfg);
+            let hera = Hera::builder(cfg).build();
             let mut resolve_ms = f64::INFINITY;
             let mut result = None;
             for _ in 0..reps {
                 let t0 = Instant::now();
-                let r = hera.run(&ds);
+                let r = hera.run(&ds).unwrap();
                 resolve_ms = resolve_ms.min(t0.elapsed().as_secs_f64() * 1e3);
                 result = Some(r);
             }
@@ -324,9 +324,11 @@ fn main() {
     let mut traced_cfg = HeraConfig::new(0.45, xi).with_threads(n_threads);
     traced_cfg.vote_min_n = 2;
     traced_cfg.vote_error_threshold = 0.8;
-    let traced = Hera::new(traced_cfg)
-        .with_recorder(recorder.clone())
-        .run(&ds);
+    let traced = Hera::builder(traced_cfg)
+        .recorder(recorder.clone())
+        .build()
+        .run(&ds)
+        .unwrap();
     recorder.flush();
     assert_eq!(
         baseline_entity_of.as_deref(),

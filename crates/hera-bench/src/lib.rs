@@ -35,15 +35,15 @@ pub fn run_at_delta(
     pairs: &[hera_index::ValuePair],
     delta: f64,
 ) -> (HeraResult, PairMetrics) {
-    let hera = Hera::new(HeraConfig::new(delta, XI));
-    let result = hera.run_with_pairs(ds, pairs.to_vec());
+    let hera = Hera::builder(HeraConfig::new(delta, XI)).build();
+    let result = hera.run_with_pairs(ds, pairs.to_vec()).unwrap();
     let metrics = PairMetrics::score(&result.clusters(), &ds.truth);
     (result, metrics)
 }
 
 /// Precomputes the ξ = 0.5 similarity join for a dataset.
 pub fn shared_join(ds: &Dataset) -> Vec<hera_index::ValuePair> {
-    Hera::new(HeraConfig::new(0.5, XI)).join(ds)
+    Hera::builder(HeraConfig::new(0.5, XI)).build().join(ds)
 }
 
 /// Prints a markdown-style table row.
@@ -77,7 +77,10 @@ mod tests {
         let ds = hera_datagen::table1_dataset("dm1");
         let pairs = shared_join(&ds);
         let (reused, m1) = run_at_delta(&ds, &pairs, 0.5);
-        let fresh = Hera::new(HeraConfig::new(0.5, XI)).run(&ds);
+        let fresh = Hera::builder(HeraConfig::new(0.5, XI))
+            .build()
+            .run(&ds)
+            .unwrap();
         let m2 = PairMetrics::score(&fresh.clusters(), &ds.truth);
         assert_eq!(reused.entity_of, fresh.entity_of);
         assert_eq!(m1, m2);

@@ -2,10 +2,10 @@
 
 use crate::args::Args;
 use hera_baselines::{CollectiveEr, CorrelationClustering, RSwoosh, Resolver};
-use hera_core::{Hera, HeraConfig};
+use hera_core::{Hera, HeraConfig, HeraSession};
 use hera_eval::{bcubed, PairMetrics};
 use hera_sim::TypeDispatch;
-use hera_types::Dataset;
+use hera_types::{Dataset, RecordId, SchemaId};
 use std::fs;
 
 /// Help text.
@@ -18,7 +18,13 @@ USAGE:
   hera-cli generate --preset <dm1|dm2|dm3|dm4> [--seed N] [--out FILE]
   hera-cli resolve  --input FILE [--delta 0.5] [--xi 0.5] [--threads N] [--labels FILE]
                 [--eval] [--matchings] [--no-sim-cache] [--trace FILE.jsonl]
-                [--trace-stderr] [--trace-deterministic]
+                [--trace-stderr] [--trace-deterministic] [--streaming]
+                [--checkpoint FILE.hera] [--checkpoint-every N]
+  hera-cli checkpoint --input FILE --out FILE.hera [--upto N] [--delta 0.5] [--xi 0.5]
+                [--threads N] [--no-sim-cache]
+  hera-cli restore-resolve --snapshot FILE.hera --input FILE [--labels FILE] [--eval]
+                [--matchings] [--delta 0.5] [--xi 0.5] [--threads N] [--no-sim-cache]
+                [--trace FILE.jsonl] [--trace-stderr] [--trace-deterministic]
   hera-cli exchange --input FILE [--fraction 0.333] [--seed N] [--out FILE]
   hera-cli fuse     --input FILE --labels FILE [--fraction 1.0] [--seed N] [--out FILE]
   hera-cli baseline --input FILE --system <rswoosh|cc|cr> [--delta 0.5] [--xi 0.5] [--eval]
@@ -40,6 +46,19 @@ timing/diag lines too, making the whole file reproducible.
 `--trace-stderr` mirrors per-round summaries to stderr as the run goes.
 `trace-check` validates a journal (every line parses, every line has an
 event kind) and prints per-kind counts.
+
+`resolve --streaming` ingests record by record through a HeraSession
+(resolving after each insert) instead of the batch driver.
+`--checkpoint FILE` snapshots the full session state when ingestion
+finishes; `--checkpoint-every N` (implies --streaming) additionally
+snapshots after every N records, so a crash loses at most N records of
+work. `checkpoint` stops after the first --upto records and writes the
+snapshot; `restore-resolve` loads a snapshot, ingests the records the
+snapshot has not seen yet, and reports like `resolve`. Restoring and
+continuing is bit-identical to an uninterrupted streaming run — same
+entities, same stats, same core journal events (see DESIGN.md,
+Persistence). Snapshots are versioned and CRC-checked; corrupt or
+version-skewed files are rejected.
 ";
 
 /// Routes a parsed command line.
@@ -48,6 +67,8 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "import" => import(args),
         "generate" => generate(args),
         "resolve" => resolve(args),
+        "checkpoint" => checkpoint(args),
+        "restore-resolve" => restore_resolve(args),
         "exchange" => exchange(args),
         "fuse" => fuse(args),
         "baseline" => baseline(args),
@@ -128,8 +149,7 @@ fn generate(args: &Args) -> Result<(), String> {
     write_out(args.get("out"), &json)
 }
 
-fn resolve(args: &Args) -> Result<(), String> {
-    let ds = load_dataset(args.require("input")?)?;
+fn build_config(args: &Args) -> Result<HeraConfig, String> {
     let delta = args.get_f64("delta", 0.5)?;
     let xi = args.get_f64("xi", 0.5)?;
     let threads = args.get_u64("threads", 0)? as usize;
@@ -137,6 +157,10 @@ fn resolve(args: &Args) -> Result<(), String> {
     if args.has("no-sim-cache") {
         config = config.without_sim_cache();
     }
+    Ok(config)
+}
+
+fn build_recorder(args: &Args) -> Result<hera_obs::Recorder, String> {
     let mut recorder = hera_obs::Recorder::disabled();
     if let Some(path) = args.get("trace") {
         recorder =
@@ -148,7 +172,217 @@ fn resolve(args: &Args) -> Result<(), String> {
     if args.has("trace-stderr") {
         recorder = recorder.with_progress(true);
     }
-    let result = Hera::new(config).with_recorder(recorder.clone()).run(&ds);
+    Ok(recorder)
+}
+
+/// Registers every schema of `ds` in the (empty) session, in dataset
+/// order, so that `ds` schema index `i` maps to session schema id `i`.
+fn mirror_schemas(session: &mut HeraSession, ds: &Dataset) -> Vec<SchemaId> {
+    ds.registry
+        .schemas()
+        .map(|s| {
+            session.add_schema(
+                s.name.clone(),
+                s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+/// Ingests records `[from, to)` of `ds` one by one, resolving after
+/// each insert; with `checkpoint_every = Some(n)` also snapshots the
+/// session to `checkpoint_path` after every `n`-th ingested record.
+fn ingest_range(
+    session: &mut HeraSession,
+    ds: &Dataset,
+    schemas: &[SchemaId],
+    from: usize,
+    to: usize,
+    checkpoint_every: Option<usize>,
+    checkpoint_path: Option<&str>,
+) -> Result<(), String> {
+    for (i, rec) in ds.records.iter().enumerate().skip(from).take(to - from) {
+        session
+            .add_record(schemas[rec.schema.index()], rec.values.clone())
+            .map_err(|e| format!("ingesting record {i}: {e}"))?;
+        session.resolve();
+        if let (Some(n), Some(path)) = (checkpoint_every, checkpoint_path) {
+            if (i + 1) % n == 0 {
+                session
+                    .checkpoint(path)
+                    .map_err(|e| format!("checkpointing to {path}: {e}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Shared tail of `resolve --streaming` and `restore-resolve`: stats,
+/// optional eval/matchings, and the labels CSV.
+fn report_session(args: &Args, ds: &Dataset, session: &mut HeraSession) -> Result<(), String> {
+    let stats = session.stats().clone();
+    eprintln!(
+        "resolved {} records into {} entities ({} iterations, {} merges, {} threads, {:?})",
+        session.len(),
+        session.clusters().len(),
+        stats.iterations,
+        stats.merges,
+        stats.threads,
+        stats.total_time()
+    );
+    if args.has("no-sim-cache") {
+        eprintln!("  sim cache: off · {} metric calls", stats.metric_sim_calls);
+    } else {
+        eprintln!(
+            "  sim cache: {} hits / {} misses ({:.0}% hit rate) · {} entries, {} invalidated · {} metric calls",
+            stats.sim_cache_hits,
+            stats.sim_cache_misses,
+            stats.sim_cache_hit_rate() * 100.0,
+            stats.sim_cache_size,
+            stats.sim_cache_invalidated,
+            stats.metric_sim_calls
+        );
+    }
+    if args.has("eval") {
+        let clusters = session.clusters();
+        let m = PairMetrics::score(&clusters, &ds.truth);
+        let (bp, br, bf) = bcubed(&clusters, &ds.truth);
+        eprintln!("pairwise: {m}");
+        eprintln!("b-cubed:  P={bp:.3} R={br:.3} F1={bf:.3}");
+    }
+    if args.has("matchings") {
+        for m in session.schema_matchings() {
+            eprintln!(
+                "matching: {} ≈ {} (confidence {:.2})",
+                ds.registry.attr_qualified_name(m.attr),
+                ds.registry.attr_qualified_name(m.partner),
+                m.confidence
+            );
+        }
+    }
+    let mut csv = String::from("record_id,entity\n");
+    for rid in 0..session.len() {
+        csv.push_str(&format!(
+            "{rid},{}\n",
+            session.entity_of(RecordId::new(rid as u32))
+        ));
+    }
+    write_out(args.get("labels"), &csv)
+}
+
+fn resolve_streaming(args: &Args, ds: &Dataset) -> Result<(), String> {
+    let every = match args.get("checkpoint-every") {
+        Some(_) => Some(args.get_u64("checkpoint-every", 1)? as usize),
+        None => None,
+    };
+    if every == Some(0) {
+        return Err("--checkpoint-every expects a positive record count".into());
+    }
+    let snap_path = args.get("checkpoint");
+    if every.is_some() && snap_path.is_none() {
+        return Err("--checkpoint-every needs --checkpoint FILE.hera".into());
+    }
+    let recorder = build_recorder(args)?;
+    let mut session = HeraSession::builder(build_config(args)?)
+        .recorder(recorder.clone())
+        .build();
+    let schemas = mirror_schemas(&mut session, ds);
+    ingest_range(&mut session, ds, &schemas, 0, ds.len(), every, snap_path)?;
+    if let Some(path) = snap_path {
+        session
+            .checkpoint(path)
+            .map_err(|e| format!("checkpointing to {path}: {e}"))?;
+        eprintln!("checkpoint written to {path}");
+    }
+    recorder.flush();
+    if let Some(path) = args.get("trace") {
+        eprintln!("trace journal written to {path}");
+    }
+    report_session(args, ds, &mut session)
+}
+
+fn checkpoint(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("input")?)?;
+    let out = args.require("out")?;
+    let upto = match args.get("upto") {
+        Some(_) => args.get_u64("upto", 0)? as usize,
+        None => ds.len(),
+    };
+    if upto > ds.len() {
+        return Err(format!(
+            "--upto {upto} exceeds the dataset's {} records",
+            ds.len()
+        ));
+    }
+    let recorder = build_recorder(args)?;
+    let mut session = HeraSession::builder(build_config(args)?)
+        .recorder(recorder.clone())
+        .build();
+    let schemas = mirror_schemas(&mut session, &ds);
+    ingest_range(&mut session, &ds, &schemas, 0, upto, None, None)?;
+    session
+        .checkpoint(out)
+        .map_err(|e| format!("checkpointing to {out}: {e}"))?;
+    recorder.flush();
+    eprintln!(
+        "checkpointed {upto} of {} records ({} entities so far) to {out}",
+        ds.len(),
+        session.clusters().len()
+    );
+    Ok(())
+}
+
+fn restore_resolve(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("input")?)?;
+    let snap = args.require("snapshot")?;
+    let recorder = build_recorder(args)?;
+    let mut session = HeraSession::builder(build_config(args)?)
+        .recorder(recorder.clone())
+        .restore(snap)
+        .map_err(|e| format!("restoring {snap}: {e}"))?;
+    if session.len() > ds.len() {
+        return Err(format!(
+            "snapshot has {} records but the dataset only has {}",
+            session.len(),
+            ds.len()
+        ));
+    }
+    if session.registry().len() != ds.registry.len() {
+        return Err(format!(
+            "snapshot registry has {} schemas but the dataset has {}",
+            session.registry().len(),
+            ds.registry.len()
+        ));
+    }
+    let schemas: Vec<SchemaId> = (0..ds.registry.len() as u32).map(SchemaId::new).collect();
+    let from = session.len();
+    eprintln!(
+        "restored {snap} at record {from}; continuing through record {}",
+        ds.len()
+    );
+    ingest_range(&mut session, &ds, &schemas, from, ds.len(), None, None)?;
+    recorder.flush();
+    if let Some(path) = args.get("trace") {
+        eprintln!("trace journal written to {path}");
+    }
+    report_session(args, &ds, &mut session)
+}
+
+fn resolve(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("input")?)?;
+    if args.has("streaming")
+        || args.get("checkpoint-every").is_some()
+        || args.get("checkpoint").is_some()
+    {
+        return resolve_streaming(args, &ds);
+    }
+    let config = build_config(args)?;
+    let recorder = build_recorder(args)?;
+    let result = Hera::builder(config)
+        .recorder(recorder.clone())
+        .build()
+        .run(&ds)
+        .map_err(|e| e.to_string())?;
     recorder.flush();
     if let Some(path) = args.get("trace") {
         eprintln!("trace journal written to {path}");
@@ -344,7 +578,10 @@ fn demo() -> Result<(), String> {
         let schema = ds.registry.schema(rec.schema);
         println!("  r{} [{}] {:?}", rec.id.raw() + 1, schema.name, rec.values);
     }
-    let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+    let result = Hera::builder(HeraConfig::paper_example())
+        .build()
+        .run(&ds)
+        .map_err(|e| e.to_string())?;
     println!(
         "\nHERA (δ = ξ = 0.5) finds {} entities:",
         result.entity_count()

@@ -9,7 +9,7 @@ use crate::voter::{DecidedMatching, SchemaVoter};
 use hera_index::{UnionFind, ValuePairIndex};
 use hera_join::{JoinConfig, SimilarityJoin};
 use hera_sim::{TypeDispatch, ValueSimilarity};
-use hera_types::Dataset;
+use hera_types::{Dataset, HeraError, Result};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -59,28 +59,83 @@ pub struct Hera {
     recorder: hera_obs::Recorder,
 }
 
-impl Hera {
-    /// Creates a runner with the paper's default metric stack
-    /// ([`TypeDispatch::paper_default`]).
-    pub fn new(config: HeraConfig) -> Self {
+/// Builder for [`Hera`] — the single construction path for every option
+/// combination.
+///
+/// ```
+/// use hera_core::{Hera, HeraConfig};
+/// let hera = Hera::builder(HeraConfig::paper_example()).build();
+/// assert_eq!(hera.config().delta, 0.5);
+/// ```
+pub struct HeraBuilder {
+    config: HeraConfig,
+    metric: Arc<dyn ValueSimilarity>,
+    recorder: Option<hera_obs::Recorder>,
+}
+
+impl HeraBuilder {
+    fn with_config(config: HeraConfig) -> Self {
         Self {
             config,
             metric: Arc::new(TypeDispatch::paper_default()),
-            recorder: hera_obs::Recorder::from_env(),
+            recorder: None,
         }
     }
 
-    /// Creates a runner with a custom black-box value similarity.
-    pub fn with_metric(config: HeraConfig, metric: Arc<dyn ValueSimilarity>) -> Self {
-        Self {
-            config,
-            metric,
-            recorder: hera_obs::Recorder::from_env(),
+    /// Replaces the paper-default metric stack
+    /// ([`TypeDispatch::paper_default`]) with a custom black-box value
+    /// similarity.
+    pub fn metric(mut self, metric: Arc<dyn ValueSimilarity>) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Attaches a journal recorder; every stage of the run emits through
+    /// it (see the `hera-obs` crate docs for the event schema). Defaults
+    /// to [`hera_obs::Recorder::from_env`].
+    pub fn recorder(mut self, recorder: hera_obs::Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Builds the runner.
+    pub fn build(self) -> Hera {
+        Hera {
+            config: self.config,
+            metric: self.metric,
+            recorder: self.recorder.unwrap_or_else(hera_obs::Recorder::from_env),
         }
+    }
+}
+
+impl Hera {
+    /// Starts building a runner; see [`HeraBuilder`].
+    pub fn builder(config: HeraConfig) -> HeraBuilder {
+        HeraBuilder::with_config(config)
+    }
+
+    /// Creates a runner with the paper's default metric stack
+    /// ([`TypeDispatch::paper_default`]).
+    #[deprecated(since = "0.1.0", note = "use `Hera::builder(config).build()`")]
+    pub fn new(config: HeraConfig) -> Self {
+        Self::builder(config).build()
+    }
+
+    /// Creates a runner with a custom black-box value similarity.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Hera::builder(config).metric(metric).build()`"
+    )]
+    pub fn with_metric(config: HeraConfig, metric: Arc<dyn ValueSimilarity>) -> Self {
+        Self::builder(config).metric(metric).build()
     }
 
     /// Attaches a journal recorder; every stage of the run emits through
     /// it (see the `hera-obs` crate docs for the event schema).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Hera::builder(config).recorder(recorder).build()`"
+    )]
     pub fn with_recorder(mut self, recorder: hera_obs::Recorder) -> Self {
         self.recorder = recorder;
         self
@@ -104,18 +159,40 @@ impl Hera {
     }
 
     /// Runs Algorithm 2 on a dataset.
-    pub fn run(&self, ds: &Dataset) -> HeraResult {
+    pub fn run(&self, ds: &Dataset) -> Result<HeraResult> {
         let t0 = Instant::now();
         let pairs = self.join(ds);
         let join_time = t0.elapsed();
-        let mut result = self.run_with_pairs(ds, pairs);
+        let mut result = self.run_with_pairs(ds, pairs)?;
         result.stats.index_build_time += join_time;
-        result
+        Ok(result)
     }
 
     /// Runs Algorithm 2 with a precomputed similarity-join result (must
     /// come from [`Hera::join`] on the same dataset with the same ξ).
-    pub fn run_with_pairs(&self, ds: &Dataset, pairs: Vec<hera_join::ValuePair>) -> HeraResult {
+    /// Pairs naming unknown records are rejected with
+    /// [`HeraError::UnknownId`]; non-normalized pairs (`a.rid >= b.rid`)
+    /// with [`HeraError::InvalidConfig`].
+    pub fn run_with_pairs(
+        &self,
+        ds: &Dataset,
+        pairs: Vec<hera_join::ValuePair>,
+    ) -> Result<HeraResult> {
+        for p in &pairs {
+            if p.a.rid as usize >= ds.len() || p.b.rid as usize >= ds.len() {
+                return Err(HeraError::UnknownId(format!(
+                    "value pair references record {} but the dataset has {} records",
+                    p.a.rid.max(p.b.rid),
+                    ds.len()
+                )));
+            }
+            if p.a.rid >= p.b.rid {
+                return Err(HeraError::InvalidConfig(format!(
+                    "value pair ({}, {}) is not rid-normalized (expected a.rid < b.rid)",
+                    p.a, p.b
+                )));
+            }
+        }
         let mut stats = RunStats::default();
         let cfg = &self.config;
         let rec = &self.recorder;
@@ -527,19 +604,19 @@ impl Hera {
             );
 
             if cfg.validate_index {
-                index.check_invariants().unwrap_or_else(|e| {
-                    panic!(
+                index.check_invariants().map_err(|e| {
+                    HeraError::Corrupt(format!(
                         "index invariant broken after iteration {}: {e}",
                         stats.iterations
-                    )
-                });
+                    ))
+                })?;
                 if let Some(c) = &cache {
-                    c.check_invariants().unwrap_or_else(|e| {
-                        panic!(
+                    c.check_invariants().map_err(|e| {
+                        HeraError::Corrupt(format!(
                             "sim-cache invariant broken after iteration {}: {e}",
                             stats.iterations
-                        )
-                    });
+                        ))
+                    })?;
                 }
             }
 
@@ -609,11 +686,11 @@ impl Hera {
 
         // ---- Lines 11–12: entity labels via union–find.
         let entity_of: Vec<u32> = (0..n as u32).map(|r| uf.find(r)).collect();
-        HeraResult {
+        Ok(HeraResult {
             entity_of,
             stats,
             schema_matchings: voter.decided(),
-        }
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -762,7 +839,10 @@ mod tests {
         // The paper's end-to-end walkthrough (Fig. 8): with ξ = δ = 0.5,
         // {r1, r2, r4, r6} and {r3, r5} (1-based) form the two entities.
         let ds = motivating_example();
-        let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+        let result = Hera::builder(HeraConfig::paper_example())
+            .build()
+            .run(&ds)
+            .unwrap();
         assert_eq!(result.entity_count(), 2, "labels: {:?}", result.entity_of);
         // 0-based: {0, 1, 3, 5} and {2, 4}.
         assert!(result.same_entity(0, 1));
@@ -777,7 +857,10 @@ mod tests {
     #[test]
     fn high_threshold_merges_nothing_dissimilar() {
         let ds = motivating_example();
-        let result = Hera::new(HeraConfig::new(0.99, 0.9)).run(&ds);
+        let result = Hera::builder(HeraConfig::new(0.99, 0.9))
+            .build()
+            .run(&ds)
+            .unwrap();
         // At δ=0.99 only near-identical records merge; r3/r5 do not.
         assert!(!result.same_entity(2, 4));
     }
@@ -785,7 +868,10 @@ mod tests {
     #[test]
     fn zero_iteration_on_empty_dataset() {
         let ds = DatasetBuilder::new("empty").build();
-        let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+        let result = Hera::builder(HeraConfig::paper_example())
+            .build()
+            .run(&ds)
+            .unwrap();
         assert!(result.entity_of.is_empty());
         assert_eq!(result.entity_count(), 0);
     }
@@ -799,7 +885,10 @@ mod tests {
         b.add_record(s, vec![Value::from("omega")], EntityId::new(1))
             .unwrap();
         let ds = b.build();
-        let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+        let result = Hera::builder(HeraConfig::paper_example())
+            .build()
+            .run(&ds)
+            .unwrap();
         assert_eq!(result.entity_count(), 2);
         assert_eq!(result.stats.merges, 0);
     }
@@ -807,7 +896,10 @@ mod tests {
     #[test]
     fn stats_are_populated() {
         let ds = motivating_example();
-        let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+        let result = Hera::builder(HeraConfig::paper_example())
+            .build()
+            .run(&ds)
+            .unwrap();
         let s = &result.stats;
         assert!(s.index_size > 0);
         assert!(s.iterations >= 1);
@@ -821,7 +913,10 @@ mod tests {
         // They can only merge after r1⊕r6 and r2⊕r4 exist. Verify the
         // run needed more than one iteration.
         let ds = motivating_example();
-        let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+        let result = Hera::builder(HeraConfig::paper_example())
+            .build()
+            .run(&ds)
+            .unwrap();
         assert!(result.stats.iterations >= 2);
         assert!(result.same_entity(0, 1), "description difference resolved");
     }
@@ -830,7 +925,7 @@ mod tests {
     fn paper_bound_mode_also_resolves_example() {
         let ds = motivating_example();
         let cfg = HeraConfig::paper_example().with_bound_mode(BoundMode::Paper);
-        let result = Hera::new(cfg).run(&ds);
+        let result = Hera::builder(cfg).build().run(&ds).unwrap();
         assert_eq!(result.entity_count(), 2);
     }
 
@@ -838,7 +933,7 @@ mod tests {
     fn greedy_matching_mode_runs() {
         let ds = motivating_example();
         let cfg = HeraConfig::paper_example().with_greedy_matching();
-        let result = Hera::new(cfg).run(&ds);
+        let result = Hera::builder(cfg).build().run(&ds).unwrap();
         assert_eq!(result.entity_count(), 2);
     }
 
@@ -846,7 +941,7 @@ mod tests {
     fn voting_disabled_still_resolves_example() {
         let ds = motivating_example();
         let cfg = HeraConfig::paper_example().without_schema_voting();
-        let result = Hera::new(cfg).run(&ds);
+        let result = Hera::builder(cfg).build().run(&ds).unwrap();
         assert_eq!(result.entity_count(), 2);
         assert!(result.schema_matchings.is_empty());
     }
@@ -855,7 +950,7 @@ mod tests {
     fn index_invariants_hold_throughout_run() {
         let ds = motivating_example();
         let cfg = HeraConfig::paper_example().with_index_validation();
-        let result = Hera::new(cfg).run(&ds);
+        let result = Hera::builder(cfg).build().run(&ds).unwrap();
         assert_eq!(result.entity_count(), 2);
     }
 
@@ -864,8 +959,14 @@ mod tests {
         let ds = motivating_example();
         // validate_index also exercises SimCache::check_invariants after
         // every iteration's merges.
-        let on = Hera::new(HeraConfig::paper_example().with_index_validation()).run(&ds);
-        let off = Hera::new(HeraConfig::paper_example().without_sim_cache()).run(&ds);
+        let on = Hera::builder(HeraConfig::paper_example().with_index_validation())
+            .build()
+            .run(&ds)
+            .unwrap();
+        let off = Hera::builder(HeraConfig::paper_example().without_sim_cache())
+            .build()
+            .run(&ds)
+            .unwrap();
         assert_eq!(on.entity_of, off.entity_of);
         assert_eq!(on.stats.merges, off.stats.merges);
         assert_eq!(on.stats.comparisons, off.stats.comparisons);
@@ -877,10 +978,56 @@ mod tests {
         assert_eq!(on.stats.metric_calls_by_round.len(), on.stats.iterations);
     }
 
+    /// The pre-builder constructors stay behaviorally identical to the
+    /// builder path while they ride out their deprecation window.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let ds = motivating_example();
+        let a = Hera::new(HeraConfig::paper_example()).run(&ds).unwrap();
+        let b = Hera::with_metric(
+            HeraConfig::paper_example(),
+            Arc::new(TypeDispatch::paper_default()),
+        )
+        .with_recorder(hera_obs::Recorder::disabled())
+        .run(&ds)
+        .unwrap();
+        assert_eq!(a.entity_of, b.entity_of);
+        assert_eq!(a.stats.merges, b.stats.merges);
+    }
+
+    #[test]
+    fn bad_pairs_are_rejected_not_panicked() {
+        use hera_types::Label;
+        let ds = motivating_example();
+        let hera = Hera::builder(HeraConfig::paper_example()).build();
+        let out_of_range = vec![hera_join::ValuePair {
+            a: Label::new(0, 0, 0),
+            b: Label::new(99, 0, 0),
+            sim: 1.0,
+        }];
+        assert!(matches!(
+            hera.run_with_pairs(&ds, out_of_range),
+            Err(HeraError::UnknownId(_))
+        ));
+        let unnormalized = vec![hera_join::ValuePair {
+            a: Label::new(3, 0, 0),
+            b: Label::new(1, 0, 0),
+            sim: 1.0,
+        }];
+        assert!(matches!(
+            hera.run_with_pairs(&ds, unnormalized),
+            Err(HeraError::InvalidConfig(_))
+        ));
+    }
+
     #[test]
     fn clusters_partition_records() {
         let ds = motivating_example();
-        let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+        let result = Hera::builder(HeraConfig::paper_example())
+            .build()
+            .run(&ds)
+            .unwrap();
         let clusters = result.clusters();
         let total: usize = clusters.iter().map(|c| c.len()).sum();
         assert_eq!(total, ds.len());

@@ -28,10 +28,11 @@
 //! use hera_types::motivating_example;
 //!
 //! let dataset = motivating_example();
-//! let result = Hera::new(HeraConfig::new(0.5, 0.5)).run(&dataset);
+//! let result = Hera::builder(HeraConfig::new(0.5, 0.5)).build().run(&dataset)?;
 //! // r1, r2, r4, r6 (1-based) end up in one entity; r3, r5 in another.
 //! assert_eq!(result.entity_of.len(), 6);
 //! assert_eq!(result.entity_count(), 2);
+//! # Ok::<(), hera_types::HeraError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -48,8 +49,8 @@ mod verify;
 mod voter;
 
 pub use config::HeraConfig;
-pub use driver::{Hera, HeraResult};
-pub use session::HeraSession;
+pub use driver::{Hera, HeraBuilder, HeraResult};
+pub use session::{HeraSession, HeraSessionBuilder};
 pub use simcache::{SimCache, SimDelta};
 pub use stats::RunStats;
 pub use super_record::{Field, SuperRecord};

@@ -20,14 +20,18 @@
 
 use crate::config::HeraConfig;
 use crate::simcache::SimCache;
+use crate::stats::RunStats;
 use crate::super_record::SuperRecord;
 use crate::verify::{InstanceVerifier, VerifyScratch};
 use crate::voter::{DecidedMatching, SchemaVoter};
 use hera_index::{UnionFind, ValuePairIndex};
 use hera_join::IncrementalJoin;
 use hera_sim::{TypeDispatch, ValueSimilarity};
+use hera_store::Snapshot;
+use hera_types::json::Json;
 use hera_types::{HeraError, Label, RecordId, Result, SchemaId, SchemaRegistry, Value};
 use rustc_hash::{FxHashMap, FxHashSet};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Incremental HERA: owns the schema registry and all algorithm state.
@@ -43,7 +47,6 @@ pub struct HeraSession {
     voter: SchemaVoter,
     /// Records whose evidence changed since the last `resolve`.
     dirty: FxHashSet<u32>,
-    merges: usize,
     /// Merge-aware `metric.sim` memo cache; persists across `resolve`
     /// calls, so a long-lived session keeps amortizing its metric work.
     cache: Option<SimCache>,
@@ -51,25 +54,56 @@ pub struct HeraSession {
     scratch: VerifyScratch,
     /// Journal recorder (disabled by default).
     recorder: hera_obs::Recorder,
-    /// Compare-and-merge rounds executed over the session's lifetime —
-    /// the monotonic `round` of its journal events.
-    rounds: usize,
+    /// Lifetime counters; `stats.iterations` is the monotonic `round` of
+    /// the session's journal events and survives checkpoint/restore.
+    stats: RunStats,
 }
 
-impl HeraSession {
-    /// Creates an empty session with the paper-default metric.
-    pub fn new(config: HeraConfig) -> Self {
-        Self::with_metric(config, Arc::new(TypeDispatch::paper_default()))
+/// Builder for [`HeraSession`] — the single construction path for every
+/// option combination.
+///
+/// ```
+/// use hera_core::{HeraConfig, HeraSession};
+/// let session = HeraSession::builder(HeraConfig::paper_example()).build();
+/// assert!(session.is_empty());
+/// ```
+pub struct HeraSessionBuilder {
+    config: HeraConfig,
+    metric: Arc<dyn ValueSimilarity>,
+    recorder: Option<hera_obs::Recorder>,
+}
+
+impl HeraSessionBuilder {
+    fn with_config(config: HeraConfig) -> Self {
+        Self {
+            config,
+            metric: Arc::new(TypeDispatch::paper_default()),
+            recorder: None,
+        }
     }
 
-    /// Creates an empty session with a custom metric.
-    pub fn with_metric(config: HeraConfig, metric: Arc<dyn ValueSimilarity>) -> Self {
-        Self {
-            join: IncrementalJoin::new(config.xi, 2, metric.clone()),
-            cache: config.sim_cache.then(SimCache::new),
+    /// Replaces the paper-default value similarity metric.
+    pub fn metric(mut self, metric: Arc<dyn ValueSimilarity>) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Attaches a journal recorder; every `resolve` round emits through
+    /// it (see the `hera-obs` crate docs for the event schema). Defaults
+    /// to [`hera_obs::Recorder::from_env`].
+    pub fn recorder(mut self, recorder: hera_obs::Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Builds an empty session.
+    pub fn build(self) -> HeraSession {
+        HeraSession {
+            join: IncrementalJoin::new(self.config.xi, 2, self.metric.clone()),
+            cache: self.config.sim_cache.then(SimCache::new),
             scratch: VerifyScratch::new(),
-            config,
-            metric,
+            config: self.config,
+            metric: self.metric,
             registry: SchemaRegistry::new(),
             record_count: 0,
             index: ValuePairIndex::default(),
@@ -77,17 +111,219 @@ impl HeraSession {
             uf: UnionFind::new(0),
             voter: SchemaVoter::new(),
             dirty: FxHashSet::default(),
-            merges: 0,
-            recorder: hera_obs::Recorder::from_env(),
-            rounds: 0,
+            recorder: self.recorder.unwrap_or_else(hera_obs::Recorder::from_env),
+            stats: RunStats::default(),
         }
+    }
+
+    /// Builds a session whose algorithm state is loaded from a snapshot
+    /// written by [`HeraSession::checkpoint`]. The builder's config and
+    /// metric must be behaviorally compatible with the checkpointing
+    /// session's (same `xi`, same metric) for the continuation to be
+    /// equivalent to an uninterrupted run; a differing `xi` is rejected
+    /// with [`HeraError::InvalidConfig`] because the live-value join
+    /// universe depends on it.
+    pub fn restore(self, path: impl AsRef<Path>) -> Result<HeraSession> {
+        let start = std::time::Instant::now();
+        let (snap, report) = Snapshot::read_report(&path)?;
+        let mut session = self.build();
+
+        let snap_xi = snap.expect("config")?.expect("xi")?.as_f64()?;
+        if snap_xi != session.config.xi {
+            return Err(HeraError::InvalidConfig(format!(
+                "snapshot was taken at xi={snap_xi} but the restore config has xi={}; \
+                 the live-value join universe is xi-dependent",
+                session.config.xi
+            )));
+        }
+
+        let mut registry = SchemaRegistry::from_json(snap.expect("registry")?)?;
+        registry.rebuild_lookups();
+        let record_count = snap.expect("record_count")?.as_i64()?;
+        if record_count < 0 {
+            return Err(HeraError::Corrupt("negative record_count".into()));
+        }
+        let record_count = record_count as usize;
+        let uf = UnionFind::from_json(snap.expect("union_find")?)?;
+        if uf.len() != record_count {
+            return Err(HeraError::Corrupt(format!(
+                "union-find covers {} records, snapshot has {record_count}",
+                uf.len()
+            )));
+        }
+        let mut supers: FxHashMap<u32, SuperRecord> = FxHashMap::default();
+        for s_json in snap.expect("supers")?.as_arr()? {
+            let s = SuperRecord::from_json(s_json)?;
+            if (s.rid as usize) >= record_count || uf.find_const(s.rid) != s.rid {
+                return Err(HeraError::Corrupt(format!(
+                    "super record {} is not a live union-find root",
+                    s.rid
+                )));
+            }
+            supers.insert(s.rid, s);
+        }
+        for rid in 0..record_count as u32 {
+            let root = uf.find_const(rid);
+            if !supers.contains_key(&root) {
+                return Err(HeraError::Corrupt(format!(
+                    "record {rid} resolves to root {root} with no super record"
+                )));
+            }
+        }
+        let index = ValuePairIndex::from_json(snap.expect("index")?)?;
+        let join = IncrementalJoin::from_json(snap.expect("join")?, session.metric.clone())?;
+        let voter = SchemaVoter::from_json(snap.expect("voter")?)?;
+        let mut dirty = FxHashSet::default();
+        for d in snap.expect("dirty")?.as_arr()? {
+            let rid = d.as_u32()?;
+            if rid as usize >= record_count {
+                return Err(HeraError::Corrupt(format!(
+                    "dirty record {rid} out of range"
+                )));
+            }
+            dirty.insert(rid);
+        }
+        let stats = RunStats::from_json(snap.expect("stats")?)?;
+        // The cache is state *and* policy: restore it only when this
+        // config runs with the cache on. A cache-off snapshot restored
+        // into a cache-on config simply starts the memo empty.
+        let cache = if session.config.sim_cache {
+            match snap.get("sim_cache") {
+                Some(j) => Some(SimCache::from_json(j)?),
+                None => Some(SimCache::new()),
+            }
+        } else {
+            None
+        };
+
+        session.registry = registry;
+        session.record_count = record_count;
+        session.index = index;
+        session.join = join;
+        session.supers = supers;
+        session.uf = uf;
+        session.voter = voter;
+        session.dirty = dirty;
+        session.cache = cache;
+        session.stats = stats;
+        session.recorder.span(
+            "checkpoint_load",
+            None,
+            &[
+                ("bytes", report.payload_bytes as i64),
+                ("sections", report.sections as i64),
+            ],
+        );
+        session
+            .recorder
+            .timing("checkpoint_load", None, start.elapsed());
+        session.recorder.flush();
+        Ok(session)
+    }
+}
+
+impl HeraSession {
+    /// Starts building a session; see [`HeraSessionBuilder`].
+    pub fn builder(config: HeraConfig) -> HeraSessionBuilder {
+        HeraSessionBuilder::with_config(config)
+    }
+
+    /// Creates an empty session with the paper-default metric.
+    #[deprecated(since = "0.1.0", note = "use `HeraSession::builder(config).build()`")]
+    pub fn new(config: HeraConfig) -> Self {
+        Self::builder(config).build()
+    }
+
+    /// Creates an empty session with a custom metric.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `HeraSession::builder(config).metric(metric).build()`"
+    )]
+    pub fn with_metric(config: HeraConfig, metric: Arc<dyn ValueSimilarity>) -> Self {
+        Self::builder(config).metric(metric).build()
     }
 
     /// Attaches a journal recorder; every `resolve` round emits through
     /// it (see the `hera-obs` crate docs for the event schema).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `HeraSession::builder(config).recorder(recorder).build()`"
+    )]
     pub fn with_recorder(mut self, recorder: hera_obs::Recorder) -> Self {
         self.recorder = recorder;
         self
+    }
+
+    /// Restores a session from a snapshot written by
+    /// [`HeraSession::checkpoint`] — shorthand for
+    /// [`HeraSessionBuilder::restore`].
+    pub fn restore(
+        path: impl AsRef<Path>,
+        config: HeraConfig,
+        metric: Arc<dyn ValueSimilarity>,
+    ) -> Result<Self> {
+        Self::builder(config).metric(metric).restore(path)
+    }
+
+    /// Writes the complete session state to `path` as a versioned,
+    /// CRC-checked snapshot (see the `hera-store` crate docs for the
+    /// envelope format). The write is atomic — a crash mid-checkpoint
+    /// leaves any previous snapshot at `path` intact. A session restored
+    /// from the snapshot continues exactly where this one stood:
+    /// ingesting the same remaining records and resolving yields
+    /// bit-identical entities, stats, and core journal events.
+    pub fn checkpoint(&mut self, path: impl AsRef<Path>) -> Result<()> {
+        let start = std::time::Instant::now();
+        let snap = self.to_snapshot();
+        let report = snap.write(path)?;
+        self.recorder.span(
+            "checkpoint_save",
+            None,
+            &[
+                ("bytes", report.payload_bytes as i64),
+                ("sections", report.sections as i64),
+            ],
+        );
+        self.recorder
+            .timing("checkpoint_save", None, start.elapsed());
+        self.recorder.flush();
+        Ok(())
+    }
+
+    /// Assembles the snapshot sections. Every map is emitted in sorted
+    /// order so identical sessions produce identical bytes.
+    fn to_snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.insert(
+            "config",
+            Json::Obj(vec![
+                ("xi".into(), Json::Float(self.config.xi)),
+                ("sim_cache".into(), Json::Bool(self.config.sim_cache)),
+            ]),
+        );
+        snap.insert("registry", self.registry.to_json());
+        snap.insert("record_count", Json::Int(self.record_count as i64));
+        let mut roots: Vec<&SuperRecord> = self.supers.values().collect();
+        roots.sort_unstable_by_key(|s| s.rid);
+        snap.insert(
+            "supers",
+            Json::Arr(roots.iter().map(|s| s.to_json()).collect()),
+        );
+        snap.insert("union_find", self.uf.to_json());
+        snap.insert("index", self.index.to_json());
+        snap.insert("join", self.join.to_json());
+        snap.insert("voter", self.voter.to_json());
+        if let Some(c) = &self.cache {
+            snap.insert("sim_cache", c.to_json());
+        }
+        let mut dirty: Vec<u32> = self.dirty.iter().copied().collect();
+        dirty.sort_unstable();
+        snap.insert(
+            "dirty",
+            Json::Arr(dirty.into_iter().map(|r| Json::Int(r as i64)).collect()),
+        );
+        snap.insert("stats", self.stats.to_json());
+        snap
     }
 
     /// Registers a source schema (streaming sources can appear at any
@@ -177,13 +413,17 @@ impl HeraSession {
         let rec = self.recorder.clone();
         let verifier = InstanceVerifier::new(self.metric.as_ref(), cfg.xi, cfg.use_kuhn_munkres);
         let threads = crate::parallel::effective_threads(cfg.num_threads);
+        let resolve_start = std::time::Instant::now();
+        self.stats.threads = threads;
+        self.stats.index_size = self.stats.index_size.max(self.index.len());
         let mut total = 0usize;
         let mut iterations = 0usize;
         while !self.dirty.is_empty() && iterations < cfg.max_iterations {
             iterations += 1;
-            self.rounds += 1;
-            let round = self.rounds;
-            let round_merges_before = self.merges;
+            self.stats.iterations += 1;
+            let round = self.stats.iterations;
+            let round_merges_before = self.stats.merges;
+            let round_metric_before = self.stats.metric_sim_calls;
             let dirty = std::mem::take(&mut self.dirty);
             let groups: Vec<(u32, u32)> = self
                 .index
@@ -211,6 +451,7 @@ impl HeraSession {
                 );
                 let bounds = self.index.bounds(key.0, key.1, si, sj, cfg.bound_mode);
                 if bounds.up < cfg.delta {
+                    self.stats.pruned += 1;
                     continue;
                 }
                 verify_list.push(key);
@@ -238,14 +479,21 @@ impl HeraSession {
                     },
                 )
             };
+            let tv_elapsed = tv.elapsed();
+            self.stats.verify_time += tv_elapsed;
             // Per-worker aggregation: verdicts are in input order for
             // every thread count, so one fold gives a deterministic span.
             let mut verify_agg = crate::driver::StageAgg::default();
             for (v, delta) in &verifications {
+                self.stats.comparisons += 1;
+                self.stats.simplified_nodes_sum += v.simplified_nodes;
+                self.stats.graph_nodes_sum += v.graph_nodes;
+                self.stats.matchings_run += 1;
+                self.stats.record_cache_delta(delta);
                 verify_agg.add(v, delta);
             }
             verify_agg.emit(&rec, "resolve_verify", round);
-            rec.timing("resolve_verify", Some(round), tv.elapsed());
+            rec.timing("resolve_verify", Some(round), tv_elapsed);
 
             // Phase B: apply sequentially in candidate order; stale
             // verdicts (a side was merged earlier in this phase) are
@@ -274,6 +522,7 @@ impl HeraSession {
                 let reverified;
                 let v = if stale {
                     let voter_opt = cfg.schema_voting.then_some(&self.voter);
+                    let tr = std::time::Instant::now();
                     reverified = verifier.verify_with(
                         &self.index,
                         &self.supers[&cur.0],
@@ -283,6 +532,12 @@ impl HeraSession {
                         self.cache.as_ref(),
                         &mut self.scratch,
                     );
+                    self.stats.verify_time += tr.elapsed();
+                    self.stats.comparisons += 1;
+                    self.stats.simplified_nodes_sum += reverified.simplified_nodes;
+                    self.stats.graph_nodes_sum += reverified.graph_nodes;
+                    self.stats.matchings_run += 1;
+                    self.stats.record_cache_delta(&self.scratch.delta);
                     reverify_agg.add(&reverified, &self.scratch.delta);
                     if let Some(c) = self.cache.as_mut() {
                         c.apply(&self.scratch.delta);
@@ -310,6 +565,7 @@ impl HeraSession {
                     let fresh =
                         self.voter
                             .decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
+                    self.stats.schema_matchings_decided += fresh.len();
                     if rec.enabled() {
                         for d in &fresh {
                             rec.schema_decided(
@@ -339,24 +595,33 @@ impl HeraSession {
                 touched.insert(cur.0);
                 touched.insert(cur.1);
                 total += 1;
-                self.merges += 1;
+                self.stats.merges += 1;
             }
+            self.stats
+                .metric_calls_by_round
+                .push(self.stats.metric_sim_calls - round_metric_before);
             rec.span(
                 "resolve_apply",
                 Some(round),
                 &[
-                    ("merges", (self.merges - round_merges_before) as i64),
+                    ("merges", (self.stats.merges - round_merges_before) as i64),
                     ("reverified", reverify_agg.pairs),
                     ("lookups", reverify_agg.lookups),
                 ],
             );
             rec.round_end(
                 round,
-                (self.merges - round_merges_before) as i64,
+                (self.stats.merges - round_merges_before) as i64,
                 self.index.len() as i64,
                 self.voter.open_buckets() as i64,
             );
         }
+        self.stats.final_index_size = self.index.len();
+        if let Some(c) = &self.cache {
+            self.stats.sim_cache_size = c.len();
+            self.stats.sim_cache_invalidated = c.invalidated();
+        }
+        self.stats.resolve_time += resolve_start.elapsed();
         rec.flush();
         total
     }
@@ -383,7 +648,15 @@ impl HeraSession {
 
     /// Total merges performed so far.
     pub fn merge_count(&self) -> usize {
-        self.merges
+        self.stats.merges
+    }
+
+    /// Lifetime run statistics (iterations, comparisons, cache traffic,
+    /// …). Deterministic counters survive [`HeraSession::checkpoint`] /
+    /// restore, so a restored-and-continued session reports the same
+    /// numbers an uninterrupted one would.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
     }
 
     /// Index size `|𝒱|` right now.
@@ -419,7 +692,7 @@ mod tests {
     #[test]
     fn streaming_motivating_example() {
         let ds = motivating_example();
-        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let mut session = HeraSession::builder(HeraConfig::paper_example()).build();
         // Mirror the dataset's schemas.
         let schemas: Vec<SchemaId> = ds
             .registry
@@ -454,9 +727,12 @@ mod tests {
     #[test]
     fn bulk_ingest_matches_batch() {
         let ds = motivating_example();
-        let batch = Hera::new(HeraConfig::paper_example()).run(&ds);
+        let batch = Hera::builder(HeraConfig::paper_example())
+            .build()
+            .run(&ds)
+            .unwrap();
 
-        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let mut session = HeraSession::builder(HeraConfig::paper_example()).build();
         let schemas: Vec<SchemaId> = ds
             .registry
             .schemas()
@@ -479,7 +755,7 @@ mod tests {
 
     #[test]
     fn arity_mismatch_rejected() {
-        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let mut session = HeraSession::builder(HeraConfig::paper_example()).build();
         let s = session.add_schema("S", ["a", "b"]);
         let err = session.add_record(s, vec![Value::from("x")]).unwrap_err();
         assert!(matches!(err, HeraError::ArityMismatch { .. }));
@@ -487,7 +763,7 @@ mod tests {
 
     #[test]
     fn unknown_schema_rejected() {
-        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let mut session = HeraSession::builder(HeraConfig::paper_example()).build();
         let err = session
             .add_record(SchemaId::new(3), vec![Value::from("x")])
             .unwrap_err();
@@ -496,7 +772,7 @@ mod tests {
 
     #[test]
     fn empty_session() {
-        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let mut session = HeraSession::builder(HeraConfig::paper_example()).build();
         assert!(session.is_empty());
         assert_eq!(session.resolve(), 0);
         assert!(session.clusters().is_empty());
@@ -505,7 +781,7 @@ mod tests {
     #[test]
     fn resolve_is_idempotent_without_new_evidence() {
         let ds = motivating_example();
-        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let mut session = HeraSession::builder(HeraConfig::paper_example()).build();
         let schemas: Vec<SchemaId> = ds
             .registry
             .schemas()
@@ -529,7 +805,7 @@ mod tests {
 
     #[test]
     fn session_accessors() {
-        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let mut session = HeraSession::builder(HeraConfig::paper_example()).build();
         let s = session.add_schema("S", ["name", "city"]);
         assert_eq!(session.registry().len(), 1);
         assert_eq!(session.registry().schema(s).arity(), 2);
@@ -546,7 +822,7 @@ mod tests {
     #[test]
     fn session_index_stays_consistent() {
         let ds = motivating_example();
-        let mut session = HeraSession::new(HeraConfig::paper_example());
+        let mut session = HeraSession::builder(HeraConfig::paper_example()).build();
         let schemas: Vec<SchemaId> = ds
             .registry
             .schemas()
@@ -573,7 +849,7 @@ mod tests {
     fn session_cache_on_off_agree() {
         let ds = motivating_example();
         let stream = |cfg: HeraConfig| {
-            let mut session = HeraSession::new(cfg);
+            let mut session = HeraSession::builder(cfg).build();
             let schemas: Vec<SchemaId> = ds
                 .registry
                 .schemas()
@@ -597,5 +873,117 @@ mod tests {
         assert_eq!(cached.clusters(), uncached.clusters());
         assert_eq!(cached.merge_count(), uncached.merge_count());
         assert_eq!(uncached.sim_cache_size(), 0);
+    }
+
+    /// Mirrors the dataset's schemas into a session and returns the
+    /// session-side schema ids in dataset order.
+    fn mirror_schemas(session: &mut HeraSession, ds: &hera_types::Dataset) -> Vec<SchemaId> {
+        ds.registry
+            .schemas()
+            .map(|s| {
+                session.add_schema(
+                    s.name.clone(),
+                    s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    /// Stats rendering with the wall-clock fields zeroed — what must be
+    /// bit-identical across an interrupted and an uninterrupted run.
+    fn deterministic_stats(s: &RunStats) -> String {
+        let mut s = s.clone();
+        s.index_build_time = Default::default();
+        s.resolve_time = Default::default();
+        s.verify_time = Default::default();
+        s.to_json().to_string_compact()
+    }
+
+    #[test]
+    fn checkpoint_restore_midstream_is_continuation_equivalent() {
+        let ds = motivating_example();
+        let path =
+            std::env::temp_dir().join(format!("hera-session-ckpt-{}.hera", std::process::id()));
+        let records: Vec<_> = ds.iter().collect();
+
+        let mut straight = HeraSession::builder(HeraConfig::paper_example()).build();
+        let schemas = mirror_schemas(&mut straight, &ds);
+        for rec in &records {
+            straight
+                .add_record(schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+            straight.resolve();
+        }
+
+        let mut first = HeraSession::builder(HeraConfig::paper_example()).build();
+        let schemas = mirror_schemas(&mut first, &ds);
+        for rec in &records[..3] {
+            first
+                .add_record(schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+            first.resolve();
+        }
+        first.checkpoint(&path).unwrap();
+        drop(first);
+
+        let mut resumed = HeraSession::restore(
+            &path,
+            HeraConfig::paper_example(),
+            Arc::new(TypeDispatch::paper_default()),
+        )
+        .unwrap();
+        for rec in &records[3..] {
+            resumed
+                .add_record(schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+            resumed.resolve();
+        }
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(resumed.clusters(), straight.clusters());
+        assert_eq!(resumed.merge_count(), straight.merge_count());
+        assert_eq!(
+            deterministic_stats(resumed.stats()),
+            deterministic_stats(straight.stats())
+        );
+        assert_eq!(
+            resumed.schema_matchings().len(),
+            straight.schema_matchings().len()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_xi_mismatch_with_typed_error() {
+        let ds = motivating_example();
+        let path =
+            std::env::temp_dir().join(format!("hera-session-xi-{}.hera", std::process::id()));
+        let mut session = HeraSession::builder(HeraConfig::paper_example()).build();
+        let schemas = mirror_schemas(&mut session, &ds);
+        for rec in ds.iter() {
+            session
+                .add_record(schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+        }
+        session.resolve();
+        session.checkpoint(&path).unwrap();
+
+        let skewed = HeraConfig::new(0.5, 0.9); // different xi
+        let err = HeraSession::restore(&path, skewed, Arc::new(TypeDispatch::paper_default()))
+            .err()
+            .expect("xi mismatch must be rejected");
+        assert!(matches!(err, HeraError::InvalidConfig(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_missing_file_is_io_error() {
+        let err = HeraSession::restore(
+            "/nonexistent/path/snapshot.hera",
+            HeraConfig::paper_example(),
+            Arc::new(TypeDispatch::paper_default()),
+        )
+        .err()
+        .expect("missing file must fail");
+        assert!(matches!(err, HeraError::Io(_)), "{err}");
     }
 }

@@ -24,7 +24,8 @@
 //!
 //! [`ValuePairIndex::merge`]: hera_index::ValuePairIndex::merge
 
-use hera_types::Label;
+use hera_types::json::Json;
+use hera_types::{HeraError, Label, Result};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Orients a cross-record label pair canonically (smaller rid first).
@@ -201,10 +202,59 @@ impl SimCache {
         }
     }
 
+    /// Encodes the cache as JSON: every memoized entry in sorted label
+    /// order, plus the invalidation counter. Serializing the cache keeps
+    /// a restored session's hit/miss history — and therefore its
+    /// `RunStats` cache counters — bit-identical to an uninterrupted run.
+    pub fn to_json(&self) -> Json {
+        let mut entries: Vec<(&(Label, Label), &f64)> =
+            self.groups.values().flat_map(|g| g.iter()).collect();
+        entries.sort_unstable_by_key(|(&k, _)| k);
+        Json::Obj(vec![
+            ("invalidated".into(), Json::Int(self.invalidated as i64)),
+            (
+                "entries".into(),
+                Json::Arr(
+                    entries
+                        .into_iter()
+                        .map(|(&(a, b), &sim)| {
+                            Json::Obj(vec![
+                                ("a".into(), a.to_json()),
+                                ("b".into(), b.to_json()),
+                                ("sim".into(), Json::Float(sim)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a cache from [`SimCache::to_json`] output.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let mut cache = Self::new();
+        for e in json.expect("entries")?.as_arr()? {
+            let a = Label::from_json(e.expect("a")?)?;
+            let b = Label::from_json(e.expect("b")?)?;
+            if a.rid == b.rid {
+                return Err(HeraError::Corrupt(format!(
+                    "sim-cache entry {a}-{b} is intra-record"
+                )));
+            }
+            cache.insert(a, b, e.expect("sim")?.as_f64()?);
+        }
+        cache.invalidated = json
+            .expect("invalidated")?
+            .as_i64()?
+            .try_into()
+            .map_err(|_| HeraError::Corrupt("negative sim-cache invalidation count".into()))?;
+        Ok(cache)
+    }
+
     /// Checks internal bookkeeping (tests/debugging): `len` matches the
     /// stored entries, every entry is canonically oriented under its group
     /// key, and the partner map matches the group keys.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
         let mut count = 0usize;
         for (&(r1, r2), group) in &self.groups {
             if r1 >= r2 {
@@ -369,6 +419,32 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(l(0, 1, 0), l(2, 0, 0)), Some(0.3));
         c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn json_roundtrip_restores_entries_and_counter() {
+        let mut c = SimCache::new();
+        c.insert(l(0, 0, 0), l(1, 0, 0), 0.9);
+        c.insert(l(0, 0, 0), l(2, 1, 0), 0.4);
+        c.insert(l(1, 2, 0), l(3, 0, 0), 0.75);
+        c.merge(0, 1, 0, |x| if x.rid == 1 { l(0, 9, x.vid) } else { x });
+        let dump = c.to_json().to_string_compact();
+        let back = SimCache::from_json(&hera_types::json::parse(&dump).unwrap()).unwrap();
+        back.check_invariants().unwrap();
+        assert_eq!(back.len(), c.len());
+        assert_eq!(back.invalidated(), c.invalidated());
+        assert_eq!(back.get(l(0, 9, 0), l(3, 0, 0)), Some(0.75));
+        assert_eq!(back.to_json().to_string_compact(), dump, "fixpoint");
+    }
+
+    #[test]
+    fn json_rejects_intra_record_entry() {
+        let json = hera_types::json::parse(
+            r#"{"invalidated":0,"entries":[{"a":{"rid":1,"fid":0,"vid":0},"b":{"rid":1,"fid":1,"vid":0},"sim":0.5}]}"#,
+        )
+        .unwrap();
+        let err = SimCache::from_json(&json).unwrap_err();
+        assert!(matches!(err, HeraError::Corrupt(_)), "{err}");
     }
 
     #[test]

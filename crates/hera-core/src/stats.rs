@@ -1,5 +1,7 @@
 //! Run statistics — the counters behind Table II, Fig. 10, and Fig. 12.
 
+use hera_types::json::Json;
+use hera_types::Result;
 use std::time::Duration;
 
 /// Counters and timings collected during one [`Hera`](crate::Hera) run.
@@ -134,6 +136,117 @@ impl RunStats {
         self.sim_cache_hits + self.sim_cache_misses.max(self.metric_sim_calls)
     }
 
+    /// Encodes the counters as JSON. Durations are stored as integer
+    /// microseconds; every other field is an exact integer, so the
+    /// deterministic counters roundtrip bit-identically.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("iterations".into(), Json::Int(self.iterations as i64)),
+            ("index_size".into(), Json::Int(self.index_size as i64)),
+            (
+                "final_index_size".into(),
+                Json::Int(self.final_index_size as i64),
+            ),
+            ("pruned".into(), Json::Int(self.pruned as i64)),
+            (
+                "direct_decisions".into(),
+                Json::Int(self.direct_decisions as i64),
+            ),
+            ("comparisons".into(), Json::Int(self.comparisons as i64)),
+            ("merges".into(), Json::Int(self.merges as i64)),
+            (
+                "simplified_nodes_sum".into(),
+                Json::Int(self.simplified_nodes_sum as i64),
+            ),
+            (
+                "graph_nodes_sum".into(),
+                Json::Int(self.graph_nodes_sum as i64),
+            ),
+            ("matchings_run".into(), Json::Int(self.matchings_run as i64)),
+            (
+                "schema_matchings_decided".into(),
+                Json::Int(self.schema_matchings_decided as i64),
+            ),
+            (
+                "index_build_us".into(),
+                Json::Int(self.index_build_time.as_micros() as i64),
+            ),
+            (
+                "resolve_us".into(),
+                Json::Int(self.resolve_time.as_micros() as i64),
+            ),
+            (
+                "verify_us".into(),
+                Json::Int(self.verify_time.as_micros() as i64),
+            ),
+            ("threads".into(), Json::Int(self.threads as i64)),
+            (
+                "sim_cache_hits".into(),
+                Json::Int(self.sim_cache_hits as i64),
+            ),
+            (
+                "sim_cache_misses".into(),
+                Json::Int(self.sim_cache_misses as i64),
+            ),
+            (
+                "sim_cache_invalidated".into(),
+                Json::Int(self.sim_cache_invalidated as i64),
+            ),
+            (
+                "sim_cache_size".into(),
+                Json::Int(self.sim_cache_size as i64),
+            ),
+            (
+                "metric_sim_calls".into(),
+                Json::Int(self.metric_sim_calls as i64),
+            ),
+            (
+                "metric_calls_by_round".into(),
+                Json::Arr(
+                    self.metric_calls_by_round
+                        .iter()
+                        .map(|&c| Json::Int(c as i64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes counters from [`RunStats::to_json`] output.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let usize_of =
+            |key: &str| -> Result<usize> { Ok(json.expect(key)?.as_i64()?.max(0) as usize) };
+        let u64_of = |key: &str| -> Result<u64> { Ok(json.expect(key)?.as_i64()?.max(0) as u64) };
+        let dur_of = |key: &str| -> Result<Duration> { Ok(Duration::from_micros(u64_of(key)?)) };
+        let mut metric_calls_by_round = Vec::new();
+        for c in json.expect("metric_calls_by_round")?.as_arr()? {
+            metric_calls_by_round.push(c.as_i64()?.max(0) as u64);
+        }
+        Ok(Self {
+            iterations: usize_of("iterations")?,
+            index_size: usize_of("index_size")?,
+            final_index_size: usize_of("final_index_size")?,
+            pruned: usize_of("pruned")?,
+            direct_decisions: usize_of("direct_decisions")?,
+            comparisons: usize_of("comparisons")?,
+            merges: usize_of("merges")?,
+            simplified_nodes_sum: usize_of("simplified_nodes_sum")?,
+            graph_nodes_sum: usize_of("graph_nodes_sum")?,
+            matchings_run: usize_of("matchings_run")?,
+            schema_matchings_decided: usize_of("schema_matchings_decided")?,
+            index_build_time: dur_of("index_build_us")?,
+            resolve_time: dur_of("resolve_us")?,
+            verify_time: dur_of("verify_us")?,
+            threads: usize_of("threads")?,
+            sim_cache_hits: u64_of("sim_cache_hits")?,
+            sim_cache_misses: u64_of("sim_cache_misses")?,
+            sim_cache_invalidated: u64_of("sim_cache_invalidated")?,
+            sim_cache_size: usize_of("sim_cache_size")?,
+            metric_sim_calls: u64_of("metric_sim_calls")?,
+            metric_calls_by_round,
+        })
+    }
+
     /// Checks the internal-consistency invariants the observability layer
     /// relies on. Returns a description of the first violated invariant.
     ///
@@ -144,7 +257,7 @@ impl RunStats {
     /// - one per-round entry per iteration
     /// - verify time is a subset of resolve time
     /// - every comparison runs at least one matching
-    pub fn check_consistency(&self, cache_enabled: bool) -> Result<(), String> {
+    pub fn check_consistency(&self, cache_enabled: bool) -> std::result::Result<(), String> {
         if cache_enabled {
             if self.metric_sim_calls != self.sim_cache_misses {
                 return Err(format!(
@@ -231,6 +344,37 @@ mod tests {
         });
         assert!((s.sim_cache_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(s.metric_sim_calls, 1);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_counters() {
+        let s = RunStats {
+            iterations: 3,
+            index_size: 120,
+            final_index_size: 90,
+            pruned: 14,
+            comparisons: 33,
+            merges: 7,
+            matchings_run: 40,
+            threads: 4,
+            sim_cache_hits: 21,
+            sim_cache_misses: 19,
+            sim_cache_invalidated: 2,
+            sim_cache_size: 17,
+            metric_sim_calls: 19,
+            metric_calls_by_round: vec![10, 6, 3],
+            index_build_time: Duration::from_micros(1234),
+            resolve_time: Duration::from_micros(5678),
+            verify_time: Duration::from_micros(345),
+            ..Default::default()
+        };
+        let dump = s.to_json().to_string_compact();
+        let back = RunStats::from_json(&hera_types::json::parse(&dump).unwrap()).unwrap();
+        assert_eq!(back.to_json().to_string_compact(), dump);
+        assert_eq!(back.merges, 7);
+        assert_eq!(back.metric_calls_by_round, vec![10, 6, 3]);
+        assert_eq!(back.resolve_time, Duration::from_micros(5678));
+        back.check_consistency(true).unwrap();
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Super records (Definition 2) and the merge operation `⊕` (Example 2).
 
-use hera_types::{Dataset, Label, Record, SourceAttrId, Value};
+use hera_types::json::Json;
+use hera_types::{Dataset, Label, Record, Result, SourceAttrId, Value};
 use rustc_hash::FxHashMap;
 
 /// One field of a super record: the set of values observed for (what HERA
@@ -108,6 +109,71 @@ impl SuperRecord {
     pub fn value(&self, label: Label) -> &Value {
         debug_assert_eq!(label.rid, self.rid);
         &self.fields[label.fid as usize].values[label.vid as usize]
+    }
+
+    /// Encodes the super record as JSON, preserving field, value, and
+    /// member order exactly (labels index into these vectors, so the
+    /// order *is* part of the state).
+    pub fn to_json(&self) -> Json {
+        let fields = self
+            .fields
+            .iter()
+            .map(|f| {
+                Json::Obj(vec![
+                    (
+                        "values".into(),
+                        Json::Arr(f.values.iter().map(Value::to_json).collect()),
+                    ),
+                    (
+                        "attrs".into(),
+                        Json::Arr(
+                            f.attrs
+                                .iter()
+                                .map(|a| Json::Int(i64::from(a.raw())))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("rid".into(), Json::Int(i64::from(self.rid))),
+            ("fields".into(), Json::Arr(fields)),
+            (
+                "members".into(),
+                Json::Arr(
+                    self.members
+                        .iter()
+                        .map(|&m| Json::Int(i64::from(m)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a super record from [`SuperRecord::to_json`] output.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let mut fields = Vec::new();
+        for f in json.expect("fields")?.as_arr()? {
+            let mut values = Vec::new();
+            for v in f.expect("values")?.as_arr()? {
+                values.push(Value::from_json(v)?);
+            }
+            let mut attrs = Vec::new();
+            for a in f.expect("attrs")?.as_arr()? {
+                attrs.push(SourceAttrId::new(a.as_u32()?));
+            }
+            fields.push(Field { values, attrs });
+        }
+        let mut members = Vec::new();
+        for m in json.expect("members")?.as_arr()? {
+            members.push(m.as_u32()?);
+        }
+        Ok(Self {
+            rid: json.expect("rid")?.as_u32()?,
+            fields,
+            members,
+        })
     }
 
     /// Merges `other` into `self` (`self ⊕ other`, Example 2):

@@ -13,7 +13,8 @@
 //! Once `UP_error < ρ`, the winner is *decided* and injected back into
 //! instance-based verification as a forced field pair.
 
-use hera_types::{SchemaId, SchemaRegistry, SourceAttrId};
+use hera_types::json::Json;
+use hera_types::{Result, SchemaId, SchemaRegistry, SourceAttrId};
 use rustc_hash::FxHashMap;
 
 /// Theorem 2's upper bound on majority-vote error probability.
@@ -144,6 +145,90 @@ impl SchemaVoter {
         out
     }
 
+    /// Encodes the voter as JSON: open vote tallies *and* decided
+    /// matchings, both in sorted key order. Serializing the open votes is
+    /// what makes a restored session continuation-equivalent — future
+    /// decisions depend on every vote cast so far, not just on the
+    /// decided set.
+    pub fn to_json(&self) -> Json {
+        let mut votes: Vec<_> = self.votes.iter().collect();
+        votes.sort_unstable_by_key(|(&(attr, schema), _)| (attr, schema));
+        let votes = votes
+            .into_iter()
+            .map(|(&(attr, schema), counts)| {
+                let mut counts: Vec<_> = counts.iter().collect();
+                counts.sort_unstable_by_key(|(&cand, _)| cand);
+                Json::Obj(vec![
+                    ("attr".into(), Json::Int(i64::from(attr.raw()))),
+                    ("schema".into(), Json::Int(i64::from(schema.raw()))),
+                    (
+                        "counts".into(),
+                        Json::Arr(
+                            counts
+                                .into_iter()
+                                .map(|(&cand, &n)| {
+                                    Json::Obj(vec![
+                                        ("cand".into(), Json::Int(i64::from(cand.raw()))),
+                                        ("n".into(), Json::Int(i64::from(n))),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let mut decided: Vec<_> = self.decided.values().collect();
+        decided.sort_unstable_by_key(|d| (d.attr, d.partner_schema));
+        let decided = decided
+            .into_iter()
+            .map(|d| {
+                Json::Obj(vec![
+                    ("attr".into(), Json::Int(i64::from(d.attr.raw()))),
+                    (
+                        "partner_schema".into(),
+                        Json::Int(i64::from(d.partner_schema.raw())),
+                    ),
+                    ("partner".into(), Json::Int(i64::from(d.partner.raw()))),
+                    ("confidence".into(), Json::Float(d.confidence)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("votes".into(), Json::Arr(votes)),
+            ("decided".into(), Json::Arr(decided)),
+        ])
+    }
+
+    /// Decodes a voter from [`SchemaVoter::to_json`] output.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let mut voter = Self::default();
+        for bucket in json.expect("votes")?.as_arr()? {
+            let key = (
+                SourceAttrId::new(bucket.expect("attr")?.as_u32()?),
+                SchemaId::new(bucket.expect("schema")?.as_u32()?),
+            );
+            let mut counts = FxHashMap::default();
+            for c in bucket.expect("counts")?.as_arr()? {
+                counts.insert(
+                    SourceAttrId::new(c.expect("cand")?.as_u32()?),
+                    c.expect("n")?.as_u32()?,
+                );
+            }
+            voter.votes.insert(key, counts);
+        }
+        for d in json.expect("decided")?.as_arr()? {
+            let m = DecidedMatching {
+                attr: SourceAttrId::new(d.expect("attr")?.as_u32()?),
+                partner_schema: SchemaId::new(d.expect("partner_schema")?.as_u32()?),
+                partner: SourceAttrId::new(d.expect("partner")?.as_u32()?),
+                confidence: d.expect("confidence")?.as_f64()?,
+            };
+            voter.decided.insert((m.attr, m.partner_schema), m);
+        }
+        Ok(voter)
+    }
+
     /// Number of open vote buckets (undecided).
     pub fn open_buckets(&self) -> usize {
         self.votes
@@ -259,6 +344,35 @@ mod tests {
         assert_eq!(
             voter.decided_partner(a1[0], reg.attr_schema(a2[0])),
             Some(a2[0])
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_open_votes_and_decisions() {
+        let (reg, a1, a2) = registry();
+        let mut voter = SchemaVoter::new();
+        for _ in 0..10 {
+            voter.add_vote(&reg, a1[0], a2[0]);
+        }
+        voter.add_vote(&reg, a1[1], a2[1]); // stays open
+        assert!(!voter.decide(0.8, 0.6, 3).is_empty());
+
+        let dump = voter.to_json().to_string_compact();
+        let mut back = SchemaVoter::from_json(&hera_types::json::parse(&dump).unwrap()).unwrap();
+        assert_eq!(back.decided(), voter.decided());
+        assert_eq!(back.open_buckets(), voter.open_buckets());
+        assert_eq!(back.to_json().to_string_compact(), dump, "fixpoint");
+
+        // Open votes keep accumulating after restore exactly as live.
+        for v in [&mut voter, &mut back] {
+            for _ in 0..9 {
+                v.add_vote(&reg, a1[1], a2[1]);
+            }
+        }
+        assert_eq!(
+            back.decide(0.8, 0.6, 3),
+            voter.decide(0.8, 0.6, 3),
+            "continuation-equivalent decisions"
         );
     }
 

@@ -12,7 +12,10 @@ use hera_eval::PairMetrics;
 fn main() {
     for name in ["dm1", "dm4"] {
         let ds = hera_datagen::table1_dataset(name);
-        let result = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds);
+        let result = Hera::builder(HeraConfig::new(0.5, 0.5))
+            .build()
+            .run(&ds)
+            .unwrap();
         let m = PairMetrics::score(&result.clusters(), &ds.truth);
         let s = &result.stats;
         println!("{name}: build={:?} resolve={:?} iters={} |V|={} pruned={} direct={} cmp={} merges={} | {m}",

@@ -62,7 +62,7 @@ pub fn refined_field_set(group: &[ValuePair]) -> Vec<FieldPairSim> {
     out
 }
 
-/// [`refined_field_set`] into a caller buffer: `out` is cleared and
+/// `refined_field_set` into a caller buffer: `out` is cleared and
 /// refilled, so a reused buffer makes the hottest candidate-generation
 /// loop allocation-free.
 pub fn refined_field_set_into(group: &[ValuePair], out: &mut Vec<FieldPairSim>) {

@@ -4,7 +4,8 @@ use crate::bounds::{
     compute_bounds, refined_field_set, refined_field_set_into, BoundMode, Bounds, FieldPairSim,
 };
 use hera_join::ValuePair;
-use hera_types::Label;
+use hera_types::json::Json;
+use hera_types::{HeraError, Label, Result};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::BTreeMap;
 
@@ -227,6 +228,56 @@ impl ValuePairIndex {
         }
     }
 
+    /// Encodes the index as a flat JSON array of value pairs in group
+    /// order (key-ascending, each group similarity-descending). The group
+    /// order is a total order — sim descending, then label pair — so
+    /// rebuilding from this dump is a fixpoint: re-serializing a restored
+    /// index yields byte-identical output.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.groups
+                .values()
+                .flatten()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("a".into(), p.a.to_json()),
+                        ("b".into(), p.b.to_json()),
+                        ("sim".into(), Json::Float(p.sim)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Decodes an index from [`ValuePairIndex::to_json`] output,
+    /// rejecting non-normalized or non-finite pairs with a typed error
+    /// instead of panicking.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let mut idx = Self::default();
+        for p in json.as_arr()? {
+            let pair = ValuePair {
+                a: Label::from_json(p.expect("a")?)?,
+                b: Label::from_json(p.expect("b")?)?,
+                sim: p.expect("sim")?.as_f64()?,
+            };
+            if pair.a.rid >= pair.b.rid {
+                return Err(HeraError::Corrupt(format!(
+                    "index pair {}-{} not rid-normalized",
+                    pair.a, pair.b
+                )));
+            }
+            if !pair.sim.is_finite() {
+                return Err(HeraError::Corrupt(format!(
+                    "index pair {}-{} has non-finite sim",
+                    pair.a, pair.b
+                )));
+            }
+            idx.insert(pair);
+        }
+        idx.restore_group_order();
+        Ok(idx)
+    }
+
     /// Structural statistics for reports and tuning.
     pub fn stats(&self) -> IndexStats {
         let mut max_group = 0usize;
@@ -280,7 +331,7 @@ impl ValuePairIndex {
 
     /// Full-index invariant check (tests/debug): normalization, ordering,
     /// partner symmetry, and count consistency.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
         let mut count = 0;
         for (&(i, j), g) in &self.groups {
             if i >= j {
@@ -499,6 +550,27 @@ mod tests {
         assert_eq!(all[3], (5, 0.83));
         // Unknown record: empty.
         assert!(idx.top_partners(99, 3).is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip_is_a_fixpoint() {
+        let idx = fig4_index();
+        let dump = idx.to_json().to_string_compact();
+        let back = ValuePairIndex::from_json(&hera_types::json::parse(&dump).unwrap()).unwrap();
+        back.check_invariants().unwrap();
+        assert_eq!(back.len(), idx.len());
+        assert_eq!(back.group_count(), idx.group_count());
+        assert_eq!(back.to_json().to_string_compact(), dump, "fixpoint");
+    }
+
+    #[test]
+    fn json_rejects_non_normalized_pair() {
+        let json = hera_types::json::parse(
+            r#"[{"a":{"rid":4,"fid":0,"vid":0},"b":{"rid":2,"fid":0,"vid":0},"sim":0.5}]"#,
+        )
+        .unwrap();
+        let err = ValuePairIndex::from_json(&json).unwrap_err();
+        assert!(matches!(err, hera_types::HeraError::Corrupt(_)), "{err}");
     }
 
     #[test]

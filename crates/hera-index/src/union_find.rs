@@ -1,5 +1,8 @@
 //! Union–find over record ids (§III-B2, citing CLRS [14]).
 
+use hera_types::json::Json;
+use hera_types::{HeraError, Result};
+
 /// Disjoint-set forest with path halving.
 ///
 /// HERA's narration always keeps the *smaller* rid as the representative
@@ -85,6 +88,38 @@ impl UnionFind {
             .count()
     }
 
+    /// Encodes the forest as a JSON array of parent pointers, verbatim.
+    ///
+    /// The parent array is serialized without canonicalization so a
+    /// restored forest is *bit-identical* to the live one — `find`'s
+    /// path-halving history is part of the state, and replaying it exactly
+    /// keeps checkpointed sessions continuation-equivalent.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.parent
+                .iter()
+                .map(|&p| Json::Int(i64::from(p)))
+                .collect(),
+        )
+    }
+
+    /// Decodes a forest from [`UnionFind::to_json`] output, validating
+    /// that every parent pointer stays in bounds.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let arr = json.as_arr()?;
+        let mut parent = Vec::with_capacity(arr.len());
+        for p in arr {
+            parent.push(p.as_u32()?);
+        }
+        let n = parent.len() as u32;
+        if let Some(&bad) = parent.iter().find(|&&p| p >= n) {
+            return Err(HeraError::Corrupt(format!(
+                "union-find parent pointer {bad} out of bounds (len {n})"
+            )));
+        }
+        Ok(Self { parent })
+    }
+
     /// Groups every element by representative; clusters sorted by root id.
     pub fn clusters(&mut self) -> Vec<Vec<u32>> {
         let n = self.parent.len() as u32;
@@ -142,6 +177,24 @@ mod tests {
         uf.union(1, 4);
         let cs = uf.clusters();
         assert_eq!(cs, vec![vec![0, 3], vec![1, 4], vec![2]]);
+    }
+
+    #[test]
+    fn json_roundtrip_is_bit_identical() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 3);
+        uf.union(1, 4);
+        uf.union(0, 4);
+        let _ = uf.find(3); // path halving mutates parents
+        let json = uf.to_json().to_string_compact();
+        let back = UnionFind::from_json(&hera_types::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.parent, uf.parent, "parents restored verbatim");
+    }
+
+    #[test]
+    fn json_rejects_out_of_bounds_parent() {
+        let err = UnionFind::from_json(&hera_types::json::parse("[0,5,2]").unwrap()).unwrap_err();
+        assert!(matches!(err, hera_types::HeraError::Corrupt(_)), "{err}");
     }
 
     proptest! {

@@ -21,7 +21,8 @@
 use crate::ValuePair;
 use hera_sim::text::folded_qgram_set;
 use hera_sim::ValueSimilarity;
-use hera_types::{Label, Value};
+use hera_types::json::Json;
+use hera_types::{HeraError, Label, Result, Value};
 use rustc_hash::FxHashMap;
 
 struct Entry {
@@ -81,7 +82,6 @@ impl IncrementalJoin {
         if value.is_null() {
             return Vec::new();
         }
-        let idx = self.entries.len();
         let sig = folded_qgram_set(&value.to_text(), self.q);
 
         // Candidates: share a gram, or numeric neighbor.
@@ -131,8 +131,17 @@ impl IncrementalJoin {
         }
         out.sort_unstable_by_key(|x| (x.a, x.b));
 
-        // Register the new value.
-        for &t in &sig {
+        self.register(label, value, &sig);
+        out
+    }
+
+    /// Registers a value in the probe structures without emitting pairs.
+    /// Shared by [`IncrementalJoin::insert`] and snapshot restore, which
+    /// replays registration in entry order to rebuild the postings,
+    /// numeric sweep, and rid maps bit-identically.
+    fn register(&mut self, label: Label, value: Value, sig: &[u64]) {
+        let idx = self.entries.len();
+        for &t in sig {
             self.postings.entry(t).or_default().push(idx);
         }
         if let Some(x) = value.as_number() {
@@ -141,7 +150,61 @@ impl IncrementalJoin {
         }
         self.by_rid.entry(label.rid).or_default().push(idx);
         self.entries.push(Entry { label, value });
-        out
+    }
+
+    /// Encodes the join state as JSON: the threshold, gram length, and
+    /// the `(label, value)` entries in insertion order. The derived probe
+    /// structures (postings, numeric sweep, rid map) are not serialized —
+    /// [`IncrementalJoin::from_json`] rebuilds them by replaying
+    /// registration, which is deterministic given the same entry order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("xi".into(), Json::Float(self.xi)),
+            ("q".into(), Json::Int(self.q as i64)),
+            (
+                "entries".into(),
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("label".into(), e.label.to_json()),
+                                ("value".into(), e.value.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a join from [`IncrementalJoin::to_json`] output. The
+    /// metric is not serialized (it is arbitrary user code); the caller
+    /// supplies the same metric the session was built with.
+    pub fn from_json(json: &Json, metric: std::sync::Arc<dyn ValueSimilarity>) -> Result<Self> {
+        let xi = json.expect("xi")?.as_f64()?;
+        let q = json.expect("q")?.as_i64()?;
+        if !(xi > 0.0 && xi <= 1.0) {
+            return Err(HeraError::Corrupt(format!(
+                "join threshold xi = {xi} outside (0, 1]"
+            )));
+        }
+        if !(1..=64).contains(&q) {
+            return Err(HeraError::Corrupt(format!("join gram length q = {q}")));
+        }
+        let mut join = Self::new(xi, q as usize, metric);
+        for e in json.expect("entries")?.as_arr()? {
+            let label = Label::from_json(e.expect("label")?)?;
+            let value = Value::from_json(e.expect("value")?)?;
+            if value.is_null() {
+                return Err(HeraError::Corrupt(format!(
+                    "join entry {label} holds a null value"
+                )));
+            }
+            let sig = folded_qgram_set(&value.to_text(), join.q);
+            join.register(label, value, &sig);
+        }
+        Ok(join)
     }
 
     /// Applies a merge remap: every stored label of records `i` or `j`
@@ -259,6 +322,47 @@ mod tests {
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].a.rid, 0);
         assert!((pairs[0].sim - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip_emits_identical_future_pairs() {
+        let metric = TypeDispatch::paper_default();
+        let mut live = IncrementalJoin::new(0.5, 2, Arc::new(metric.clone()));
+        live.insert(label(0, 0), Value::from("electronic"));
+        live.insert(label(1, 0), Value::from("electronics"));
+        live.insert(label(2, 0), Value::from(1984i64));
+        live.relabel(0, 1, |l| {
+            if l.rid == 1 {
+                Label::new(0, 7, l.vid)
+            } else {
+                l
+            }
+        });
+
+        let dump = live.to_json().to_string_compact();
+        let mut restored = IncrementalJoin::from_json(
+            &hera_types::json::parse(&dump).unwrap(),
+            Arc::new(metric.clone()),
+        )
+        .unwrap();
+        assert_eq!(restored.len(), live.len());
+        assert_eq!(restored.to_json().to_string_compact(), dump, "fixpoint");
+
+        let a = live.insert(label(9, 0), Value::from("electronic"));
+        let b = restored.insert(label(9, 0), Value::from("electronic"));
+        assert_eq!(a, b, "restored join emits the same pairs");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn json_rejects_bad_threshold() {
+        let metric = TypeDispatch::paper_default();
+        let json = hera_types::json::parse(r#"{"xi":1.5,"q":2,"entries":[]}"#).unwrap();
+        let err = match IncrementalJoin::from_json(&json, Arc::new(metric)) {
+            Ok(_) => panic!("bad xi accepted"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, hera_types::HeraError::Corrupt(_)), "{err}");
     }
 
     #[test]

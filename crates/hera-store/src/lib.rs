@@ -1,0 +1,406 @@
+//! Durable snapshots for HERA session state.
+//!
+//! A snapshot is a named collection of JSON sections wrapped in a small
+//! self-validating envelope:
+//!
+//! ```text
+//! #hera-snapshot v1 crc32=89abcdef len=1234\n
+//! {"registry":{…},"supers":[…],…}
+//! ```
+//!
+//! * **versioned** — the header carries the format version; a reader
+//!   built for a different version rejects the file with
+//!   [`HeraError::VersionMismatch`] instead of misreading it;
+//! * **CRC-checked** — `crc32` is the IEEE CRC-32 of the exact payload
+//!   bytes and `len` is their count, so flipped bytes, truncation, and
+//!   trailing garbage are all caught deterministically and reported as
+//!   [`HeraError::Corrupt`];
+//! * **atomically written** — [`Snapshot::write`] writes to a temporary
+//!   sibling file, syncs it, and renames it over the destination, so a
+//!   crash mid-write can never leave a half-written snapshot under the
+//!   target path.
+//!
+//! The payload is produced by the workspace's dependency-free
+//! [`hera_types::json`] writer. Every producer serializes its maps in
+//! sorted order, so equal state yields byte-identical snapshots.
+//!
+//! The crate knows nothing about sessions — it stores named [`Json`]
+//! sections. `hera-core` assembles session state into sections and
+//! consumes them on restore.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hera_types::json::{self, Json};
+use hera_types::{HeraError, Result};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Snapshot format version understood by this build.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Leading magic of every snapshot header.
+const MAGIC: &str = "#hera-snapshot v";
+
+/// IEEE CRC-32 lookup table (polynomial `0xEDB88320`), built at compile
+/// time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of a byte slice (the checksum zip, gzip, and PNG use).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Outcome of a successful [`Snapshot::write`], for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteReport {
+    /// Payload bytes written (header excluded).
+    pub payload_bytes: usize,
+    /// Number of sections in the snapshot.
+    pub sections: usize,
+}
+
+/// A named collection of JSON sections with a versioned, CRC-checked
+/// envelope (crate docs).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, section)` pairs in insertion order. Order is part of the
+    /// byte format, so writers must insert sections deterministically.
+    sections: Vec<(String, Json)>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a section. Names must be unique; inserting a duplicate
+    /// replaces the earlier section in place (keeping its position).
+    pub fn insert(&mut self, name: impl Into<String>, section: Json) {
+        let name = name.into();
+        if let Some(slot) = self.sections.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = section;
+        } else {
+            self.sections.push((name, section));
+        }
+    }
+
+    /// Looks up a section by name.
+    pub fn get(&self, name: &str) -> Option<&Json> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Looks up a section, failing with [`HeraError::Corrupt`] when it is
+    /// missing (a snapshot without a required section is damaged, not
+    /// merely incomplete).
+    pub fn expect(&self, name: &str) -> Result<&Json> {
+        self.get(name)
+            .ok_or_else(|| HeraError::Corrupt(format!("snapshot section {name:?} missing")))
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True if no section was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Section names in snapshot order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Renders the payload (compact JSON object of all sections, without
+    /// the envelope header).
+    fn payload(&self) -> String {
+        Json::Obj(self.sections.clone()).to_string_compact()
+    }
+
+    /// Encodes the snapshot as envelope bytes (header + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.payload();
+        let header = format!(
+            "{MAGIC}{FORMAT_VERSION} crc32={:08x} len={}\n",
+            crc32(payload.as_bytes()),
+            payload.len()
+        );
+        let mut out = Vec::with_capacity(header.len() + payload.len());
+        out.extend_from_slice(header.as_bytes());
+        out.extend_from_slice(payload.as_bytes());
+        out
+    }
+
+    /// Decodes and validates envelope bytes. Bad magic, length or CRC
+    /// mismatches, and malformed payloads yield [`HeraError::Corrupt`]; a
+    /// parsable header carrying a different format version yields
+    /// [`HeraError::VersionMismatch`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| HeraError::Corrupt("snapshot is not valid UTF-8".into()))?;
+        let Some(rest) = text.strip_prefix(MAGIC) else {
+            return Err(HeraError::Corrupt(
+                "missing #hera-snapshot magic header".into(),
+            ));
+        };
+        let Some((header, payload)) = rest.split_once('\n') else {
+            return Err(HeraError::Corrupt("snapshot header not terminated".into()));
+        };
+        let mut fields = header.split(' ');
+        let version: u32 = fields
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| HeraError::Corrupt("unparsable snapshot version".into()))?;
+        if version != FORMAT_VERSION {
+            return Err(HeraError::VersionMismatch {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let crc_expected: u32 = fields
+            .next()
+            .and_then(|f| f.strip_prefix("crc32="))
+            .and_then(|v| u32::from_str_radix(v, 16).ok())
+            .ok_or_else(|| HeraError::Corrupt("unparsable snapshot crc field".into()))?;
+        let len_expected: usize = fields
+            .next()
+            .and_then(|f| f.strip_prefix("len="))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| HeraError::Corrupt("unparsable snapshot len field".into()))?;
+        if payload.len() != len_expected {
+            return Err(HeraError::Corrupt(format!(
+                "snapshot payload is {} bytes, header promises {len_expected} \
+                 (truncated or padded file)",
+                payload.len()
+            )));
+        }
+        let crc_actual = crc32(payload.as_bytes());
+        if crc_actual != crc_expected {
+            return Err(HeraError::Corrupt(format!(
+                "snapshot crc32 {crc_actual:08x} does not match header {crc_expected:08x}"
+            )));
+        }
+        let Json::Obj(sections) = json::parse(payload)
+            .map_err(|e| HeraError::Corrupt(format!("snapshot payload: {e}")))?
+        else {
+            return Err(HeraError::Corrupt(
+                "snapshot payload is not a JSON object".into(),
+            ));
+        };
+        Ok(Self { sections })
+    }
+
+    /// Writes the snapshot atomically: the bytes go to a `.tmp` sibling,
+    /// are synced to disk, and the file is renamed over `path` — readers
+    /// see either the old snapshot or the complete new one, never a
+    /// partial write.
+    pub fn write(&self, path: impl AsRef<Path>) -> Result<WriteReport> {
+        let path = path.as_ref();
+        let bytes = self.to_bytes();
+        let payload_bytes = bytes.len() - header_len(&bytes);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let io_err = |stage: &str, e: std::io::Error| {
+            HeraError::Io(format!("{stage} {}: {e}", path.display()))
+        };
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create", e))?;
+            f.write_all(&bytes).map_err(|e| io_err("write", e))?;
+            f.sync_all().map_err(|e| io_err("sync", e))?;
+            drop(f);
+            std::fs::rename(&tmp, path).map_err(|e| io_err("rename", e))
+        })();
+        if result.is_err() {
+            // Best-effort cleanup; the original error is what matters.
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result?;
+        Ok(WriteReport {
+            payload_bytes,
+            sections: self.sections.len(),
+        })
+    }
+
+    /// Reads and validates a snapshot file.
+    pub fn read(path: impl AsRef<Path>) -> Result<Self> {
+        Self::read_report(path).map(|(snap, _)| snap)
+    }
+
+    /// Reads and validates a snapshot file, also reporting its payload
+    /// size and section count (the counters `checkpoint_load` spans
+    /// carry).
+    pub fn read_report(path: impl AsRef<Path>) -> Result<(Self, WriteReport)> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| HeraError::Io(format!("read {}: {e}", path.display())))?;
+        let snap = Self::from_bytes(&bytes)?;
+        let report = WriteReport {
+            payload_bytes: bytes.len() - header_len(&bytes),
+            sections: snap.len(),
+        };
+        Ok((snap, report))
+    }
+}
+
+/// Length of the envelope header line (through the first newline).
+fn header_len(bytes: &[u8]) -> usize {
+    bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .map_or(bytes.len(), |p| p + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::new();
+        s.insert("alpha", Json::Arr(vec![Json::Int(1), Json::Int(2)]));
+        s.insert("beta", Json::Obj(vec![("x".into(), Json::Float(0.5))]));
+        s
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_sections_and_bytes() {
+        let s = sample();
+        let bytes = s.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.names().collect::<Vec<_>>(), vec!["alpha", "beta"]);
+        assert_eq!(
+            back.expect("beta").unwrap().to_string_compact(),
+            r#"{"x":0.5}"#
+        );
+        assert_eq!(back.to_bytes(), bytes, "re-encoding is a fixpoint");
+    }
+
+    #[test]
+    fn insert_replaces_in_place() {
+        let mut s = sample();
+        s.insert("alpha", Json::Int(9));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.names().next(), Some("alpha"));
+        assert_eq!(s.expect("alpha").unwrap().as_i64().unwrap(), 9);
+    }
+
+    #[test]
+    fn missing_section_is_corrupt() {
+        let err = sample().expect("gamma").unwrap_err();
+        assert!(matches!(err, HeraError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_corrupt() {
+        let mut bytes = sample().to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let err = Snapshot::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, HeraError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_corrupt() {
+        let bytes = sample().to_bytes();
+        for cut in [bytes.len() - 1, bytes.len() - 10, 5] {
+            let err = Snapshot::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, HeraError::Corrupt(_)), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_corrupt() {
+        let mut bytes = sample().to_bytes();
+        bytes.extend_from_slice(b"junk");
+        let err = Snapshot::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, HeraError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let bytes = sample().to_bytes();
+        let skewed = String::from_utf8(bytes).unwrap().replacen(
+            "#hera-snapshot v1 ",
+            "#hera-snapshot v2 ",
+            1,
+        );
+        let err = Snapshot::from_bytes(skewed.as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            HeraError::VersionMismatch {
+                found: 2,
+                expected: FORMAT_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn foreign_file_is_corrupt() {
+        for junk in [&b"not a snapshot"[..], b"", b"\x00\x01\x02"] {
+            let err = Snapshot::from_bytes(junk).unwrap_err();
+            assert!(matches!(err, HeraError::Corrupt(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip_and_tmp_cleanup() {
+        let dir = std::env::temp_dir().join(format!("hera-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.hera");
+        let report = sample().write(&path).unwrap();
+        assert_eq!(report.sections, 2);
+        assert!(report.payload_bytes > 0);
+        assert!(!dir.join("snap.hera.tmp").exists(), "tmp file renamed away");
+        let back = Snapshot::read(&path).unwrap();
+        assert_eq!(back.to_bytes(), sample().to_bytes());
+        // Overwrite is atomic too: write again over the existing file.
+        sample().write(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_missing_file_is_io() {
+        let err = Snapshot::read("/nonexistent/dir/snap.hera").unwrap_err();
+        assert!(matches!(err, HeraError::Io(_)), "{err}");
+    }
+}

@@ -26,6 +26,20 @@ pub enum HeraError {
     GroundTruth(String),
     /// Dataset (de)serialization failed.
     Serialization(String),
+    /// An operating-system I/O operation failed. Carries the rendered
+    /// `std::io::Error` (plus path context) so the variant stays `Clone`
+    /// and `Eq`.
+    Io(String),
+    /// A snapshot or other persisted artifact failed integrity checks
+    /// (bad magic, CRC mismatch, truncation, malformed section).
+    Corrupt(String),
+    /// A persisted artifact was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the artifact.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
 }
 
 impl fmt::Display for HeraError {
@@ -43,6 +57,12 @@ impl fmt::Display for HeraError {
             HeraError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             HeraError::GroundTruth(msg) => write!(f, "ground truth error: {msg}"),
             HeraError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            HeraError::Io(msg) => write!(f, "i/o error: {msg}"),
+            HeraError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
+            HeraError::VersionMismatch { found, expected } => write!(
+                f,
+                "version mismatch: artifact has format v{found}, this build expects v{expected}"
+            ),
         }
     }
 }
@@ -64,6 +84,25 @@ mod tests {
         assert!(HeraError::InvalidConfig("xi must be in [0,1]".into())
             .to_string()
             .contains("xi"));
+    }
+
+    #[test]
+    fn persistence_display_messages() {
+        assert_eq!(
+            HeraError::Io("snap.hera: permission denied".into()).to_string(),
+            "i/o error: snap.hera: permission denied"
+        );
+        assert!(HeraError::Corrupt("crc mismatch".into())
+            .to_string()
+            .contains("crc"));
+        assert_eq!(
+            HeraError::VersionMismatch {
+                found: 9,
+                expected: 1
+            }
+            .to_string(),
+            "version mismatch: artifact has format v9, this build expects v1"
+        );
     }
 
     #[test]

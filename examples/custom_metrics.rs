@@ -81,7 +81,11 @@ fn main() {
     );
     for (name, metric, delta, xi) in stacks {
         let t = Instant::now();
-        let result = Hera::with_metric(HeraConfig::new(delta, xi), Arc::new(metric)).run(&ds);
+        let result = Hera::builder(HeraConfig::new(delta, xi))
+            .metric(Arc::new(metric))
+            .build()
+            .run(&ds)
+            .expect("resolution failed");
         let m = PairMetrics::score(&result.clusters(), &ds.truth);
         println!(
             "{:<36} {:>4.2} {:>4.2} {:>7.3} {:>7.3} {:>7.3} {:>9.1?}",

@@ -194,7 +194,10 @@ fn main() {
     println!("  R-Swoosh on exchanged data: {swoosh_metrics}");
 
     // --- HERA directly on the heterogeneous records.
-    let result = Hera::new(HeraConfig::new(0.7, 0.5)).run(&dataset);
+    let result = Hera::builder(HeraConfig::new(0.7, 0.5))
+        .build()
+        .run(&dataset)
+        .expect("resolution failed");
     let hera_metrics = PairMetrics::score(&result.clusters(), &dataset.truth);
     println!(
         "  HERA on heterogeneous data: {hera_metrics} ({} iterations, {} merges)",

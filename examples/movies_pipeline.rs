@@ -43,7 +43,10 @@ fn main() {
 
     // HERA sees the heterogeneous originals.
     let t = Instant::now();
-    let result = Hera::new(HeraConfig::new(delta, xi)).run(&dataset);
+    let result = Hera::builder(HeraConfig::new(delta, xi))
+        .build()
+        .run(&dataset)
+        .expect("resolution failed");
     let m = PairMetrics::score(&result.clusters(), &dataset.truth);
     println!(
         "{:<10} {:>9} {:>7.3} {:>7.3} {:>7.3} {:>9.0?}",

@@ -23,8 +23,8 @@ fn main() {
 
     // Run HERA with the paper's worked-example thresholds: record
     // similarity δ = 0.5, value similarity ξ = 0.5.
-    let hera = Hera::new(HeraConfig::new(0.5, 0.5));
-    let result = hera.run(&dataset);
+    let hera = Hera::builder(HeraConfig::new(0.5, 0.5)).build();
+    let result = hera.run(&dataset).expect("resolution failed");
 
     println!(
         "\nresolved {} entities in {} iterations:",

@@ -19,7 +19,10 @@ fn main() {
         dataset.truth.distinct_attr_count()
     );
 
-    let result = Hera::new(HeraConfig::new(0.5, 0.5)).run(&dataset);
+    let result = Hera::builder(HeraConfig::new(0.5, 0.5))
+        .build()
+        .run(&dataset)
+        .expect("resolution failed");
 
     println!(
         "HERA decided {} schema matchings while resolving entities:\n",

@@ -18,7 +18,7 @@ fn main() {
         ds.registry.len()
     );
 
-    let mut session = HeraSession::new(HeraConfig::new(0.5, 0.5));
+    let mut session = HeraSession::builder(HeraConfig::new(0.5, 0.5)).build();
     let schemas: Vec<SchemaId> = ds
         .registry
         .schemas()

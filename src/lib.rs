@@ -16,6 +16,7 @@
 //! | [`index`] | `hera-index` | the value-pair index, Algorithm-1 bounds, union–find, merge maintenance |
 //! | [`obs`] | `hera-obs` | structured run journal: spans, counters, merge/promotion events (JSON Lines) |
 //! | [`core`] | `hera-core` | super records, instance-/schema-based verification, the HERA driver |
+//! | [`store`] | `hera-store` | versioned, CRC-checked session snapshots (checkpoint/restore) |
 //! | [`baselines`] | `hera-baselines` | R-Swoosh, correlation clustering, collective ER, nest-loop verifier |
 //! | [`datagen`] | `hera-datagen` | synthetic heterogeneous movie datasets (Table I presets) |
 //! | [`exchange`] | `hera-exchange` | target schemas, tgds, the chase (`-S` / `-L` homogeneous datasets) |
@@ -27,8 +28,24 @@
 //! use hera::{Hera, HeraConfig, motivating_example};
 //!
 //! let dataset = motivating_example(); // the paper's Fig. 1 customers
-//! let result = Hera::new(HeraConfig::new(0.5, 0.5)).run(&dataset);
+//! let result = Hera::builder(HeraConfig::new(0.5, 0.5)).build().run(&dataset)?;
 //! assert_eq!(result.entity_count(), 2);
+//! # Ok::<(), hera::HeraError>(())
+//! ```
+//!
+//! Long-running sessions can be checkpointed to disk and restored later
+//! (bit-identical continuation — see `DESIGN.md`, Persistence):
+//!
+//! ```no_run
+//! use hera::{HeraConfig, HeraSession};
+//!
+//! let mut session = HeraSession::builder(HeraConfig::new(0.5, 0.5)).build();
+//! // … add schemas/records, resolve …
+//! session.checkpoint("run.hera")?;
+//! // later, possibly in another process:
+//! let resumed = HeraSession::builder(HeraConfig::new(0.5, 0.5)).restore("run.hera")?;
+//! # drop(resumed);
+//! # Ok::<(), hera::HeraError>(())
 //! ```
 //!
 //! See `examples/` for end-to-end walkthroughs and `crates/hera-bench`
@@ -46,6 +63,7 @@ pub use hera_join as join;
 pub use hera_matching as matching;
 pub use hera_obs as obs;
 pub use hera_sim as sim;
+pub use hera_store as store;
 pub use hera_types as types;
 
 // The everyday API surface, flattened.
@@ -53,8 +71,9 @@ pub use hera_baselines::{
     CollectiveEr, CorrelationClustering, NestLoopVerifier, RSwoosh, Resolver,
 };
 pub use hera_core::{
-    BoundMode, Hera, HeraConfig, HeraResult, HeraSession, InstanceVerifier, RunStats, SchemaVoter,
-    SimCache, SimDelta, SuperRecord, Verification, VerifyScratch,
+    BoundMode, Hera, HeraBuilder, HeraConfig, HeraResult, HeraSession, HeraSessionBuilder,
+    InstanceVerifier, RunStats, SchemaVoter, SimCache, SimDelta, SuperRecord, Verification,
+    VerifyScratch,
 };
 pub use hera_datagen::{table1_dataset, DatagenConfig, Domain, Generator};
 pub use hera_eval::{adjusted_rand_index, bcubed, v_measure, PairMetrics};
@@ -70,6 +89,7 @@ pub use hera_sim::{
     NumericProximity, OverlapQGram, QGramJaccard, SoftTfIdf, TokenJaccard, TypeDispatch,
     ValueSimilarity,
 };
+pub use hera_store::Snapshot;
 pub use hera_types::{
     motivating_example, CanonAttrId, CsvImporter, Dataset, DatasetBuilder, EntityId, GroundTruth,
     HeraError, Label, Record, RecordId, Result, Schema, SchemaId, SchemaRegistry, SourceAttr,

@@ -9,7 +9,10 @@ use hera_datagen::{pubs, Generator};
 fn hera_resolves_publications() {
     let ds = Generator::new(pubs::publications(400, 60, 21)).generate();
     assert_eq!(ds.truth.distinct_attr_count(), 14);
-    let result = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds);
+    let result = Hera::builder(HeraConfig::new(0.5, 0.5))
+        .build()
+        .run(&ds)
+        .unwrap();
     let m = PairMetrics::score(&result.clusters(), &ds.truth);
     assert!(m.precision() > 0.9, "{m}");
     assert!(m.recall() > 0.8, "{m}");
@@ -22,7 +25,11 @@ fn information_loss_story_holds_on_publications() {
     assert!(plan.dropped_value_count > 0);
     let metric = TypeDispatch::paper_default();
     let hera_f1 = PairMetrics::score(
-        &Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds).clusters(),
+        &Hera::builder(HeraConfig::new(0.5, 0.5))
+            .build()
+            .run(&ds)
+            .unwrap()
+            .clusters(),
         &ds.truth,
     )
     .f1();
@@ -37,7 +44,10 @@ fn information_loss_story_holds_on_publications() {
 #[test]
 fn schema_discovery_works_across_domains() {
     let ds = Generator::new(pubs::publications(400, 60, 23)).generate();
-    let result = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds);
+    let result = Hera::builder(HeraConfig::new(0.5, 0.5))
+        .build()
+        .run(&ds)
+        .unwrap();
     assert!(
         !result.schema_matchings.is_empty(),
         "no schema matchings decided on publications"

@@ -13,7 +13,10 @@ use hera::{
 #[test]
 fn fig8_overall_walkthrough() {
     let ds = motivating_example();
-    let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+    let result = Hera::builder(HeraConfig::paper_example())
+        .build()
+        .run(&ds)
+        .unwrap();
 
     // Final entities: {r1, r2, r4, r6} and {r3, r5} (1-based).
     assert_eq!(result.entity_count(), 2);
@@ -104,7 +107,7 @@ fn discovered_matchings_are_truthful() {
     // voter can decide from the handful of merges.
     cfg.vote_min_n = 1;
     cfg.vote_error_threshold = 0.95;
-    let result = Hera::new(cfg).run(&ds);
+    let result = Hera::builder(cfg).build().run(&ds).unwrap();
     for m in &result.schema_matchings {
         assert!(
             ds.truth.same_attr(m.attr, m.partner),
@@ -121,7 +124,10 @@ fn discovered_matchings_are_truthful() {
 #[test]
 fn false_positive_pair_kept_apart() {
     let ds = motivating_example();
-    let result = Hera::new(HeraConfig::paper_example()).run(&ds);
+    let result = Hera::builder(HeraConfig::paper_example())
+        .build()
+        .run(&ds)
+        .unwrap();
     // r2/r4 (0-based 1, 3) vs r3/r5 (0-based 2, 4) stay separate.
     assert!(!result.same_entity(1, 2));
     assert!(!result.same_entity(3, 4));

@@ -27,9 +27,15 @@ fn dataset() -> hera::Dataset {
 #[test]
 fn thread_count_does_not_change_results() {
     let ds = dataset();
-    let base = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(1)).run(&ds);
+    let base = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(1))
+        .build()
+        .run(&ds)
+        .unwrap();
     for threads in [2, 4] {
-        let r = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(threads)).run(&ds);
+        let r = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(threads))
+            .build()
+            .run(&ds)
+            .unwrap();
         assert_eq!(base.entity_of, r.entity_of, "{threads} threads");
         assert_eq!(base.stats.merges, r.stats.merges, "{threads} threads");
         assert_eq!(base.stats.comparisons, r.stats.comparisons);
@@ -46,8 +52,14 @@ fn thread_count_does_not_change_results() {
 #[test]
 fn auto_threads_match_explicit_single_thread() {
     let ds = dataset();
-    let auto = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds); // 0 = auto
-    let one = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(1)).run(&ds);
+    let auto = Hera::builder(HeraConfig::new(0.5, 0.5))
+        .build()
+        .run(&ds)
+        .unwrap(); // 0 = auto
+    let one = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(1))
+        .build()
+        .run(&ds)
+        .unwrap();
     assert_eq!(auto.entity_of, one.entity_of);
     assert_eq!(auto.stats.merges, one.stats.merges);
     assert!(auto.stats.threads >= 1);
@@ -56,9 +68,13 @@ fn auto_threads_match_explicit_single_thread() {
 #[test]
 fn parallel_join_is_bit_identical() {
     let ds = dataset();
-    let seq = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(1)).join(&ds);
+    let seq = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(1))
+        .build()
+        .join(&ds);
     for threads in [2, 4, 8] {
-        let par = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(threads)).join(&ds);
+        let par = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(threads))
+            .build()
+            .join(&ds);
         assert_eq!(seq.len(), par.len(), "{threads} threads");
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.a, b.a);
@@ -74,13 +90,19 @@ fn thread_count_does_not_change_results_with_cache() {
     // populated in the sequential apply phase, so every thread count must
     // see the same hit/miss history — and produce the same entities.
     let ds = dataset();
-    let base = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(1)).run(&ds);
+    let base = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(1))
+        .build()
+        .run(&ds)
+        .unwrap();
     assert!(
         base.stats.sim_cache_hits > 0,
         "workload must exercise the cache for this test to mean anything"
     );
     for threads in [2, 4, 8] {
-        let r = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(threads)).run(&ds);
+        let r = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(threads))
+            .build()
+            .run(&ds)
+            .unwrap();
         assert_eq!(base.entity_of, r.entity_of, "{threads} threads");
         assert_eq!(base.stats.merges, r.stats.merges, "{threads} threads");
         assert_eq!(base.stats.sim_cache_hits, r.stats.sim_cache_hits);
@@ -104,13 +126,18 @@ fn cache_on_and_off_are_bit_identical() {
     // only change speed, never results.
     let ds = dataset();
     for threads in [1, 4] {
-        let on = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(threads)).run(&ds);
-        let off = Hera::new(
+        let on = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(threads))
+            .build()
+            .run(&ds)
+            .unwrap();
+        let off = Hera::builder(
             HeraConfig::new(0.5, 0.5)
                 .with_threads(threads)
                 .without_sim_cache(),
         )
-        .run(&ds);
+        .build()
+        .run(&ds)
+        .unwrap();
         assert_eq!(on.entity_of, off.entity_of, "{threads} threads");
         assert_eq!(on.stats.merges, off.stats.merges);
         assert_eq!(on.stats.comparisons, off.stats.comparisons);
@@ -127,7 +154,11 @@ fn cache_on_and_off_are_bit_identical() {
 /// journal attached and returns the journal text.
 fn core_journal(cfg: HeraConfig, ds: &hera::Dataset) -> (String, hera::RunStats) {
     let (rec, buf) = Recorder::to_memory();
-    let result = Hera::new(cfg).with_recorder(rec.deterministic()).run(ds);
+    let result = Hera::builder(cfg)
+        .recorder(rec.deterministic())
+        .build()
+        .run(ds)
+        .unwrap();
     (buf.contents(), result.stats)
 }
 
@@ -174,9 +205,11 @@ fn full_journal_deterministic_view_matches_core_journal() {
     let ds = dataset();
     let (core, _) = core_journal(HeraConfig::new(0.5, 0.5).with_threads(2), &ds);
     let (rec, buf) = Recorder::to_memory();
-    let _ = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(2))
-        .with_recorder(rec)
-        .run(&ds);
+    let _ = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(2))
+        .recorder(rec)
+        .build()
+        .run(&ds)
+        .unwrap();
     let full = buf.contents();
     let full_summary = hera::obs::validate(&full).unwrap();
     assert!(
@@ -190,13 +223,15 @@ fn full_journal_deterministic_view_matches_core_journal() {
 #[test]
 fn parallel_built_index_passes_invariants() {
     let ds = dataset();
-    let pairs = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(4)).join(&ds);
+    let pairs = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(4))
+        .build()
+        .join(&ds);
     let index = ValuePairIndex::build(pairs);
     index.check_invariants().unwrap();
     // And the invariants survive a whole multi-threaded run.
     let cfg = HeraConfig::new(0.5, 0.5)
         .with_threads(4)
         .with_index_validation();
-    let r = Hera::new(cfg).run(&ds);
+    let r = Hera::builder(cfg).build().run(&ds).unwrap();
     assert!(r.stats.merges > 0);
 }

@@ -27,7 +27,10 @@ fn small_dataset() -> hera::Dataset {
 #[test]
 fn hera_quality_on_generated_data() {
     let ds = small_dataset();
-    let result = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds);
+    let result = Hera::builder(HeraConfig::new(0.5, 0.5))
+        .build()
+        .run(&ds)
+        .unwrap();
     let m = PairMetrics::score(&result.clusters(), &ds.truth);
     assert!(m.precision() > 0.9, "{m}");
     assert!(m.recall() > 0.8, "{m}");
@@ -36,8 +39,14 @@ fn hera_quality_on_generated_data() {
 #[test]
 fn hera_is_deterministic() {
     let ds = small_dataset();
-    let a = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds);
-    let b = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds);
+    let a = Hera::builder(HeraConfig::new(0.5, 0.5))
+        .build()
+        .run(&ds)
+        .unwrap();
+    let b = Hera::builder(HeraConfig::new(0.5, 0.5))
+        .build()
+        .run(&ds)
+        .unwrap();
     assert_eq!(a.entity_of, b.entity_of);
     assert_eq!(a.stats.merges, b.stats.merges);
     assert_eq!(a.schema_matchings.len(), b.schema_matchings.len());
@@ -46,7 +55,10 @@ fn hera_is_deterministic() {
 #[test]
 fn result_is_a_partition() {
     let ds = small_dataset();
-    let result = Hera::new(HeraConfig::new(0.4, 0.5)).run(&ds);
+    let result = Hera::builder(HeraConfig::new(0.4, 0.5))
+        .build()
+        .run(&ds)
+        .unwrap();
     let clusters = result.clusters();
     let mut all: Vec<u32> = clusters.into_iter().flatten().collect();
     all.sort_unstable();
@@ -64,7 +76,10 @@ fn hera_beats_baselines_under_information_loss() {
     assert!(plan.dropped_value_count > 0, "-S exchange must lose data");
 
     let metric = TypeDispatch::paper_default();
-    let hera = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds);
+    let hera = Hera::builder(HeraConfig::new(0.5, 0.5))
+        .build()
+        .run(&ds)
+        .unwrap();
     let hera_f1 = PairMetrics::score(&hera.clusters(), &ds.truth).f1();
 
     for baseline in [
@@ -117,7 +132,10 @@ fn larger_target_schema_retains_more_information() {
 #[test]
 fn schema_matchings_are_accurate() {
     let ds = small_dataset();
-    let result = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds);
+    let result = Hera::builder(HeraConfig::new(0.5, 0.5))
+        .build()
+        .run(&ds)
+        .unwrap();
     assert!(
         result.schema_matchings.len() >= 10,
         "expected a healthy number of decided matchings, got {}",
@@ -141,9 +159,15 @@ fn schema_matchings_are_accurate() {
 #[test]
 fn delta_sweep_extremes() {
     let ds = small_dataset();
-    let pairs = Hera::new(HeraConfig::new(0.5, 0.5)).join(&ds);
-    let strict = Hera::new(HeraConfig::new(0.95, 0.5)).run_with_pairs(&ds, pairs.clone());
-    let loose = Hera::new(HeraConfig::new(0.2, 0.5)).run_with_pairs(&ds, pairs);
+    let pairs = Hera::builder(HeraConfig::new(0.5, 0.5)).build().join(&ds);
+    let strict = Hera::builder(HeraConfig::new(0.95, 0.5))
+        .build()
+        .run_with_pairs(&ds, pairs.clone())
+        .unwrap();
+    let loose = Hera::builder(HeraConfig::new(0.2, 0.5))
+        .build()
+        .run_with_pairs(&ds, pairs)
+        .unwrap();
     let m_strict = PairMetrics::score(&strict.clusters(), &ds.truth);
     let m_loose = PairMetrics::score(&loose.clusters(), &ds.truth);
     assert!(m_strict.precision() >= m_loose.precision());

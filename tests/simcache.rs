@@ -44,11 +44,11 @@ proptest! {
         corruption in 0u8..3,
     ) {
         let ds = dataset(seed, n_records, n_entities, corruption);
-        let on = Hera::new(HeraConfig::new(0.5, 0.5).with_threads(1)).run(&ds);
-        let off = Hera::new(
+        let on = Hera::builder(HeraConfig::new(0.5, 0.5).with_threads(1)).build().run(&ds).unwrap();
+        let off = Hera::builder(
             HeraConfig::new(0.5, 0.5).with_threads(1).without_sim_cache(),
-        )
-        .run(&ds);
+        ).build()
+        .run(&ds).unwrap();
         prop_assert_eq!(&on.entity_of, &off.entity_of);
         prop_assert_eq!(on.stats.merges, off.stats.merges);
         prop_assert_eq!(on.stats.iterations, off.stats.iterations);
@@ -76,7 +76,7 @@ proptest! {
     ) {
         let ds = dataset(seed, 60, 12, 1);
         let stream = |cfg: HeraConfig| {
-            let mut session = HeraSession::new(cfg);
+            let mut session = HeraSession::builder(cfg).build();
             let schemas: Vec<_> = ds
                 .registry
                 .schemas()

@@ -64,10 +64,10 @@ proptest::proptest! {
         n in 80usize..140,
     ) {
         let ds = random_dataset(seed, n);
-        let on = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds);
+        let on = Hera::builder(HeraConfig::new(0.5, 0.5)).build().run(&ds).unwrap();
         assert_consistent(&on.stats, true, "cache on");
 
-        let off = Hera::new(HeraConfig::new(0.5, 0.5).without_sim_cache()).run(&ds);
+        let off = Hera::builder(HeraConfig::new(0.5, 0.5).without_sim_cache()).build().run(&ds).unwrap();
         assert_consistent(&off.stats, false, "cache off");
 
         // The decisions are bit-identical, so the decision-driving
@@ -82,7 +82,10 @@ proptest::proptest! {
 #[test]
 fn check_consistency_rejects_broken_counters() {
     let ds = random_dataset(7, 90);
-    let result = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds);
+    let result = Hera::builder(HeraConfig::new(0.5, 0.5))
+        .build()
+        .run(&ds)
+        .unwrap();
     let good = result.stats.clone();
     good.check_consistency(true).unwrap();
 

@@ -38,10 +38,13 @@ fn mirror_schemas(session: &mut HeraSession, ds: &hera::Dataset) -> Vec<SchemaId
 #[test]
 fn bulk_ingest_quality_matches_batch() {
     let ds = dataset();
-    let batch = Hera::new(HeraConfig::new(0.5, 0.5)).run(&ds);
+    let batch = Hera::builder(HeraConfig::new(0.5, 0.5))
+        .build()
+        .run(&ds)
+        .unwrap();
     let batch_f1 = PairMetrics::score(&batch.clusters(), &ds.truth).f1();
 
-    let mut session = HeraSession::new(HeraConfig::new(0.5, 0.5));
+    let mut session = HeraSession::builder(HeraConfig::new(0.5, 0.5)).build();
     let schemas = mirror_schemas(&mut session, &ds);
     for rec in ds.iter() {
         session
@@ -62,7 +65,7 @@ fn bulk_ingest_quality_matches_batch() {
 #[test]
 fn per_record_resolution() {
     let ds = dataset();
-    let mut session = HeraSession::new(HeraConfig::new(0.5, 0.5));
+    let mut session = HeraSession::builder(HeraConfig::new(0.5, 0.5)).build();
     let schemas = mirror_schemas(&mut session, &ds);
     for (step, rec) in ds.iter().enumerate() {
         session
@@ -83,7 +86,7 @@ fn per_record_resolution() {
 #[test]
 fn schema_matchings_accumulate_and_stay_truthful() {
     let ds = dataset();
-    let mut session = HeraSession::new(HeraConfig::new(0.5, 0.5));
+    let mut session = HeraSession::builder(HeraConfig::new(0.5, 0.5)).build();
     let schemas = mirror_schemas(&mut session, &ds);
     let mut counts = Vec::new();
     for rec in ds.iter() {
@@ -117,7 +120,7 @@ fn schema_matchings_accumulate_and_stay_truthful() {
 #[test]
 fn late_arrivals_attach_to_existing_entities() {
     let ds = dataset();
-    let mut session = HeraSession::new(HeraConfig::new(0.5, 0.5));
+    let mut session = HeraSession::builder(HeraConfig::new(0.5, 0.5)).build();
     let schemas = mirror_schemas(&mut session, &ds);
     // Ingest all but the last 20 records, resolve, snapshot.
     let n = ds.len();
