@@ -2,10 +2,11 @@
 
 use crate::args::Args;
 use hera_baselines::{CollectiveEr, CorrelationClustering, RSwoosh, Resolver};
-use hera_core::{Hera, HeraConfig, HeraSession};
+use hera_core::{chaos, Hera, HeraConfig, HeraSession};
 use hera_eval::{bcubed, PairMetrics};
+use hera_faults::{FaultInjector, FaultPlan};
 use hera_sim::TypeDispatch;
-use hera_types::{Dataset, RecordId, SchemaId};
+use hera_types::{Dataset, HeraError, RecordId, SchemaId};
 use std::fs;
 
 /// Help text.
@@ -20,6 +21,7 @@ USAGE:
                 [--eval] [--matchings] [--no-sim-cache] [--trace FILE.jsonl]
                 [--trace-stderr] [--trace-deterministic] [--streaming]
                 [--checkpoint FILE.hera] [--checkpoint-every N]
+                [--fault-plan FILE.json]
   hera-cli checkpoint --input FILE --out FILE.hera [--upto N] [--delta 0.5] [--xi 0.5]
                 [--threads N] [--no-sim-cache]
   hera-cli restore-resolve --snapshot FILE.hera --input FILE [--labels FILE] [--eval]
@@ -29,6 +31,10 @@ USAGE:
   hera-cli fuse     --input FILE --labels FILE [--fraction 1.0] [--seed N] [--out FILE]
   hera-cli baseline --input FILE --system <rswoosh|cc|cr> [--delta 0.5] [--xi 0.5] [--eval]
   hera-cli trace-check --input FILE.jsonl
+  hera-cli faults gen --seed N [--out FILE.json]
+  hera-cli faults replay --input FILE --plan FILE.json [--checkpoint-every N]
+                [--crash-after N] [--strict-checkpoints] [--upto N]
+                [--delta 0.5] [--xi 0.5] [--threads N] [--no-sim-cache]
   hera-cli demo
   hera-cli help
 
@@ -59,6 +65,17 @@ continuing is bit-identical to an uninterrupted streaming run — same
 entities, same stats, same core journal events (see DESIGN.md,
 Persistence). Snapshots are versioned and CRC-checked; corrupt or
 version-skewed files are rejected.
+
+`resolve --fault-plan FILE` runs under a deterministic fault-injection
+plan (hera-faults JSON): named failpoints on the snapshot write/read
+paths and the trace sink fire on scheduled hits. A failing trace sink
+degrades to a null sink (one `sink_degraded` journal event, then
+silence); a failing mid-run checkpoint is retried with backoff, then
+reported and absorbed — the resolve loop continues from in-memory state.
+`faults gen --seed N` prints the deterministic random plan for a seed;
+`faults replay` re-runs a (dataset, plan, schedule) triple through the
+chaos harness and checks the no-torn-state invariant — the exact repro
+path for a chaos-test failure (see DESIGN.md, Fault model).
 ";
 
 /// Routes a parsed command line.
@@ -73,6 +90,9 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "fuse" => fuse(args),
         "baseline" => baseline(args),
         "trace-check" => trace_check(args),
+        "faults gen" => faults_gen(args),
+        "faults replay" => faults_replay(args),
+        "faults" => Err("faults needs an action: `faults gen` or `faults replay`".into()),
         "demo" => demo(),
         other => Err(format!(
             "unknown subcommand {other:?} (try `hera-cli help`)"
@@ -160,6 +180,30 @@ fn build_config(args: &Args) -> Result<HeraConfig, String> {
     Ok(config)
 }
 
+/// Loads a fault plan file (hera-faults JSON).
+fn load_fault_plan(path: &str) -> Result<FaultPlan, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let json = hera_types::json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    FaultPlan::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// The `--fault-plan FILE` injector, shared by the trace sink and the
+/// session's snapshot IO; disabled when the flag is absent.
+fn fault_injector(args: &Args) -> Result<FaultInjector, String> {
+    match args.get("fault-plan") {
+        Some(path) => {
+            let plan = load_fault_plan(path)?;
+            eprintln!(
+                "fault plan {path}: {} rule(s), seed {}",
+                plan.rules.len(),
+                plan.seed
+            );
+            Ok(FaultInjector::new(&plan))
+        }
+        None => Ok(FaultInjector::disabled()),
+    }
+}
+
 fn build_recorder(args: &Args) -> Result<hera_obs::Recorder, String> {
     let mut recorder = hera_obs::Recorder::disabled();
     if let Some(path) = args.get("trace") {
@@ -192,6 +236,12 @@ fn mirror_schemas(session: &mut HeraSession, ds: &Dataset) -> Vec<SchemaId> {
 /// Ingests records `[from, to)` of `ds` one by one, resolving after
 /// each insert; with `checkpoint_every = Some(n)` also snapshots the
 /// session to `checkpoint_path` after every `n`-th ingested record.
+///
+/// A mid-run checkpoint that still fails after its retry policy
+/// ([`HeraError::CheckpointFailed`]) degrades gracefully: the failure is
+/// reported on stderr and resolution continues from in-memory state —
+/// only durability suffered, and the next periodic checkpoint will try
+/// again. Any other checkpoint error is fatal.
 fn ingest_range(
     session: &mut HeraSession,
     ds: &Dataset,
@@ -208,9 +258,16 @@ fn ingest_range(
         session.resolve();
         if let (Some(n), Some(path)) = (checkpoint_every, checkpoint_path) {
             if (i + 1) % n == 0 {
-                session
-                    .checkpoint(path)
-                    .map_err(|e| format!("checkpointing to {path}: {e}"))?;
+                match session.checkpoint(path) {
+                    Ok(()) => {}
+                    Err(e @ HeraError::CheckpointFailed { .. }) => {
+                        eprintln!(
+                            "warning: {e}; continuing from in-memory state \
+                             (next checkpoint will retry)"
+                        );
+                    }
+                    Err(e) => return Err(format!("checkpointing to {path}: {e}")),
+                }
             }
         }
     }
@@ -282,9 +339,11 @@ fn resolve_streaming(args: &Args, ds: &Dataset) -> Result<(), String> {
     if every.is_some() && snap_path.is_none() {
         return Err("--checkpoint-every needs --checkpoint FILE.hera".into());
     }
-    let recorder = build_recorder(args)?;
+    let injector = fault_injector(args)?;
+    let recorder = build_recorder(args)?.with_faults(injector.clone());
     let mut session = HeraSession::builder(build_config(args)?)
         .recorder(recorder.clone())
+        .faults(injector)
         .build();
     let schemas = mirror_schemas(&mut session, ds);
     ingest_range(&mut session, ds, &schemas, 0, ds.len(), every, snap_path)?;
@@ -377,7 +436,9 @@ fn resolve(args: &Args) -> Result<(), String> {
         return resolve_streaming(args, &ds);
     }
     let config = build_config(args)?;
-    let recorder = build_recorder(args)?;
+    // Batch resolution's only IO edge is the trace sink; the snapshot
+    // failpoints need `--streaming`.
+    let recorder = build_recorder(args)?.with_faults(fault_injector(args)?);
     let result = Hera::builder(config)
         .recorder(recorder.clone())
         .build()
@@ -569,6 +630,75 @@ fn trace_check(args: &Args) -> Result<(), String> {
     let core_lines = hera_obs::deterministic_view(&text).lines().count();
     println!("  ({core_lines} deterministic core lines)");
     Ok(())
+}
+
+fn faults_gen(args: &Args) -> Result<(), String> {
+    let seed = args.get_u64("seed", 1)?;
+    let plan = FaultPlan::random(seed);
+    eprintln!(
+        "fault plan for seed {seed}: {} rule(s) over {:?}",
+        plan.rules.len(),
+        plan.rules
+            .iter()
+            .map(|r| r.point.as_str())
+            .collect::<Vec<_>>()
+    );
+    write_out(args.get("out"), &plan.to_json().to_string_compact())
+}
+
+fn faults_replay(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("input")?)?;
+    let plan = load_fault_plan(args.require("plan")?)?;
+    let mut cfg = chaos::ChaosConfig::new(
+        build_config(args)?,
+        args.get_u64("checkpoint-every", 1)? as usize,
+    );
+    if args.get("crash-after").is_some() {
+        cfg.crash_after = Some(args.get_u64("crash-after", 0)? as usize);
+    }
+    cfg.strict_checkpoints = args.has("strict-checkpoints");
+    if args.get("upto").is_some() {
+        cfg.upto = Some(args.get_u64("upto", 0)? as usize);
+    }
+
+    let dir = std::env::temp_dir().join(format!("hera-faults-replay-{}", std::process::id()));
+    fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let verdict = chaos::check_no_torn_state(&ds, &cfg, &plan, &dir);
+    let _ = fs::remove_dir_all(&dir);
+
+    let report = &verdict.report;
+    eprintln!(
+        "replayed {} records under plan seed {} ({} rule(s))",
+        cfg.upto.map_or(ds.len(), |u| u.min(ds.len())),
+        plan.seed,
+        plan.rules.len()
+    );
+    for f in &report.fired {
+        eprintln!("  fired: {f}");
+    }
+    eprintln!(
+        "  outcome: {} · {} checkpoint failure(s) absorbed · {} recovery(ies) · sink degraded: {}",
+        if report.completed() {
+            "completed".to_string()
+        } else {
+            format!(
+                "typed error ({})",
+                report.error.as_ref().expect("error set")
+            )
+        },
+        report.checkpoint_failures,
+        report.restores,
+        report.sink_degraded
+    );
+    if verdict.ok {
+        println!("no-torn-state invariant: OK");
+        Ok(())
+    } else {
+        Err(format!(
+            "no-torn-state invariant VIOLATED: {}",
+            verdict.detail
+        ))
+    }
 }
 
 fn demo() -> Result<(), String> {

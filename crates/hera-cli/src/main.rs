@@ -18,10 +18,17 @@ use args::Args;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" {
         print!("{}", commands::USAGE);
         return ExitCode::SUCCESS;
+    }
+    // `faults` is a two-token command group (`faults replay`, `faults
+    // gen`): fold the action into the command so the strict parser (no
+    // positionals after the command) stays strict everywhere else.
+    if raw[0] == "faults" && raw.len() > 1 && !raw[1].starts_with("--") {
+        let action = raw.remove(1);
+        raw[0] = format!("faults {action}");
     }
     let args = match Args::parse(raw) {
         Ok(a) => a,

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod config;
 mod driver;
 pub mod parallel;
@@ -48,6 +49,7 @@ mod super_record;
 mod verify;
 mod voter;
 
+pub use chaos::{check_no_torn_state, run_chaos, ChaosConfig, ChaosReport, ChaosVerdict};
 pub use config::HeraConfig;
 pub use driver::{Hera, HeraBuilder, HeraResult};
 pub use session::{HeraSession, HeraSessionBuilder};

@@ -24,6 +24,7 @@ use crate::stats::RunStats;
 use crate::super_record::SuperRecord;
 use crate::verify::{InstanceVerifier, VerifyScratch};
 use crate::voter::{DecidedMatching, SchemaVoter};
+use hera_faults::{io_retryable, BackoffPolicy, Clock, FaultInjector, SystemClock};
 use hera_index::{UnionFind, ValuePairIndex};
 use hera_join::IncrementalJoin;
 use hera_sim::{TypeDispatch, ValueSimilarity};
@@ -54,6 +55,12 @@ pub struct HeraSession {
     scratch: VerifyScratch,
     /// Journal recorder (disabled by default).
     recorder: hera_obs::Recorder,
+    /// Fault injector threaded into snapshot IO (disabled by default).
+    faults: FaultInjector,
+    /// Retry policy for checkpoint writes.
+    retry: BackoffPolicy,
+    /// Delay source for the retry policy's backoff.
+    clock: Arc<dyn Clock>,
     /// Lifetime counters; `stats.iterations` is the monotonic `round` of
     /// the session's journal events and survives checkpoint/restore.
     stats: RunStats,
@@ -71,6 +78,9 @@ pub struct HeraSessionBuilder {
     config: HeraConfig,
     metric: Arc<dyn ValueSimilarity>,
     recorder: Option<hera_obs::Recorder>,
+    faults: FaultInjector,
+    retry: BackoffPolicy,
+    clock: Arc<dyn Clock>,
 }
 
 impl HeraSessionBuilder {
@@ -79,6 +89,9 @@ impl HeraSessionBuilder {
             config,
             metric: Arc::new(TypeDispatch::paper_default()),
             recorder: None,
+            faults: FaultInjector::disabled(),
+            retry: BackoffPolicy::checkpoint_default(),
+            clock: Arc::new(SystemClock),
         }
     }
 
@@ -93,6 +106,31 @@ impl HeraSessionBuilder {
     /// to [`hera_obs::Recorder::from_env`].
     pub fn recorder(mut self, recorder: hera_obs::Recorder) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Threads a fault injector into the session's snapshot IO: every
+    /// checkpoint write and restore read consults the `store.*`
+    /// failpoints. Defaults to [`FaultInjector::disabled`]. (The journal
+    /// sink's failpoint lives on the recorder — see
+    /// `hera_obs::Recorder::with_faults`.)
+    pub fn faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the checkpoint-write retry policy (default
+    /// [`BackoffPolicy::checkpoint_default`]; use
+    /// [`BackoffPolicy::none`] to fail fast).
+    pub fn retry(mut self, policy: BackoffPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Replaces the delay source behind retry backoff (default
+    /// [`SystemClock`]; tests inject `hera_faults::ManualClock`).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -112,6 +150,9 @@ impl HeraSessionBuilder {
             voter: SchemaVoter::new(),
             dirty: FxHashSet::default(),
             recorder: self.recorder.unwrap_or_else(hera_obs::Recorder::from_env),
+            faults: self.faults,
+            retry: self.retry,
+            clock: self.clock,
             stats: RunStats::default(),
         }
     }
@@ -125,7 +166,7 @@ impl HeraSessionBuilder {
     /// universe depends on it.
     pub fn restore(self, path: impl AsRef<Path>) -> Result<HeraSession> {
         let start = std::time::Instant::now();
-        let (snap, report) = Snapshot::read_report(&path)?;
+        let (snap, report) = Snapshot::read_report_with(&path, &self.faults)?;
         let mut session = self.build();
 
         let snap_xi = snap.expect("config")?.expect("xi")?.as_f64()?;
@@ -272,10 +313,27 @@ impl HeraSession {
     /// from the snapshot continues exactly where this one stood:
     /// ingesting the same remaining records and resolving yields
     /// bit-identical entities, stats, and core journal events.
+    ///
+    /// Transient IO failures are retried under the builder's
+    /// [`BackoffPolicy`] (default: 3 attempts with capped exponential
+    /// backoff). When the policy is exhausted the error surfaces as
+    /// [`HeraError::CheckpointFailed`] — the in-memory session is
+    /// untouched, so the caller may keep resolving and checkpoint again
+    /// later.
     pub fn checkpoint(&mut self, path: impl AsRef<Path>) -> Result<()> {
         let start = std::time::Instant::now();
         let snap = self.to_snapshot();
-        let report = snap.write(path)?;
+        let path = path.as_ref();
+        let (report, attempts) = hera_faults::retry(
+            &self.retry,
+            self.clock.as_ref(),
+            |_| snap.write_with(path, &self.faults),
+            io_retryable,
+        )
+        .map_err(|e| HeraError::CheckpointFailed {
+            attempts: e.attempts,
+            cause: Box::new(e.error),
+        })?;
         self.recorder.span(
             "checkpoint_save",
             None,
@@ -284,6 +342,17 @@ impl HeraSession {
                 ("sections", report.sections as i64),
             ],
         );
+        if attempts > 1 {
+            // Host-dependent robustness detail, not part of the
+            // deterministic core journal.
+            self.recorder.emit_diag(
+                "diag",
+                vec![
+                    ("what", Json::Str("checkpoint_retries".into())),
+                    ("attempts", Json::Int(i64::from(attempts))),
+                ],
+            );
+        }
         self.recorder
             .timing("checkpoint_save", None, start.elapsed());
         self.recorder.flush();
@@ -985,5 +1054,145 @@ mod tests {
         .err()
         .expect("missing file must fail");
         assert!(matches!(err, HeraError::Io(_)), "{err}");
+    }
+
+    // -- checkpoint retry and fault injection --------------------------
+
+    use hera_faults::{points, FaultKind, FaultPlan, FaultRule, ManualClock};
+
+    fn populated_session(builder: HeraSessionBuilder) -> HeraSession {
+        let ds = motivating_example();
+        let mut session = builder.build();
+        let schemas = mirror_schemas(&mut session, &ds);
+        for rec in ds.iter() {
+            session
+                .add_record(schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+        }
+        session.resolve();
+        session
+    }
+
+    fn write_fault(point: &str, hits: Vec<u64>) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule {
+                point: point.into(),
+                hits,
+                kind: FaultKind::Error,
+            }],
+        }
+    }
+
+    #[test]
+    fn checkpoint_retries_transient_faults_and_succeeds() {
+        let path =
+            std::env::temp_dir().join(format!("hera-session-retry-{}.hera", std::process::id()));
+        // The sync stage fails on the first two write attempts only.
+        let plan = write_fault(points::STORE_WRITE_SYNC, vec![1, 2]);
+        let clock = Arc::new(ManualClock::new());
+        let mut session = populated_session(
+            HeraSession::builder(HeraConfig::paper_example())
+                .faults(FaultInjector::new(&plan))
+                .clock(clock.clone()),
+        );
+        session.checkpoint(&path).expect("third attempt succeeds");
+        assert_eq!(clock.sleeps().len(), 2, "one backoff sleep per retry");
+        assert_eq!(
+            clock.sleeps(),
+            vec![
+                std::time::Duration::from_millis(5),
+                std::time::Duration::from_millis(10)
+            ]
+        );
+        // The snapshot on disk is complete and restorable.
+        let resumed = HeraSession::restore(
+            &path,
+            HeraConfig::paper_example(),
+            Arc::new(TypeDispatch::paper_default()),
+        )
+        .unwrap();
+        assert_eq!(resumed.merge_count(), session.merge_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_exhaustion_is_typed_and_session_survives() {
+        let dir = std::env::temp_dir().join(format!("hera-session-exhaust-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.hera");
+        // Every attempt fails: checkpoint_default allows 3.
+        let plan = write_fault(points::STORE_WRITE_CREATE, vec![1, 2, 3, 4, 5, 6]);
+        let clock = Arc::new(ManualClock::new());
+        let mut session = populated_session(
+            HeraSession::builder(HeraConfig::paper_example())
+                .faults(FaultInjector::new(&plan))
+                .clock(clock.clone()),
+        );
+        let merges_before = session.merge_count();
+        let err = session.checkpoint(&path).unwrap_err();
+        match &err {
+            HeraError::CheckpointFailed { attempts, cause } => {
+                assert_eq!(*attempts, 3);
+                assert!(matches!(**cause, HeraError::Io(_)), "{cause}");
+            }
+            other => panic!("expected CheckpointFailed, got {other}"),
+        }
+        assert!(!path.exists(), "no file appears on total failure");
+        assert!(!dir.join("snap.hera.tmp").exists(), "no stray tmp");
+        // The session keeps working: resolve again and checkpoint later
+        // (hits 4–6 also fire, so disable retries' fault by using a
+        // fresh fault-free session write path via plan exhaustion).
+        assert_eq!(session.merge_count(), merges_before);
+        assert_eq!(session.resolve(), 0, "in-memory state intact");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_non_retryable_fails_fast() {
+        let path =
+            std::env::temp_dir().join(format!("hera-session-failfast-{}.hera", std::process::id()));
+        let plan = write_fault(points::STORE_WRITE_RENAME, vec![1]);
+        let clock = Arc::new(ManualClock::new());
+        let mut session = populated_session(
+            HeraSession::builder(HeraConfig::paper_example())
+                .faults(FaultInjector::new(&plan))
+                .retry(hera_faults::BackoffPolicy::none())
+                .clock(clock.clone()),
+        );
+        let err = session.checkpoint(&path).unwrap_err();
+        assert!(
+            matches!(err, HeraError::CheckpointFailed { attempts: 1, .. }),
+            "{err}"
+        );
+        assert!(clock.sleeps().is_empty(), "none policy never sleeps");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_with_corrupt_read_fault_is_typed() {
+        let path =
+            std::env::temp_dir().join(format!("hera-session-bitrot-{}.hera", std::process::id()));
+        let mut session = populated_session(HeraSession::builder(HeraConfig::paper_example()));
+        session.checkpoint(&path).unwrap();
+        let plan = FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule {
+                point: points::STORE_READ.into(),
+                hits: vec![1],
+                kind: FaultKind::Corrupt,
+            }],
+        };
+        let err = HeraSession::builder(HeraConfig::paper_example())
+            .faults(FaultInjector::new(&plan))
+            .restore(&path)
+            .err()
+            .expect("bit rot must be rejected");
+        assert!(matches!(err, HeraError::Corrupt(_)), "{err}");
+        // The file itself is fine: a fault-free restore succeeds.
+        HeraSession::builder(HeraConfig::paper_example())
+            .restore(&path)
+            .unwrap();
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -27,10 +27,19 @@
 //! emit method returns after one branch, no formatting, no allocation —
 //! the hot path pays nothing. Call sites that must *build* data for an
 //! event (e.g. resolve attribute names) guard on [`Recorder::enabled`].
+//!
+//! **Graceful degradation**: observability must never take a resolve run
+//! down with it. When a sink write fails — for real, or through the
+//! `obs.sink.write` failpoint of an attached
+//! [`hera_faults::FaultInjector`] — the recorder *degrades*: it
+//! best-effort appends exactly one `sink_degraded` event, warns once on
+//! stderr, and silently drops every further line. The pipeline never
+//! sees an error from its tracing calls.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hera_faults::{points, FaultInjector};
 use hera_types::json::{self, Json};
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -52,14 +61,52 @@ enum Sink {
     Null,
 }
 
+impl Sink {
+    /// Appends one journal line; false on a write failure.
+    fn append(&mut self, line: &str) -> bool {
+        match self {
+            Sink::File(w) => writeln!(w, "{line}").is_ok(),
+            Sink::Memory(s) => {
+                s.push_str(line);
+                s.push('\n');
+                true
+            }
+            Sink::Null => true,
+        }
+    }
+
+    /// Flushes buffered bytes (file sinks only).
+    fn flush(&mut self) {
+        if let Sink::File(w) = self {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Sink plus its degradation flag, behind one lock.
+struct SinkState {
+    sink: Sink,
+    /// Set on the first write failure; all later lines are dropped.
+    degraded: bool,
+}
+
+impl SinkState {
+    fn new(sink: Sink) -> Self {
+        Self {
+            sink,
+            degraded: false,
+        }
+    }
+}
+
 /// Read handle onto a memory-sink journal (see [`Recorder::to_memory`]).
 #[derive(Clone)]
-pub struct JournalBuffer(Arc<Mutex<Sink>>);
+pub struct JournalBuffer(Arc<Mutex<SinkState>>);
 
 impl JournalBuffer {
     /// The journal accumulated so far, as JSON Lines text.
     pub fn contents(&self) -> String {
-        match &*self.0.lock().expect("journal sink poisoned") {
+        match &self.0.lock().expect("journal sink poisoned").sink {
             Sink::Memory(s) => s.clone(),
             _ => String::new(),
         }
@@ -70,11 +117,14 @@ impl JournalBuffer {
 /// flags); a disabled recorder makes every emit method a no-op.
 #[derive(Clone, Default)]
 pub struct Recorder {
-    sink: Option<Arc<Mutex<Sink>>>,
+    sink: Option<Arc<Mutex<SinkState>>>,
     /// Emit diagnostic (`timing` / `diag`) lines.
     diagnostics: bool,
     /// Mirror `round_end` summaries to stderr as live progress lines.
     progress: bool,
+    /// Fault injector consulted at `obs.sink.write` (disabled by
+    /// default).
+    faults: FaultInjector,
 }
 
 impl Recorder {
@@ -87,22 +137,22 @@ impl Recorder {
     pub fn to_file(path: &str) -> std::io::Result<Self> {
         let file = std::fs::File::create(path)?;
         Ok(Self {
-            sink: Some(Arc::new(Mutex::new(Sink::File(std::io::BufWriter::new(
-                file,
+            sink: Some(Arc::new(Mutex::new(SinkState::new(Sink::File(
+                std::io::BufWriter::new(file),
             ))))),
             diagnostics: true,
-            progress: false,
+            ..Self::default()
         })
     }
 
     /// Records to an in-memory buffer; returns the recorder and a read
     /// handle. Diagnostics on (use [`Recorder::deterministic`] to strip).
     pub fn to_memory() -> (Self, JournalBuffer) {
-        let sink = Arc::new(Mutex::new(Sink::Memory(String::new())));
+        let sink = Arc::new(Mutex::new(SinkState::new(Sink::Memory(String::new()))));
         let rec = Self {
             sink: Some(sink.clone()),
             diagnostics: true,
-            progress: false,
+            ..Self::default()
         };
         (rec, JournalBuffer(sink))
     }
@@ -111,9 +161,9 @@ impl Recorder {
     /// path runs, nothing is stored. Used by the `HERA_TRACE=1` test mode.
     pub fn to_null() -> Self {
         Self {
-            sink: Some(Arc::new(Mutex::new(Sink::Null))),
+            sink: Some(Arc::new(Mutex::new(SinkState::new(Sink::Null)))),
             diagnostics: true,
-            progress: false,
+            ..Self::default()
         }
     }
 
@@ -141,18 +191,32 @@ impl Recorder {
         self
     }
 
+    /// Attaches a fault injector: every sink write consults the
+    /// `obs.sink.write` failpoint, and an injected (or real) failure
+    /// triggers graceful degradation instead of an error.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// True if any emit can have an effect — guard expensive event
     /// construction (name lookups, string formatting) on this.
     pub fn enabled(&self) -> bool {
         self.sink.is_some() || self.progress
     }
 
+    /// True once the sink has failed and the recorder dropped into
+    /// degraded (drop-everything) mode.
+    pub fn degraded(&self) -> bool {
+        self.sink
+            .as_ref()
+            .is_some_and(|s| s.lock().expect("journal sink poisoned").degraded)
+    }
+
     /// Flushes a file sink. Memory/null sinks are always current.
     pub fn flush(&self) {
         if let Some(sink) = &self.sink {
-            if let Sink::File(w) = &mut *sink.lock().expect("journal sink poisoned") {
-                let _ = w.flush();
-            }
+            sink.lock().expect("journal sink poisoned").sink.flush();
         }
     }
 
@@ -162,15 +226,33 @@ impl Recorder {
         obj.push(("ev".to_string(), Json::Str(ev.to_string())));
         obj.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
         let line = Json::Obj(obj).to_string_compact();
-        match &mut *sink.lock().expect("journal sink poisoned") {
-            Sink::File(w) => {
-                let _ = writeln!(w, "{line}");
-            }
-            Sink::Memory(s) => {
-                s.push_str(&line);
-                s.push('\n');
-            }
-            Sink::Null => {}
+        let mut state = sink.lock().expect("journal sink poisoned");
+        if state.degraded {
+            return;
+        }
+        let injected = self.faults.hit(points::OBS_SINK_WRITE).is_some();
+        let ok = !injected && state.sink.append(&line);
+        if !ok {
+            // Degrade: one best-effort notice, one stderr warning, then
+            // silence. Tracing must never fail the pipeline it observes.
+            state.degraded = true;
+            let reason = if injected {
+                "injected fault"
+            } else {
+                "io error"
+            };
+            let notice = Json::Obj(vec![
+                ("ev".into(), Json::Str("sink_degraded".into())),
+                ("reason".into(), Json::Str(reason.into())),
+                ("dropped_event".into(), Json::Str(ev.to_string())),
+            ])
+            .to_string_compact();
+            let _ = state.sink.append(&notice);
+            state.sink.flush();
+            eprintln!(
+                "[hera-obs] journal sink degraded ({reason}); \
+                 further trace events are dropped"
+            );
         }
     }
 
@@ -484,5 +566,85 @@ mod tests {
         assert!(validate("{\"no_ev\":1}\n").is_err());
         assert!(validate("{\"ev\":7}\n").is_err());
         assert_eq!(validate("").unwrap().lines, 0);
+    }
+
+    // -- sink degradation ----------------------------------------------
+
+    use hera_faults::{FaultKind, FaultPlan, FaultRule};
+
+    fn sink_fault_on(hits: Vec<u64>) -> FaultInjector {
+        FaultInjector::new(&FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule {
+                point: points::OBS_SINK_WRITE.into(),
+                hits,
+                kind: FaultKind::Error,
+            }],
+        })
+    }
+
+    #[test]
+    fn sink_fault_degrades_with_exactly_one_notice() {
+        let (rec, buf) = Recorder::to_memory();
+        let rec = rec.with_faults(sink_fault_on(vec![3]));
+        assert!(!rec.degraded());
+        rec.span("a", None, &[]);
+        rec.span("b", None, &[]);
+        rec.merge(1, 0, 5, 0.7, 4); // third write: fault fires here
+        rec.span("c", None, &[]); // dropped
+        rec.run_end(&[("merges", 1)]); // dropped
+        assert!(rec.degraded());
+        let text = buf.contents();
+        let summary = validate(&text).expect("degraded journal still parses");
+        assert_eq!(summary.count("span"), 2, "lines before the fault survive");
+        assert_eq!(summary.count("merge"), 0, "the faulted line is lost");
+        assert_eq!(summary.count("sink_degraded"), 1, "exactly one notice");
+        assert_eq!(summary.lines, 3);
+        assert!(text.contains("\"dropped_event\":\"merge\""));
+        assert!(text.contains("\"reason\":\"injected fault\""));
+    }
+
+    #[test]
+    fn degraded_recorder_stays_silent_and_panic_free() {
+        let (rec, buf) = Recorder::to_memory();
+        let rec = rec.with_faults(sink_fault_on(vec![1]));
+        rec.span("a", None, &[]);
+        assert!(rec.degraded());
+        for i in 0..50 {
+            rec.merge(1, 0, i, 0.5, 1);
+            rec.timing("x", None, Duration::from_micros(1));
+        }
+        rec.flush();
+        let summary = validate(&buf.contents()).unwrap();
+        assert_eq!(summary.lines, 1, "only the sink_degraded notice");
+        assert_eq!(summary.count("sink_degraded"), 1);
+    }
+
+    #[test]
+    fn empty_plan_injector_changes_nothing() {
+        let (rec, buf) = Recorder::to_memory();
+        let inj = FaultInjector::new(&FaultPlan::none());
+        let rec = rec.with_faults(inj.clone());
+        rec.span("a", None, &[]);
+        rec.span("b", None, &[]);
+        assert!(!rec.degraded());
+        assert_eq!(validate(&buf.contents()).unwrap().lines, 2);
+        assert_eq!(
+            inj.hits(points::OBS_SINK_WRITE),
+            2,
+            "sink edge is instrumented"
+        );
+    }
+
+    #[test]
+    fn clones_degrade_together() {
+        let (rec, buf) = Recorder::to_memory();
+        let rec = rec.with_faults(sink_fault_on(vec![2]));
+        let clone = rec.clone();
+        rec.span("a", None, &[]);
+        clone.span("b", None, &[]); // fault fires on the clone
+        assert!(rec.degraded() && clone.degraded());
+        rec.span("c", None, &[]);
+        assert_eq!(validate(&buf.contents()).unwrap().count("span"), 1);
     }
 }

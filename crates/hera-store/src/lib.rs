@@ -16,9 +16,19 @@
 //!   trailing garbage are all caught deterministically and reported as
 //!   [`HeraError::Corrupt`];
 //! * **atomically written** — [`Snapshot::write`] writes to a temporary
-//!   sibling file, syncs it, and renames it over the destination, so a
+//!   sibling file, syncs it, renames it over the destination, and then
+//!   syncs the parent directory so the rename itself is durable — a
 //!   crash mid-write can never leave a half-written snapshot under the
-//!   target path.
+//!   target path, and a crash right after the write cannot lose the
+//!   rename.
+//!
+//! Every stage of the write and read paths carries a named failpoint
+//! ([`hera_faults::points`]): [`Snapshot::write_with`] /
+//! [`Snapshot::read_with`] accept a [`hera_faults::FaultInjector`] so the
+//! chaos harness can fail any stage deterministically (including torn
+//! writes — a partial payload followed by failure — and bit-rot reads).
+//! The plain [`Snapshot::write`] / [`Snapshot::read`] entry points use a
+//! disabled injector and pay one branch per stage.
 //!
 //! The payload is produced by the workspace's dependency-free
 //! [`hera_types::json`] writer. Every producer serializes its maps in
@@ -31,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hera_faults::{points, FaultInjector, FaultKind};
 use hera_types::json::{self, Json};
 use hera_types::{HeraError, Result};
 use std::io::Write as _;
@@ -219,10 +230,25 @@ impl Snapshot {
     }
 
     /// Writes the snapshot atomically: the bytes go to a `.tmp` sibling,
-    /// are synced to disk, and the file is renamed over `path` — readers
-    /// see either the old snapshot or the complete new one, never a
-    /// partial write.
+    /// are synced to disk, the file is renamed over `path`, and the
+    /// parent directory is synced so the rename is durable — readers see
+    /// either the old snapshot or the complete new one, never a partial
+    /// write.
     pub fn write(&self, path: impl AsRef<Path>) -> Result<WriteReport> {
+        self.write_with(path, &FaultInjector::disabled())
+    }
+
+    /// [`Snapshot::write`] with a fault injector consulted at every
+    /// stage (`store.write.create` / `.write` / `.sync` / `.rename` /
+    /// `.dirsync`). On any failure — injected or real — the `.tmp`
+    /// sibling is removed, so no partial snapshot file is left behind;
+    /// the destination still holds whatever complete snapshot it held
+    /// before.
+    pub fn write_with(
+        &self,
+        path: impl AsRef<Path>,
+        faults: &FaultInjector,
+    ) -> Result<WriteReport> {
         let path = path.as_ref();
         let bytes = self.to_bytes();
         let payload_bytes = bytes.len() - header_len(&bytes);
@@ -232,15 +258,43 @@ impl Snapshot {
         let io_err = |stage: &str, e: std::io::Error| {
             HeraError::Io(format!("{stage} {}: {e}", path.display()))
         };
+        let injected = |point: &str| Err(FaultInjector::error(point, &path.display().to_string()));
         let result = (|| {
+            if faults.hit(points::STORE_WRITE_CREATE).is_some() {
+                return injected(points::STORE_WRITE_CREATE);
+            }
             let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create", e))?;
-            f.write_all(&bytes).map_err(|e| io_err("write", e))?;
+            match faults.hit(points::STORE_WRITE_WRITE) {
+                Some(FaultKind::Torn { keep_percent }) => {
+                    // A torn write: part of the payload reaches the file,
+                    // then the write "crashes". The partial tmp is synced
+                    // so the simulation is what a real crash leaves.
+                    let keep = bytes.len() * usize::from(keep_percent.min(100)) / 100;
+                    let _ = f.write_all(&bytes[..keep]);
+                    let _ = f.sync_all();
+                    return injected(points::STORE_WRITE_WRITE);
+                }
+                Some(_) => return injected(points::STORE_WRITE_WRITE),
+                None => f.write_all(&bytes).map_err(|e| io_err("write", e))?,
+            }
+            if faults.hit(points::STORE_WRITE_SYNC).is_some() {
+                return injected(points::STORE_WRITE_SYNC);
+            }
             f.sync_all().map_err(|e| io_err("sync", e))?;
             drop(f);
-            std::fs::rename(&tmp, path).map_err(|e| io_err("rename", e))
+            if faults.hit(points::STORE_WRITE_RENAME).is_some() {
+                return injected(points::STORE_WRITE_RENAME);
+            }
+            std::fs::rename(&tmp, path).map_err(|e| io_err("rename", e))?;
+            if faults.hit(points::STORE_WRITE_DIRSYNC).is_some() {
+                return injected(points::STORE_WRITE_DIRSYNC);
+            }
+            sync_parent_dir(path).map_err(|e| io_err("dirsync", e))
         })();
         if result.is_err() {
             // Best-effort cleanup; the original error is what matters.
+            // (After a successful rename the tmp no longer exists and
+            // the destination holds a complete snapshot.)
             let _ = std::fs::remove_file(&tmp);
         }
         result?;
@@ -255,19 +309,74 @@ impl Snapshot {
         Self::read_report(path).map(|(snap, _)| snap)
     }
 
+    /// [`Snapshot::read`] with a fault injector consulted at the
+    /// `store.read` failpoint ([`FaultKind::Corrupt`] flips one byte of
+    /// the read buffer — the validation layer must catch it).
+    pub fn read_with(path: impl AsRef<Path>, faults: &FaultInjector) -> Result<Self> {
+        Self::read_report_with(path, faults).map(|(snap, _)| snap)
+    }
+
     /// Reads and validates a snapshot file, also reporting its payload
     /// size and section count (the counters `checkpoint_load` spans
     /// carry).
     pub fn read_report(path: impl AsRef<Path>) -> Result<(Self, WriteReport)> {
+        Self::read_report_with(path, &FaultInjector::disabled())
+    }
+
+    /// [`Snapshot::read_report`] with a fault injector (see
+    /// [`Snapshot::read_with`]).
+    pub fn read_report_with(
+        path: impl AsRef<Path>,
+        faults: &FaultInjector,
+    ) -> Result<(Self, WriteReport)> {
         let path = path.as_ref();
-        let bytes = std::fs::read(path)
-            .map_err(|e| HeraError::Io(format!("read {}: {e}", path.display())))?;
+        let bytes = match faults.hit(points::STORE_READ) {
+            Some(FaultKind::Corrupt) => {
+                let mut b = std::fs::read(path)
+                    .map_err(|e| HeraError::Io(format!("read {}: {e}", path.display())))?;
+                if !b.is_empty() {
+                    // Simulated bit rot: flip one payload bit mid-file.
+                    let mid = b.len() / 2;
+                    b[mid] ^= 0x20;
+                }
+                b
+            }
+            Some(_) => {
+                return Err(FaultInjector::error(
+                    points::STORE_READ,
+                    &path.display().to_string(),
+                ))
+            }
+            None => std::fs::read(path)
+                .map_err(|e| HeraError::Io(format!("read {}: {e}", path.display())))?,
+        };
         let snap = Self::from_bytes(&bytes)?;
         let report = WriteReport {
             payload_bytes: bytes.len() - header_len(&bytes),
             sections: snap.len(),
         };
         Ok((snap, report))
+    }
+}
+
+/// Fsyncs the directory containing `path`, making a just-performed
+/// rename durable across power loss. POSIX requires an fsync of the
+/// *directory* to persist its entries; syncing only the file leaves the
+/// rename in the page cache. No-op on platforms where directories cannot
+/// be opened for syncing.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+        Ok(())
     }
 }
 
@@ -402,5 +511,139 @@ mod tests {
     fn read_missing_file_is_io() {
         let err = Snapshot::read("/nonexistent/dir/snap.hera").unwrap_err();
         assert!(matches!(err, HeraError::Io(_)), "{err}");
+    }
+
+    // -- failpoint-backed fault-injection tests ------------------------
+
+    use hera_faults::{FaultPlan, FaultRule};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("hera-store-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn plan_for(point: &str, kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule {
+                point: point.into(),
+                hits: vec![1],
+                kind,
+            }],
+        }
+    }
+
+    #[test]
+    fn every_write_stage_fails_cleanly() {
+        // Whichever stage fails, the result is an injected Io error, the
+        // tmp sibling is gone, and a pre-existing destination snapshot
+        // survives untouched.
+        let dir = tmp_dir("stages");
+        let path = dir.join("snap.hera");
+        let mut old = Snapshot::new();
+        old.insert("old", Json::Int(1));
+        old.write(&path).unwrap();
+        let old_bytes = std::fs::read(&path).unwrap();
+        for point in [
+            points::STORE_WRITE_CREATE,
+            points::STORE_WRITE_WRITE,
+            points::STORE_WRITE_SYNC,
+            points::STORE_WRITE_RENAME,
+        ] {
+            let inj = FaultInjector::new(&plan_for(point, FaultKind::Error));
+            let err = sample().write_with(&path, &inj).unwrap_err();
+            assert!(err.to_string().contains("injected fault"), "{point}: {err}");
+            assert!(err.to_string().contains(point), "{point}: {err}");
+            assert!(
+                !dir.join("snap.hera.tmp").exists(),
+                "{point}: tmp left behind"
+            );
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                old_bytes,
+                "{point}: destination was disturbed"
+            );
+            assert_eq!(inj.fired().len(), 1, "{point}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_never_reaches_destination() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("snap.hera");
+        let mut old = Snapshot::new();
+        old.insert("old", Json::Int(1));
+        old.write(&path).unwrap();
+        let old_bytes = std::fs::read(&path).unwrap();
+        for keep in [0u8, 37, 99] {
+            let inj = FaultInjector::new(&plan_for(
+                points::STORE_WRITE_WRITE,
+                FaultKind::Torn { keep_percent: keep },
+            ));
+            let err = sample().write_with(&path, &inj).unwrap_err();
+            assert!(matches!(err, HeraError::Io(_)), "keep {keep}: {err}");
+            assert!(
+                !dir.join("snap.hera.tmp").exists(),
+                "keep {keep}: partial tmp left behind"
+            );
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                old_bytes,
+                "keep {keep}: torn bytes reached the destination"
+            );
+            assert_eq!(Snapshot::read(&path).unwrap().to_bytes(), old.to_bytes());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dirsync_edge_is_instrumented_and_runs() {
+        // Regression test for the missing parent-directory fsync: the
+        // dirsync failpoint must sit on the write path (a fault-free
+        // write consults it exactly once per write), and a scheduled
+        // fault there must surface as an error — proving the sync call
+        // is actually reached after the rename.
+        let dir = tmp_dir("dirsync");
+        let path = dir.join("snap.hera");
+        let inj = FaultInjector::new(&FaultPlan::none());
+        sample().write_with(&path, &inj).unwrap();
+        assert_eq!(
+            inj.hits(points::STORE_WRITE_DIRSYNC),
+            1,
+            "dirsync edge not instrumented — parent fsync likely missing"
+        );
+        let inj = FaultInjector::new(&plan_for(points::STORE_WRITE_DIRSYNC, FaultKind::Error));
+        let err = sample().write_with(&path, &inj).unwrap_err();
+        assert!(err.to_string().contains("store.write.dirsync"), "{err}");
+        // The rename already happened, so the destination holds the new
+        // complete snapshot — only its durability was in question.
+        assert_eq!(
+            Snapshot::read(&path).unwrap().to_bytes(),
+            sample().to_bytes()
+        );
+        assert!(!dir.join("snap.hera.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_read_is_caught_by_crc() {
+        let dir = tmp_dir("bitrot");
+        let path = dir.join("snap.hera");
+        sample().write(&path).unwrap();
+        let inj = FaultInjector::new(&plan_for(points::STORE_READ, FaultKind::Corrupt));
+        let err = Snapshot::read_with(&path, &inj).unwrap_err();
+        assert!(matches!(err, HeraError::Corrupt(_)), "{err}");
+        // The file itself is intact — only the read buffer was flipped.
+        assert_eq!(
+            Snapshot::read(&path).unwrap().to_bytes(),
+            sample().to_bytes()
+        );
+        // A plain injected read error is Io, not Corrupt.
+        let inj = FaultInjector::new(&plan_for(points::STORE_READ, FaultKind::Error));
+        let err = Snapshot::read_with(&path, &inj).unwrap_err();
+        assert!(matches!(err, HeraError::Io(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -40,6 +40,15 @@ pub enum HeraError {
         /// Version this build understands.
         expected: u32,
     },
+    /// A checkpoint write failed even after the retry policy was
+    /// exhausted. The in-memory session is intact — callers may keep
+    /// resolving and try to checkpoint again later.
+    CheckpointFailed {
+        /// Write attempts spent (including the first).
+        attempts: u32,
+        /// The error of the final attempt.
+        cause: Box<HeraError>,
+    },
 }
 
 impl fmt::Display for HeraError {
@@ -62,6 +71,11 @@ impl fmt::Display for HeraError {
             HeraError::VersionMismatch { found, expected } => write!(
                 f,
                 "version mismatch: artifact has format v{found}, this build expects v{expected}"
+            ),
+            HeraError::CheckpointFailed { attempts, cause } => write!(
+                f,
+                "checkpoint failed after {attempts} attempt{}: {cause}",
+                if *attempts == 1 { "" } else { "s" }
             ),
         }
     }
@@ -103,6 +117,23 @@ mod tests {
             .to_string(),
             "version mismatch: artifact has format v9, this build expects v1"
         );
+    }
+
+    #[test]
+    fn checkpoint_failed_display_counts_attempts() {
+        let once = HeraError::CheckpointFailed {
+            attempts: 1,
+            cause: Box::new(HeraError::Io("disk full".into())),
+        };
+        assert_eq!(
+            once.to_string(),
+            "checkpoint failed after 1 attempt: i/o error: disk full"
+        );
+        let thrice = HeraError::CheckpointFailed {
+            attempts: 3,
+            cause: Box::new(HeraError::Io("disk full".into())),
+        };
+        assert!(thrice.to_string().contains("3 attempts"), "{thrice}");
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! | [`matching`] | `hera-matching` | Kuhn–Munkres max-weight bipartite matching, simplification, greedy |
 //! | [`index`] | `hera-index` | the value-pair index, Algorithm-1 bounds, union–find, merge maintenance |
 //! | [`obs`] | `hera-obs` | structured run journal: spans, counters, merge/promotion events (JSON Lines) |
-//! | [`core`] | `hera-core` | super records, instance-/schema-based verification, the HERA driver |
+//! | [`faults`] | `hera-faults` | deterministic fault injection: seeded failpoint plans, retry/backoff, injectable clocks |
+//! | [`core`] | `hera-core` | super records, instance-/schema-based verification, the HERA driver, the chaos harness |
 //! | [`store`] | `hera-store` | versioned, CRC-checked session snapshots (checkpoint/restore) |
 //! | [`baselines`] | `hera-baselines` | R-Swoosh, correlation clustering, collective ER, nest-loop verifier |
 //! | [`datagen`] | `hera-datagen` | synthetic heterogeneous movie datasets (Table I presets) |
@@ -58,6 +59,7 @@ pub use hera_core as core;
 pub use hera_datagen as datagen;
 pub use hera_eval as eval;
 pub use hera_exchange as exchange;
+pub use hera_faults as faults;
 pub use hera_index as index;
 pub use hera_join as join;
 pub use hera_matching as matching;
@@ -71,15 +73,19 @@ pub use hera_baselines::{
     CollectiveEr, CorrelationClustering, NestLoopVerifier, RSwoosh, Resolver,
 };
 pub use hera_core::{
-    BoundMode, Hera, HeraBuilder, HeraConfig, HeraResult, HeraSession, HeraSessionBuilder,
-    InstanceVerifier, RunStats, SchemaVoter, SimCache, SimDelta, SuperRecord, Verification,
-    VerifyScratch,
+    check_no_torn_state, run_chaos, BoundMode, ChaosConfig, ChaosReport, ChaosVerdict, Hera,
+    HeraBuilder, HeraConfig, HeraResult, HeraSession, HeraSessionBuilder, InstanceVerifier,
+    RunStats, SchemaVoter, SimCache, SimDelta, SuperRecord, Verification, VerifyScratch,
 };
 pub use hera_datagen::{table1_dataset, DatagenConfig, Domain, Generator};
 pub use hera_eval::{adjusted_rand_index, bcubed, v_measure, PairMetrics};
 pub use hera_exchange::{
     chase, exchange_large, exchange_small, fuse_entities, plan_exchange, plan_exchange_ensuring,
     ExchangePlan, Tgd,
+};
+pub use hera_faults::{
+    io_retryable, retry, BackoffPolicy, Clock, FaultInjector, FaultKind, FaultPlan, FaultRule,
+    FiredFault, ManualClock, RetryError, SystemClock,
 };
 pub use hera_index::{FlatIndex, UnionFind, ValuePair, ValuePairIndex};
 pub use hera_join::{IncrementalJoin, JoinConfig, SimilarityJoin};

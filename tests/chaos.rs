@@ -1,0 +1,191 @@
+//! Chaos property test: random heterogeneous datasets × random seeded
+//! fault plans, asserting the *no-torn-state* invariant (see
+//! `hera::check_no_torn_state` and DESIGN.md, "Fault model"): every run
+//! either completes bit-identically to its fault-free reference, or
+//! stops with a typed error after which restoring the last good
+//! checkpoint fault-free reproduces the reference — never a panic,
+//! never a partial snapshot file, never an unparseable journal.
+//!
+//! Failing cases are persisted under `/tmp/hera-chaos-<seed>/` together
+//! with a ready-to-run `hera-cli faults replay` command, so any failure
+//! reproduces outside the test harness from just the printed seed.
+
+use hera::{check_no_torn_state, ChaosConfig, FaultPlan, HeraConfig};
+use hera_datagen::{CorruptionConfig, DatagenConfig, Generator};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// splitmix64: one master seed deterministically fans out into every
+/// per-case parameter (dataset shape, plan seed, chaos schedule).
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn dataset(seed: u64, n_records: usize, n_entities: usize, corruption: u8) -> hera::Dataset {
+    Generator::new(DatagenConfig {
+        name: format!("chaos-{seed}"),
+        seed,
+        n_records,
+        n_entities,
+        n_attrs: 10,
+        n_sources: 3,
+        min_source_attrs: 5,
+        max_source_attrs: 8,
+        corruption: match corruption {
+            0 => CorruptionConfig::light(),
+            1 => CorruptionConfig::moderate(),
+            _ => CorruptionConfig::heavy(),
+        },
+        domain: Default::default(),
+    })
+    .generate()
+}
+
+/// The full case a master seed expands to — everything `faults replay`
+/// needs to reproduce it.
+struct Case {
+    ds: hera::Dataset,
+    plan: FaultPlan,
+    cfg: ChaosConfig,
+}
+
+fn expand(master_seed: u64) -> Case {
+    let mut s = master_seed;
+    let n_records = 10 + (next(&mut s) % 19) as usize; // 10..=28
+    let n_entities = 3 + (next(&mut s) % 6) as usize; // 3..=8
+    let corruption = (next(&mut s) % 3) as u8;
+    let ds = dataset(next(&mut s), n_records, n_entities, corruption);
+
+    let plan = FaultPlan::random(next(&mut s));
+    let mut cfg = ChaosConfig::new(HeraConfig::new(0.5, 0.5), 1 + (next(&mut s) % 3) as usize);
+    if next(&mut s).is_multiple_of(2) {
+        cfg.crash_after = Some((next(&mut s) % n_records as u64) as usize);
+    }
+    cfg.strict_checkpoints = next(&mut s).is_multiple_of(4);
+    Case { ds, plan, cfg }
+}
+
+/// Persists the failing case's dataset + plan and returns the
+/// `faults replay` command that reproduces it.
+fn persist_failure(master_seed: u64, case: &Case) -> String {
+    let dir = std::env::temp_dir().join(format!("hera-chaos-{master_seed}"));
+    let _ = std::fs::create_dir_all(&dir);
+    let input = dir.join("dataset.json");
+    let plan_path = dir.join("plan.json");
+    let _ = std::fs::write(&input, case.ds.to_json().unwrap_or_default());
+    let _ = std::fs::write(&plan_path, case.plan.to_json().to_string_pretty());
+    let mut cmd = format!(
+        "hera-cli faults replay --input {} --plan {} --checkpoint-every {}",
+        input.display(),
+        plan_path.display(),
+        case.cfg.checkpoint_every,
+    );
+    if let Some(c) = case.cfg.crash_after {
+        cmd.push_str(&format!(" --crash-after {c}"));
+    }
+    if case.cfg.strict_checkpoints {
+        cmd.push_str(" --strict-checkpoints");
+    }
+    cmd
+}
+
+fn case_dir(master_seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "hera-chaos-case-{}-{master_seed}",
+        std::process::id()
+    ))
+}
+
+/// Runs one chaos case end to end; `Err` carries the verdict detail plus
+/// the persisted repro command.
+fn run_case(master_seed: u64) -> Result<(), String> {
+    let case = expand(master_seed);
+    let dir = case_dir(master_seed);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let verdict = check_no_torn_state(&case.ds, &case.cfg, &case.plan, &dir);
+    let result = if verdict.ok {
+        Ok(())
+    } else {
+        let repro = persist_failure(master_seed, &case);
+        Err(format!(
+            "no-torn-state violated (seed {master_seed}): {}\nfired: {:?}\nreproduce with:\n  {repro}",
+            verdict.detail, verdict.report.fired,
+        ))
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The acceptance criterion: 256 random dataset × fault-plan cases,
+    /// zero panics, invariant holds in every one.
+    #[test]
+    fn chaos_no_torn_state(master_seed in any::<u64>()) {
+        let outcome = run_case(master_seed);
+        prop_assert!(outcome.is_ok(), "{}", outcome.err().unwrap_or_default());
+    }
+}
+
+/// Short randomized smoke for CI: a fresh seed per run, taken from
+/// `HERA_CHAOS_SEED` (skipped when unset so `cargo test` stays
+/// deterministic). The seed is in every failure message.
+#[test]
+fn chaos_randomized_smoke() {
+    let Ok(seed) = std::env::var("HERA_CHAOS_SEED") else {
+        return;
+    };
+    let base: u64 = seed
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("HERA_CHAOS_SEED must be a u64, got {seed:?}"));
+    let mut s = base;
+    for i in 0..16 {
+        let case_seed = next(&mut s);
+        if let Err(msg) = run_case(case_seed) {
+            panic!("randomized smoke failed (HERA_CHAOS_SEED={base}, case {i}): {msg}");
+        }
+    }
+}
+
+/// A crash with no checkpoint restarts from scratch and still matches
+/// the fault-free reference (pinned, not random: exercises the
+/// restart-at-zero recovery arm regardless of what proptest draws).
+#[test]
+fn crash_before_first_checkpoint_restarts_cleanly() {
+    let ds = dataset(7, 12, 4, 0);
+    let mut cfg = ChaosConfig::new(HeraConfig::new(0.5, 0.5), 6);
+    cfg.crash_after = Some(3);
+    let dir = case_dir(u64::MAX);
+    std::fs::create_dir_all(&dir).unwrap();
+    let verdict = check_no_torn_state(&ds, &cfg, &FaultPlan::none(), &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(verdict.ok, "{}", verdict.detail);
+    assert_eq!(verdict.report.restores, 1);
+    assert!(verdict.report.completed());
+}
+
+/// The persisted repro command names files that actually round-trip.
+#[test]
+fn failing_case_artifacts_round_trip() {
+    let case = expand(42);
+    let repro = persist_failure(42, &case);
+    let dir = std::env::temp_dir().join("hera-chaos-42");
+    let ds = hera::Dataset::from_json(&std::fs::read_to_string(dir.join("dataset.json")).unwrap())
+        .unwrap();
+    assert_eq!(ds.len(), case.ds.len());
+    let plan_json =
+        hera::types::json::parse(&std::fs::read_to_string(dir.join("plan.json")).unwrap()).unwrap();
+    let plan = FaultPlan::from_json(&plan_json).unwrap();
+    assert_eq!(
+        plan.to_json().to_string_compact(),
+        case.plan.to_json().to_string_compact()
+    );
+    assert!(repro.contains("faults replay"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
