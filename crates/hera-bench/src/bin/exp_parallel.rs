@@ -3,7 +3,7 @@
 //! stay bit-identical, and records the speedups in
 //! `results/BENCH_parallel.json`.
 
-use hera_bench::{header, row};
+use hera_bench::{header, row, BenchReport};
 use hera_core::{Hera, HeraConfig};
 use hera_datagen::{CorruptionConfig, DatagenConfig, Generator};
 use hera_types::json::Json;
@@ -119,25 +119,13 @@ fn main() {
     assert_eq!(summary.count("merge"), traced.stats.merges);
     println!("\nwrote {trace_path} ({} journal lines)", summary.lines);
 
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let doc = Json::Obj(vec![
-        ("experiment".into(), Json::Str("parallel_scaling".into())),
-        ("dataset".into(), Json::Str(ds.name.clone())),
-        ("records".into(), Json::Int(ds.len() as i64)),
-        ("reps".into(), Json::Int(REPS as i64)),
-        ("host_cpus".into(), Json::Int(host_cpus as i64)),
-        (
-            "note".into(),
-            Json::Str(
-                "speedups are bounded by host_cpus; results are bit-identical at every thread \
-                 count, so a 1-CPU host measures only the (small) coordination overhead"
-                    .into(),
-            ),
-        ),
-        ("scaling".into(), Json::Arr(entries)),
-    ]);
-    std::fs::create_dir_all("results").expect("create results/");
-    let path = "results/BENCH_parallel.json";
-    std::fs::write(path, doc.to_string_pretty()).expect("write BENCH_parallel.json");
-    println!("\nwrote {path}");
+    BenchReport::new("parallel_scaling")
+        .dataset_with_entities(&ds.name, ds.len(), ds.truth.entity_count())
+        .reps(REPS)
+        .note(
+            "speedups are bounded by host_cpus; results are bit-identical at every thread \
+             count, so a 1-CPU host measures only the (small) coordination overhead",
+        )
+        .section("scaling", Json::Arr(entries))
+        .write("results/BENCH_parallel.json");
 }

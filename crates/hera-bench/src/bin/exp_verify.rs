@@ -9,7 +9,7 @@
 //! CI to exercise the path without clobbering the committed artifact).
 
 use hera_bench::verify_workload::VerifyWorkload;
-use hera_bench::{header, row};
+use hera_bench::{header, row, BenchReport};
 use hera_core::{Hera, HeraConfig, InstanceVerifier, SimCache, VerifyScratch};
 use hera_datagen::{CorruptionConfig, DatagenConfig, Generator};
 use hera_sim::{MongeElkan, TypeDispatch};
@@ -346,24 +346,16 @@ fn main() {
         println!("\nsmoke mode: skipping results/BENCH_verify.json");
         return;
     }
-    let doc = Json::Obj(vec![
-        ("experiment".into(), Json::Str("verify_memoization".into())),
-        ("dataset".into(), Json::Str(ds.name.clone())),
-        ("records".into(), Json::Int(ds.len() as i64)),
-        ("entities".into(), Json::Int(ds.truth.entity_count() as i64)),
-        ("reps".into(), Json::Int(reps as i64)),
-        ("host_cpus".into(), Json::Int(host_cpus as i64)),
-        (
-            "note".into(),
-            Json::Str(
-                "sweep = verify all surviving candidate pairs each round, then merge one \
-                 ground-truth tree-reduction round; Monge–Elkan string metric; results are \
-                 bit-identical cache on/off and at every thread count"
-                    .into(),
-            ),
-        ),
-        (
-            "sweep".into(),
+    BenchReport::new("verify_memoization")
+        .dataset_with_entities(&ds.name, ds.len(), ds.truth.entity_count())
+        .reps(reps)
+        .note(
+            "sweep = verify all surviving candidate pairs each round, then merge one \
+             ground-truth tree-reduction round; Monge–Elkan string metric; results are \
+             bit-identical cache on/off and at every thread count",
+        )
+        .section(
+            "sweep",
             Json::Obj(vec![
                 ("pairs_verified".into(), Json::Int(on.verified as i64)),
                 ("cached_ms".into(), Json::Float(on.sweep_ms)),
@@ -387,11 +379,7 @@ fn main() {
                 ),
                 ("rounds".into(), Json::Arr(round_entries)),
             ]),
-        ),
-        ("pipeline".into(), Json::Arr(pipeline_entries)),
-    ]);
-    std::fs::create_dir_all("results").expect("create results/");
-    let path = "results/BENCH_verify.json";
-    std::fs::write(path, doc.to_string_pretty()).expect("write BENCH_verify.json");
-    println!("\nwrote {path}");
+        )
+        .section("pipeline", Json::Arr(pipeline_entries))
+        .write("results/BENCH_verify.json");
 }

@@ -1,0 +1,126 @@
+//! CI performance-regression gate over the `exp_scale` smoke tier.
+//!
+//! Compares the smoke-tier throughputs of a freshly produced
+//! `results/BENCH_scale.json` against the committed baseline
+//! `results/BENCH_scale_baseline.json` and **fails (exit 1)** when any
+//! gated metric regresses by more than the tolerance (default 30%,
+//! generous because CI runners are noisy and shared). Gated metrics:
+//!
+//! * `gen_records_per_sec` — streaming generator throughput,
+//! * `join_pairs_per_sec` — similarity-join throughput,
+//! * `resolve_records_per_sec` — end-to-end compare-and-merge throughput.
+//!
+//! Improvements are reported but never fail the gate. Usage:
+//!
+//! ```text
+//! perf_gate [--current PATH] [--baseline PATH] [--max-regression PCT]
+//! ```
+//!
+//! Overrides:
+//!
+//! * `HERA_PERF_GATE=off` — skip the comparison (exit 0 with a warning).
+//!   Set it on a CI run that intentionally trades speed for something
+//!   else, then refresh the baseline in the same PR with
+//!   `cargo run --release -p hera-bench --bin exp_scale -- --smoke --out
+//!   results/BENCH_scale_baseline.json`.
+//! * `--max-regression 50` — loosen (or tighten) the tolerance without
+//!   disabling the gate.
+
+use hera_types::json::{parse, Json};
+
+/// Throughput metrics the gate enforces (higher is better).
+const GATED: [&str; 3] = [
+    "gen_records_per_sec",
+    "join_pairs_per_sec",
+    "resolve_records_per_sec",
+];
+
+fn main() {
+    if std::env::var("HERA_PERF_GATE").as_deref() == Ok("off") {
+        println!("perf_gate: HERA_PERF_GATE=off — skipping regression check");
+        return;
+    }
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!(
+                    "perf_gate: {name} requires a value\n\
+                     usage: perf_gate [--current PATH] [--baseline PATH] [--max-regression PCT]"
+                );
+                std::process::exit(2);
+            })
+        })
+    };
+    let current_path = flag("--current").unwrap_or_else(|| "results/BENCH_scale.json".into());
+    let baseline_path =
+        flag("--baseline").unwrap_or_else(|| "results/BENCH_scale_baseline.json".into());
+    let max_regression: f64 = flag("--max-regression")
+        .map(|v| v.parse().expect("--max-regression PCT"))
+        .unwrap_or(30.0);
+
+    let current_doc = load(&current_path);
+    let baseline_doc = load(&baseline_path);
+    let current = smoke_tier(&current_doc, &current_path);
+    let baseline = smoke_tier(&baseline_doc, &baseline_path);
+
+    println!("perf_gate: {current_path} vs {baseline_path} (tolerance {max_regression}%)\n");
+    let mut failed = false;
+    for metric in GATED {
+        let cur = metric_of(current, metric, &current_path);
+        let base = metric_of(baseline, metric, &baseline_path);
+        let change = 100.0 * (cur - base) / base;
+        let verdict = if change < -max_regression {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!("  {metric:<26} {base:>12.0} -> {cur:>12.0}  ({change:+6.1}%)  {verdict}");
+    }
+    if failed {
+        eprintln!(
+            "\nperf_gate: smoke-tier throughput regressed by more than {max_regression}%.\n\
+             If the slowdown is intentional, refresh the baseline\n\
+             (cargo run --release -p hera-bench --bin exp_scale -- --smoke \
+             --out results/BENCH_scale_baseline.json)\n\
+             or set HERA_PERF_GATE=off for this run."
+        );
+        std::process::exit(1);
+    }
+    println!("\nperf_gate: ok");
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_gate: cannot read {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("perf_gate: {path} is not valid JSON: {e:?}"))
+}
+
+/// The smoke tier: the smallest pipeline-mode entry of the sweep (the
+/// one tier a `--smoke` run produces, and the common subset of full and
+/// smoke artifacts).
+fn smoke_tier<'a>(doc: &'a Json, path: &str) -> &'a Json {
+    let tiers = doc
+        .expect("tiers")
+        .and_then(|t| t.as_arr())
+        .unwrap_or_else(|e| panic!("perf_gate: {path} has no tiers array: {e:?}"));
+    tiers
+        .iter()
+        .filter(|t| t.get("mode").and_then(|m| m.as_str().ok()) == Some("pipeline"))
+        .min_by_key(|t| {
+            t.get("records")
+                .and_then(|r| r.as_i64().ok())
+                .unwrap_or(i64::MAX)
+        })
+        .unwrap_or_else(|| panic!("perf_gate: {path} has no pipeline tier"))
+}
+
+fn metric_of(tier: &Json, metric: &str, path: &str) -> f64 {
+    let v = tier
+        .expect(metric)
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|e| panic!("perf_gate: {path} tier lacks {metric}: {e:?}"));
+    assert!(v > 0.0, "perf_gate: {path} {metric} must be positive");
+    v
+}

@@ -13,7 +13,10 @@ use hera_core::{Hera, HeraConfig, HeraResult};
 use hera_eval::PairMetrics;
 use hera_types::Dataset;
 
+pub mod report;
 pub mod verify_workload;
+
+pub use report::{host_cpus, BenchReport, BENCH_SCHEMA_VERSION};
 
 /// The four Table I datasets, generation-cached per process.
 pub fn datasets() -> Vec<Dataset> {

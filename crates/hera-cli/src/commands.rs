@@ -17,6 +17,8 @@ USAGE:
   hera-cli import   --source NAME=FILE.csv [--source …] [--entity-column COL]
                 [--name NAME] [--out FILE]
   hera-cli generate --preset <dm1|dm2|dm3|dm4> [--seed N] [--out FILE]
+  hera-cli generate --size N [--dup-ratio 0.3] [--sources 6] [--attrs 12]
+                [--corruption <light|moderate|heavy>] [--seed N] [--out FILE]
   hera-cli resolve  --input FILE [--delta 0.5] [--xi 0.5] [--threads N] [--labels FILE]
                 [--eval] [--matchings] [--no-sim-cache] [--trace FILE.jsonl]
                 [--trace-stderr] [--trace-deterministic] [--streaming]
@@ -144,6 +146,42 @@ fn import(args: &Args) -> Result<(), String> {
 }
 
 fn generate(args: &Args) -> Result<(), String> {
+    // `--size N` selects the streaming scale generator (10⁴–10⁶-record
+    // heterogeneous datasets); `--preset` the Table I toy datasets.
+    if let Some(size) = args.get("size") {
+        if args.get("preset").is_some() {
+            return Err("--size and --preset are mutually exclusive".into());
+        }
+        let n: usize = size
+            .parse()
+            .map_err(|_| format!("--size expects an integer, got {size:?}"))?;
+        let mut cfg = hera_datagen::scale_preset(n, args.get_u64("seed", 51)?);
+        cfg.duplicate_ratio = args.get_f64("dup-ratio", cfg.duplicate_ratio)?;
+        cfg.n_sources = args.get_u64("sources", cfg.n_sources as u64)? as usize;
+        cfg.n_attrs = args.get_u64("attrs", cfg.n_attrs as u64)? as usize;
+        cfg.corruption = match args.get("corruption").unwrap_or("moderate") {
+            "light" => hera_datagen::CorruptionConfig::light(),
+            "moderate" => hera_datagen::CorruptionConfig::moderate(),
+            "heavy" => hera_datagen::CorruptionConfig::heavy(),
+            other => {
+                return Err(format!(
+                    "unknown corruption profile {other:?} (expected light|moderate|heavy)"
+                ))
+            }
+        };
+        cfg.validate()
+            .map_err(|e| format!("generate --size: {e}"))?;
+        let ds = hera_datagen::ScaleGenerator::new(cfg).generate();
+        eprintln!(
+            "generated {}: {} records, {} entities, {} sources",
+            ds.name,
+            ds.len(),
+            ds.truth.entity_count(),
+            ds.registry.len()
+        );
+        let json = ds.to_json().map_err(|e| e.to_string())?;
+        return write_out(args.get("out"), &json);
+    }
     let preset = args.require("preset")?;
     let mut cfg = match preset {
         "dm1" => hera_datagen::presets::dm1(),

@@ -29,6 +29,19 @@ pub enum AttrKind {
     FloatRange(f64, f64),
     /// Synthetic identifier `ttNNNNNNN`.
     ExternalId,
+    /// `First M. Last` person name with a middle initial — ~97k distinct
+    /// combinations versus ~3.7k for [`AttrKind::Person`], so value
+    /// multiplicity stays O(1) at 10⁵⁺ records and the value-pair index
+    /// does not blow up on name cliques.
+    PersonFull,
+    /// 3–5-word title from [`vocab::TITLE_WORDS`] — the scale variant of
+    /// [`AttrKind::Title`], which allows 1-word titles whose huge
+    /// same-value groups are quadratic poison at 10⁵⁺ records.
+    TitleLong,
+    /// Pick `lo..=hi` distinct entries and join with `", "` — like
+    /// [`AttrKind::PickMulti`] but with a floor above 1, keeping
+    /// list-valued categorical attributes high-cardinality.
+    PickRange(&'static [&'static str], usize, usize),
 }
 
 /// One canonical (semantic) attribute of the movie domain.
@@ -210,6 +223,34 @@ impl CanonAttr {
                 Value::from((x * 10.0).round() / 10.0)
             }
             AttrKind::ExternalId => Value::from(format!("tt{:07}", rng.gen_range(0..10_000_000))),
+            AttrKind::PersonFull => {
+                let f = vocab::FIRST_NAMES[rng.gen_range(0..vocab::FIRST_NAMES.len())];
+                let m = (b'A' + rng.gen_range(0..26u8)) as char;
+                let l = vocab::LAST_NAMES[rng.gen_range(0..vocab::LAST_NAMES.len())];
+                Value::from(format!("{f} {m}. {l}"))
+            }
+            AttrKind::TitleLong => {
+                let n = rng.gen_range(3..=5);
+                let words: Vec<&str> = (0..n)
+                    .map(|_| vocab::TITLE_WORDS[rng.gen_range(0..vocab::TITLE_WORDS.len())])
+                    .collect();
+                let mut s = words.join(" ");
+                if rng.gen_bool(0.2) {
+                    s = format!("The {s}");
+                }
+                Value::from(s)
+            }
+            AttrKind::PickRange(list, lo, hi) => {
+                let k = rng.gen_range(lo.min(list.len())..=hi.min(list.len()));
+                let mut picks: Vec<&str> = Vec::with_capacity(k);
+                while picks.len() < k {
+                    let cand = list[rng.gen_range(0..list.len())];
+                    if !picks.contains(&cand) {
+                        picks.push(cand);
+                    }
+                }
+                Value::from(picks.join(", "))
+            }
             AttrKind::PageRange => {
                 let start = rng.gen_range(1..1400);
                 let len = rng.gen_range(4..30);

@@ -26,10 +26,45 @@ pub struct ValuePairIndex {
 }
 
 impl ValuePairIndex {
-    /// Builds the index from a similarity-join result. Pairs must already
-    /// be normalized (`a.rid < b.rid`); order is re-established here, so
-    /// any input order is accepted.
+    /// Builds the index from a similarity-join result. The iterator may
+    /// yield pairs in any order (they are sorted here), but each pair
+    /// itself must be rid-normalized (`a.rid < b.rid`) — a non-normalized
+    /// pair panics, exactly as it does on the incremental path.
+    ///
+    /// Bulk path: pairs are sorted by group key (a no-op pass when the
+    /// input is already in join output order) and consumed as sorted
+    /// runs, so the tree, partner-map, and set operations happen once per
+    /// **group** instead of once per pair. [`Self::build_incremental`] is
+    /// the per-pair reference path with identical results.
     pub fn build(pairs: impl IntoIterator<Item = ValuePair>) -> Self {
+        let mut pairs: Vec<ValuePair> = pairs.into_iter().collect();
+        pairs.sort_unstable_by_key(|p| (p.a.rid, p.b.rid));
+        let mut idx = Self {
+            total: pairs.len(),
+            ..Self::default()
+        };
+        let mut i = 0;
+        while i < pairs.len() {
+            let key = (pairs[i].a.rid, pairs[i].b.rid);
+            assert!(key.0 < key.1, "value pair must be rid-normalized");
+            let mut j = i + 1;
+            while j < pairs.len() && (pairs[j].a.rid, pairs[j].b.rid) == key {
+                j += 1;
+            }
+            let mut group = pairs[i..j].to_vec();
+            sort_group(&mut group);
+            idx.groups.insert(key, group);
+            idx.partners.entry(key.0).or_default().insert(key.1);
+            idx.partners.entry(key.1).or_default().insert(key.0);
+            i = j;
+        }
+        idx
+    }
+
+    /// Reference build: one tree/partner insertion per pair — the
+    /// pre-optimization path, kept for A/B benchmarks and differential
+    /// tests against the bulk [`Self::build`].
+    pub fn build_incremental(pairs: impl IntoIterator<Item = ValuePair>) -> Self {
         let mut idx = Self::default();
         for p in pairs {
             idx.insert(p);
@@ -550,6 +585,39 @@ mod tests {
         assert_eq!(all[3], (5, 0.83));
         // Unknown record: empty.
         assert!(idx.top_partners(99, 3).is_empty());
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental_reference() {
+        // Same pairs, deliberately scrambled input order: both builds
+        // must converge to the same canonical structure.
+        let pairs = vec![
+            vp(4, 5, 1, 6, 5, 1, 0.9),
+            vp(1, 3, 1, 4, 3, 1, 1.0),
+            vp(2, 1, 1, 4, 1, 1, 1.0),
+            vp(1, 1, 1, 6, 1, 1, 1.0),
+            vp(4, 1, 1, 5, 2, 1, 0.83),
+            vp(1, 2, 1, 6, 2, 1, 1.0),
+            vp(4, 2, 1, 5, 2, 1, 0.4),
+            vp(2, 2, 1, 4, 4, 1, 1.0),
+            vp(1, 3, 1, 6, 3, 1, 1.0),
+        ];
+        let bulk = ValuePairIndex::build(pairs.clone());
+        let incr = ValuePairIndex::build_incremental(pairs);
+        bulk.check_invariants().unwrap();
+        incr.check_invariants().unwrap();
+        assert_eq!(bulk.len(), incr.len());
+        assert_eq!(bulk.group_count(), incr.group_count());
+        assert_eq!(
+            bulk.to_json().to_string_compact(),
+            incr.to_json().to_string_compact()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rid-normalized")]
+    fn bulk_build_rejects_unnormalized_pairs() {
+        ValuePairIndex::build(vec![vp(6, 1, 1, 2, 1, 1, 0.5)]);
     }
 
     #[test]

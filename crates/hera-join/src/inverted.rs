@@ -35,6 +35,91 @@ impl GramIndex {
     }
 }
 
+/// Per-probe collision accumulator: maps a previously indexed value `y`
+/// to `(collisions so far, alive)`. Two interchangeable implementations;
+/// both produce the same candidate **set** (the caller sorts).
+trait Accumulator {
+    fn begin_probe(&mut self);
+    /// The mutable `(hits, alive)` slot for candidate `y`.
+    fn slot(&mut self, y: usize) -> &mut (u32, bool);
+    /// Pushes every `(y, x)` with `hits > 0 && alive` into `out`.
+    fn drain_into(&mut self, x: usize, out: &mut Vec<(usize, usize)>);
+}
+
+/// Reference accumulator: a hash map keyed by candidate index (the
+/// pre-optimization path, kept for A/B benchmarks and differential
+/// tests).
+#[derive(Default)]
+struct MapAccumulator {
+    acc: FxHashMap<usize, (u32, bool)>,
+}
+
+impl Accumulator for MapAccumulator {
+    fn begin_probe(&mut self) {
+        self.acc.clear();
+    }
+
+    fn slot(&mut self, y: usize) -> &mut (u32, bool) {
+        self.acc.entry(y).or_insert((0, true))
+    }
+
+    fn drain_into(&mut self, x: usize, out: &mut Vec<(usize, usize)>) {
+        for (&y, &(hits, alive)) in &self.acc {
+            if hits > 0 && alive {
+                out.push((y, x));
+            }
+        }
+    }
+}
+
+/// Dense epoch-stamped accumulator: per-candidate state lives in a flat
+/// array indexed by value id and is invalidated in O(1) per probe by
+/// bumping the epoch, so the hot posting-list loop does plain array
+/// indexing instead of hashing. A touched-list makes draining
+/// proportional to the candidates actually hit.
+struct DenseAccumulator {
+    epoch: Vec<u32>,
+    state: Vec<(u32, bool)>,
+    touched: Vec<usize>,
+    current: u32,
+}
+
+impl DenseAccumulator {
+    fn new(n: usize) -> Self {
+        Self {
+            epoch: vec![0; n],
+            state: vec![(0, true); n],
+            touched: Vec::new(),
+            current: 0,
+        }
+    }
+}
+
+impl Accumulator for DenseAccumulator {
+    fn begin_probe(&mut self) {
+        self.current += 1;
+        self.touched.clear();
+    }
+
+    fn slot(&mut self, y: usize) -> &mut (u32, bool) {
+        if self.epoch[y] != self.current {
+            self.epoch[y] = self.current;
+            self.state[y] = (0, true);
+            self.touched.push(y);
+        }
+        &mut self.state[y]
+    }
+
+    fn drain_into(&mut self, x: usize, out: &mut Vec<(usize, usize)>) {
+        for &y in &self.touched {
+            let (hits, alive) = self.state[y];
+            if hits > 0 && alive {
+                out.push((y, x));
+            }
+        }
+    }
+}
+
 /// Generates candidate distinct-value index pairs `(i, j)` with `i < j`
 /// whose gram signatures could reach Jaccard ≥ ξ.
 ///
@@ -48,7 +133,31 @@ impl GramIndex {
 /// must meet the Jaccard-equivalent overlap requirement
 /// `α = ⌈ξ/(1+ξ)·(|x|+|y|)⌉`. Without `prefix_filter`, any shared gram
 /// produces a candidate.
+///
+/// Uses the dense epoch-array accumulator; [`gram_candidates_ref`] is the
+/// hash-map reference path with identical output.
 pub fn gram_candidates(sigs: &[Vec<u64>], xi: f64, prefix_filter: bool) -> Vec<(usize, usize)> {
+    gram_candidates_impl(
+        sigs,
+        xi,
+        prefix_filter,
+        &mut DenseAccumulator::new(sigs.len()),
+    )
+}
+
+/// [`gram_candidates`] through the hash-map reference accumulator — the
+/// pre-optimization path, kept so benches can measure the dense
+/// accumulator's effect and tests can assert output equality.
+pub fn gram_candidates_ref(sigs: &[Vec<u64>], xi: f64, prefix_filter: bool) -> Vec<(usize, usize)> {
+    gram_candidates_impl(sigs, xi, prefix_filter, &mut MapAccumulator::default())
+}
+
+fn gram_candidates_impl(
+    sigs: &[Vec<u64>],
+    xi: f64,
+    prefix_filter: bool,
+    acc: &mut impl Accumulator,
+) -> Vec<(usize, usize)> {
     // Global document frequency per token, for the rare-first canonical
     // order that makes prefixes selective.
     let mut df: FxHashMap<u64, u32> = FxHashMap::default();
@@ -60,8 +169,6 @@ pub fn gram_candidates(sigs: &[Vec<u64>], xi: f64, prefix_filter: bool) -> Vec<(
 
     let mut index = GramIndex::default();
     let mut candidates: Vec<(usize, usize)> = Vec::new();
-    // Per-probe accumulator: candidate j → (collisions so far, alive).
-    let mut acc: FxHashMap<usize, (u32, bool)> = FxHashMap::default();
 
     for (x, sig) in sigs.iter().enumerate() {
         if sig.is_empty() {
@@ -82,12 +189,12 @@ pub fn gram_candidates(sigs: &[Vec<u64>], xi: f64, prefix_filter: bool) -> Vec<(
             sig.clone()
         };
 
-        acc.clear();
+        acc.begin_probe();
         for (x_pos, &t) in probe.iter().enumerate() {
             if let Some(list) = index.postings(t) {
                 for &(y, y_len, y_pos) in list {
                     if !prefix_filter {
-                        acc.entry(y).or_insert((0, true)).0 += 1;
+                        acc.slot(y).0 += 1;
                         continue;
                     }
                     // Length filter.
@@ -99,7 +206,7 @@ pub fn gram_candidates(sigs: &[Vec<u64>], xi: f64, prefix_filter: bool) -> Vec<(
                     if (lo as f64) + 1e-9 < xi * hi as f64 {
                         continue;
                     }
-                    let slot = acc.entry(y).or_insert((0, true));
+                    let slot = acc.slot(y);
                     if !slot.1 {
                         continue;
                     }
@@ -116,11 +223,7 @@ pub fn gram_candidates(sigs: &[Vec<u64>], xi: f64, prefix_filter: bool) -> Vec<(
                 }
             }
         }
-        for (&y, &(hits, alive)) in &acc {
-            if hits > 0 && alive {
-                candidates.push((y, x));
-            }
-        }
+        acc.drain_into(x, &mut candidates);
         index.insert(x, x_len, &probe);
     }
     candidates.sort_unstable();
@@ -201,5 +304,51 @@ mod tests {
     fn empty_values_are_skipped() {
         let c = run(&["", ""], 0.1, true);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn dense_accumulator_matches_reference() {
+        let vals = [
+            "2 norman street",
+            "2 west norman",
+            "electronic",
+            "electronics",
+            "manager",
+            "product manager",
+            "bush@gmail",
+            "john@gmail",
+            "",
+            "la",
+        ];
+        let sigs: Vec<Vec<u64>> = vals.iter().map(|s| folded_qgram_set(s, 2)).collect();
+        for xi in [0.1, 0.3, 0.5, 0.75, 0.9] {
+            for pf in [true, false] {
+                assert_eq!(
+                    gram_candidates(&sigs, xi, pf),
+                    gram_candidates_ref(&sigs, xi, pf),
+                    "xi={xi} pf={pf}"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// The dense epoch-array accumulator is a pure layout change: its
+        /// candidate list must equal the hash-map reference on arbitrary
+        /// inputs.
+        #[test]
+        fn dense_matches_reference_on_random_inputs(
+            words in proptest::collection::vec("[a-d ]{0,8}", 0..24),
+            xi in 0.05f64..0.95,
+            pf_bit in 0usize..2,
+        ) {
+            let pf = pf_bit == 1;
+            let sigs: Vec<Vec<u64>> =
+                words.iter().map(|s| folded_qgram_set(s, 2)).collect();
+            proptest::prop_assert_eq!(
+                gram_candidates(&sigs, xi, pf),
+                gram_candidates_ref(&sigs, xi, pf)
+            );
+        }
     }
 }

@@ -40,7 +40,7 @@ mod inverted;
 mod numeric;
 
 pub use incremental::IncrementalJoin;
-pub use inverted::GramIndex;
+pub use inverted::{gram_candidates, gram_candidates_ref, GramIndex};
 
 use hera_sim::ValueSimilarity;
 use hera_types::{Dataset, Label, Value};
@@ -76,6 +76,16 @@ pub struct JoinConfig {
     /// bit-identical for every setting (candidates are sharded in order
     /// and the final sort's total tie-break fixes the order).
     pub num_threads: usize,
+    /// Reject candidates whose 128-bit gram-sketch Jaccard upper bound is
+    /// below ξ before running the exact merge-intersection (gram-verified
+    /// pairs only). The bound is sound, so the output is bit-identical
+    /// with the flag on or off; off is the reference path for A/B
+    /// benchmarks.
+    pub sketch_prefilter: bool,
+    /// Use the dense epoch-array collision accumulator for candidate
+    /// generation (identical output; off falls back to the hash-map
+    /// reference path for A/B benchmarks).
+    pub dense_candidates: bool,
 }
 
 impl JoinConfig {
@@ -88,6 +98,8 @@ impl JoinConfig {
             prefix_filter: true,
             all_pairs: false,
             num_threads: 0,
+            sketch_prefilter: true,
+            dense_candidates: true,
         }
     }
 
@@ -106,6 +118,20 @@ impl JoinConfig {
     /// Sets the verification worker count (`0` = auto-detect).
     pub fn with_threads(mut self, num_threads: usize) -> Self {
         self.num_threads = num_threads;
+        self
+    }
+
+    /// Disables the gram-sketch verification prefilter (reference path;
+    /// output is identical either way).
+    pub fn without_sketch_prefilter(mut self) -> Self {
+        self.sketch_prefilter = false;
+        self
+    }
+
+    /// Uses the hash-map reference accumulator for candidate generation
+    /// (output is identical either way).
+    pub fn with_reference_candidates(mut self) -> Self {
+        self.dense_candidates = false;
         self
     }
 }
@@ -180,6 +206,7 @@ impl<'m> SimilarityJoin<'m> {
         // computed once and reused for candidate generation *and* (when
         // the metric declares gram compatibility) verification.
         let mut sigs: Vec<Vec<u64>> = Vec::new();
+        let mut sketches: Vec<hera_sim::text::GramSketch> = Vec::new();
         let candidates = if self.config.all_pairs {
             let n = distinct.len();
             let mut c = Vec::with_capacity(n * n / 2);
@@ -194,7 +221,16 @@ impl<'m> SimilarityJoin<'m> {
                 .iter()
                 .map(|(v, _)| hera_sim::text::folded_qgram_set(&v.to_text(), self.config.q))
                 .collect();
-            let mut c = inverted::gram_candidates(&sigs, self.config.xi, self.config.prefix_filter);
+            sketches = sigs
+                .iter()
+                .map(|s| hera_sim::text::GramSketch::of(s))
+                .collect();
+            let gram_cands = if self.config.dense_candidates {
+                inverted::gram_candidates
+            } else {
+                inverted::gram_candidates_ref
+            };
+            let mut c = gram_cands(&sigs, self.config.xi, self.config.prefix_filter);
             c.extend(numeric::numeric_candidates(
                 &distinct,
                 self.metric,
@@ -209,6 +245,7 @@ impl<'m> SimilarityJoin<'m> {
         // when the metric's string leg is q-gram Jaccard at our q.
         let fast_grams =
             !self.config.all_pairs && self.metric.qgram_compatible() == Some(self.config.q);
+        let sketch_prefilter = fast_grams && self.config.sketch_prefilter;
 
         // 4. Verify with the black box and expand to label pairs. Large
         // candidate sets fan out across threads (verification is pure:
@@ -221,6 +258,17 @@ impl<'m> SimilarityJoin<'m> {
                 let (vb, lb) = (&distinct[j].0, &distinct[j].1);
                 let both_numeric = va.as_number().is_some() && vb.as_number().is_some();
                 let s = if fast_grams && !both_numeric {
+                    // Sound sketch upper bound: a reject here can never
+                    // drop a pair the exact intersection would keep.
+                    if sketch_prefilter
+                        && sketches[i].jaccard_upper_bound(
+                            sigs[i].len(),
+                            sketches[j],
+                            sigs[j].len(),
+                        ) < self.config.xi
+                    {
+                        continue;
+                    }
                     hera_sim::text::jaccard_of_sets(&sigs[i], &sigs[j])
                 } else {
                     self.metric.sim(va, vb)
@@ -436,6 +484,31 @@ mod tests {
         let join = SimilarityJoin::new(JoinConfig::new(0.0), &metric);
         let vals = labeled(&[(0, 0, Value::Null), (1, 0, Value::Null)]);
         assert!(join.join(&vals).is_empty());
+    }
+
+    #[test]
+    fn optimization_flags_do_not_change_output() {
+        let metric = TypeDispatch::paper_default();
+        let ds = motivating_example();
+        for xi in [0.3, 0.5, 0.7, 0.9] {
+            let default = SimilarityJoin::new(JoinConfig::new(xi), &metric).join_dataset(&ds);
+            let no_sketch =
+                SimilarityJoin::new(JoinConfig::new(xi).without_sketch_prefilter(), &metric)
+                    .join_dataset(&ds);
+            let ref_cands =
+                SimilarityJoin::new(JoinConfig::new(xi).with_reference_candidates(), &metric)
+                    .join_dataset(&ds);
+            let both_off = SimilarityJoin::new(
+                JoinConfig::new(xi)
+                    .without_sketch_prefilter()
+                    .with_reference_candidates(),
+                &metric,
+            )
+            .join_dataset(&ds);
+            assert_eq!(default, no_sketch, "xi={xi}");
+            assert_eq!(default, ref_cands, "xi={xi}");
+            assert_eq!(default, both_off, "xi={xi}");
+        }
     }
 
     proptest! {

@@ -97,6 +97,62 @@ pub fn word_tokens(s: &str) -> Vec<String> {
     fold(s).split_whitespace().map(|t| t.to_owned()).collect()
 }
 
+/// A 128-bit occupancy sketch of a gram-token set: bit `t mod 128` is set
+/// for every token `t`. Two sketches give a **sound upper bound** on the
+/// Jaccard similarity of the underlying sets in a handful of word ops, so
+/// the join's verifier can reject most below-threshold candidates without
+/// running the full merge-intersection.
+///
+/// Soundness: every set bit of `a & !b` is occupied by at least one gram
+/// of `A`, and none of those grams can be in `B` (their bit would be set
+/// in `b`). Distinct bits are occupied by distinct grams, so at least
+/// `popcount(a & !b)` grams of `A` lie outside `B`, giving
+/// `|A ∩ B| ≤ |A| − popcount(a & !b)` (and symmetrically for `B`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GramSketch {
+    lo: u64,
+    hi: u64,
+}
+
+impl GramSketch {
+    /// Sketches a token set (sorted or not; only membership matters).
+    pub fn of(sig: &[u64]) -> Self {
+        let (mut lo, mut hi) = (0u64, 0u64);
+        for &t in sig {
+            let b = (t & 127) as u32;
+            if b < 64 {
+                lo |= 1u64 << b;
+            } else {
+                hi |= 1u64 << (b - 64);
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// Upper bound on `|A ∩ B|` given the two set cardinalities.
+    pub fn intersection_upper_bound(self, a_len: usize, other: Self, b_len: usize) -> usize {
+        let miss_a =
+            ((self.lo & !other.lo).count_ones() + (self.hi & !other.hi).count_ones()) as usize;
+        let miss_b =
+            ((other.lo & !self.lo).count_ones() + (other.hi & !self.hi).count_ones()) as usize;
+        a_len
+            .saturating_sub(miss_a)
+            .min(b_len.saturating_sub(miss_b))
+    }
+
+    /// Upper bound on the Jaccard similarity of the underlying sets:
+    /// `jaccard_of_sets(A, B) ≤ a.jaccard_upper_bound(|A|, b, |B|)`
+    /// always holds, so `bound < ξ` soundly rejects a candidate.
+    pub fn jaccard_upper_bound(self, a_len: usize, other: Self, b_len: usize) -> f64 {
+        let inter = self.intersection_upper_bound(a_len, other, b_len);
+        let union = a_len + b_len - inter;
+        if union == 0 {
+            return 0.0;
+        }
+        inter as f64 / union as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,7 +226,53 @@ mod tests {
         assert!(word_tokens("   ").is_empty());
     }
 
+    #[test]
+    fn sketch_bound_is_exact_on_identical_sets() {
+        let a = folded_qgram_set("electronic", 2);
+        let s = GramSketch::of(&a);
+        assert_eq!(s.intersection_upper_bound(a.len(), s, a.len()), a.len());
+        assert_eq!(s.jaccard_upper_bound(a.len(), s, a.len()), 1.0);
+    }
+
+    #[test]
+    fn sketch_bound_rejects_disjoint_small_sets() {
+        // Disjoint sets landing on disjoint bits: bound is 0.
+        let a = [1u64, 2, 3];
+        let b = [10u64, 11, 12];
+        let (sa, sb) = (GramSketch::of(&a), GramSketch::of(&b));
+        assert_eq!(sa.intersection_upper_bound(a.len(), sb, b.len()), 0);
+        assert_eq!(sa.jaccard_upper_bound(a.len(), sb, b.len()), 0.0);
+    }
+
+    #[test]
+    fn empty_sketch_bounds_zero() {
+        let s = GramSketch::of(&[]);
+        assert_eq!(s.jaccard_upper_bound(0, s, 0), 0.0);
+        let t = GramSketch::of(&[5]);
+        assert_eq!(s.jaccard_upper_bound(0, t, 1), 0.0);
+    }
+
     proptest::proptest! {
+        /// The sketch bound must dominate the exact Jaccard on arbitrary
+        /// string pairs (soundness: a `bound < ξ` reject is never wrong).
+        #[test]
+        fn sketch_bound_dominates_exact_jaccard(
+            a in "[ -~]{0,30}",
+            b in "[ -~]{0,30}",
+            q in 1usize..4
+        ) {
+            let ha = qgram_set(&fold(&a), q);
+            let hb = qgram_set(&fold(&b), q);
+            let exact = jaccard_of_sets(&ha, &hb);
+            let bound = GramSketch::of(&ha)
+                .jaccard_upper_bound(ha.len(), GramSketch::of(&hb), hb.len());
+            prop_assert!(bound >= exact - 1e-12, "bound {bound} < exact {exact}");
+            let inter = intersection_size(&ha, &hb);
+            let iub = GramSketch::of(&ha)
+                .intersection_upper_bound(ha.len(), GramSketch::of(&hb), hb.len());
+            prop_assert!(iub >= inter);
+        }
+
         /// Hashed gram sets must have the same cardinality as string gram
         /// sets (i.e. no observed collisions), and jaccard must match the
         /// string-set oracle.
