@@ -1,0 +1,328 @@
+//! Blocking sweep: pair-completeness vs reduction-ratio for every
+//! blocking scheme, plus the end-to-end effect of running the pipeline
+//! blocked instead of all-pairs.
+//!
+//! For each tier the harness generates the same seeded dataset as
+//! `exp_scale`, runs every scheme of the `hera-block` crate, and
+//! measures the two numbers the blocking literature trades against each
+//! other:
+//!
+//! * **pair completeness** (PC) — the fraction of ground-truth duplicate
+//!   record pairs that survive blocking (an upper bound on downstream
+//!   recall);
+//! * **reduction ratio** (RR) — the fraction of the quadratic record-pair
+//!   space the join no longer has to consider.
+//!
+//! Each scheme then runs the *blocked pipeline* (block → join → resolve)
+//! to report end-to-end wall-clock and F1. The unblocked reference is
+//! measured live on tiers small enough to afford it; for larger tiers it
+//! is read from the committed `results/BENCH_scale.json` (re-running the
+//! 100k all-pairs join takes ~15 minutes and its numbers are already on
+//! record), so the reported speedup is vs the committed baseline.
+//!
+//! * `--smoke` — 10⁴ tier only (the CI workload).
+//! * `--tier N` — run only the preset tier with N records (tuning aid).
+//! * `--out PATH` — artifact path (default `results/BENCH_blocking.json`).
+//! * `--gate-pc X` — exit 1 unless, on every tier, at least one scheme
+//!   reaches pair-completeness ≥ X (the CI recall gate).
+
+use hera_bench::{header, row, BenchReport};
+use hera_block::{Blocker, BlockingScheme};
+use hera_core::{Hera, HeraConfig};
+use hera_datagen::{scale_preset, ScaleGenerator};
+use hera_eval::PairMetrics;
+use hera_join::CandidateSource;
+use hera_types::json::{parse, Json};
+use hera_types::{Dataset, RecordId};
+use std::time::Instant;
+
+/// Same thresholds as `exp_scale`, so the committed scale numbers are a
+/// valid unblocked reference.
+const DELTA: f64 = 0.5;
+const XI: f64 = 0.7;
+
+/// Tiers mirror the `exp_scale` pipeline tiers (same sizes, same seeds).
+const FULL_TIERS: &[(usize, u64)] = &[(10_000, 51), (100_000, 52)];
+const SMOKE_TIERS: &[(usize, u64)] = &[(10_000, 51)];
+
+/// Unblocked pipelines are measured live only up to this size; larger
+/// tiers read the committed `exp_scale` baseline instead.
+const MAX_LIVE_UNBLOCKED: usize = 10_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("exp_blocking: {name} requires a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = value_of("--out").unwrap_or_else(|| "results/BENCH_blocking.json".into());
+    let gate_pc: Option<f64> = value_of("--gate-pc").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--gate-pc expects a number, got {v:?}"))
+    });
+    let only: Option<usize> = value_of("--tier").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--tier expects a record count, got {v:?}"))
+    });
+    let tiers: Vec<(usize, u64)> = if let Some(n) = only {
+        vec![*FULL_TIERS
+            .iter()
+            .find(|(records, _)| *records == n)
+            .unwrap_or_else(|| panic!("--tier {n}: no such preset tier"))]
+    } else if smoke {
+        SMOKE_TIERS.to_vec()
+    } else {
+        FULL_TIERS.to_vec()
+    };
+    let tiers = &tiers[..];
+
+    println!(
+        "# Blocking sweep (δ = {DELTA}, ξ = {XI}, {} tier{})\n",
+        tiers.len(),
+        if tiers.len() == 1 { "" } else { "s" }
+    );
+
+    let mut tier_entries: Vec<Json> = Vec::new();
+    let mut headline: Option<(u64, f64)> = None;
+    let mut gate_ok = true;
+    for &(n, seed) in tiers {
+        let (entry, best_pc, best_pairs_rr) = run_tier(n, seed);
+        gate_ok &= gate_pc.is_none_or(|g| best_pc >= g);
+        headline = Some(best_pairs_rr); // last tier = largest = headline
+        tier_entries.push(entry);
+    }
+
+    let largest = tiers.last().expect("at least one tier");
+    let mut report = BenchReport::new("blocking_sweep")
+        .dataset(&format!("scale_{}", largest.0), largest.0)
+        .reps(1);
+    if let Some((pairs, rr)) = headline {
+        report = report.candidates(pairs, rr);
+    }
+    report
+        .note(&format!(
+            "delta={DELTA} xi={XI}; PC = ground-truth duplicate pairs surviving blocking / all \
+             ground-truth duplicate pairs, RR = 1 - emitted record pairs / n(n-1)/2; unblocked \
+             reference measured live up to {MAX_LIVE_UNBLOCKED} records, read from the committed \
+             BENCH_scale.json above that (speedup is vs that committed baseline); envelope \
+             candidate_pairs/reduction_ratio are the largest tier's best-PC scheme"
+        ))
+        .section("tiers", Json::Arr(tier_entries))
+        .write(&out);
+
+    if let Some(g) = gate_pc {
+        if !gate_ok {
+            eprintln!(
+                "\nexp_blocking: FAIL — no scheme reached pair-completeness >= {g} on every tier"
+            );
+            std::process::exit(1);
+        }
+        println!("\nexp_blocking: pair-completeness gate ({g}) ok");
+    }
+}
+
+/// Runs one tier; returns its JSON entry, the best pair-completeness
+/// over schemes, and the (emitted pairs, RR) of the best-PC scheme.
+fn run_tier(n: usize, seed: u64) -> (Json, f64, (u64, f64)) {
+    eprintln!("[{n}] generating…");
+    let ds = ScaleGenerator::new(scale_preset(n, seed)).generate();
+    let truth_pairs = ds.truth.positive_pair_count();
+
+    let unblocked = unblocked_reference(&ds, n);
+    let base_ms = unblocked.get("end_to_end_ms").and_then(|v| v.as_f64().ok());
+    let base_f1 = unblocked.get("f1").and_then(|v| v.as_f64().ok());
+
+    println!("## scale_{n} ({truth_pairs} ground-truth duplicate pairs)\n");
+    header(&[
+        "scheme",
+        "block (ms)",
+        "pairs out",
+        "PC",
+        "RR",
+        "join (ms)",
+        "resolve (ms)",
+        "F1",
+        "speedup",
+    ]);
+
+    let mut scheme_entries: Vec<Json> = Vec::new();
+    let mut best_pc = 0.0f64;
+    let mut best_pairs_rr = (0u64, 0.0f64);
+    for scheme in [
+        BlockingScheme::token(),
+        BlockingScheme::qgram(),
+        BlockingScheme::lsh(),
+    ] {
+        let name = scheme.name();
+        eprintln!("[{n}] blocking ({name})…");
+        let t0 = Instant::now();
+        let outcome = Blocker::new(scheme.clone()).block(&ds);
+        let block_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Pair completeness: emitted pairs are few, truth lookup is O(1).
+        let kept_truth = outcome
+            .pairs
+            .iter()
+            .filter(|&(a, b)| ds.truth.same_entity(RecordId::new(a), RecordId::new(b)))
+            .count();
+        let pc = if truth_pairs == 0 {
+            1.0
+        } else {
+            kept_truth as f64 / truth_pairs as f64
+        };
+        let rr = outcome.stats.reduction_ratio();
+
+        eprintln!(
+            "[{n}] {name}: {} record pairs (PC {pc:.4}, RR {rr:.4}), joining…",
+            outcome.pairs.len()
+        );
+        let hera = Hera::builder(HeraConfig::new(DELTA, XI)).build();
+        let join_cfg = hera_join::JoinConfig::new(XI);
+        let metric = hera_sim::TypeDispatch::paper_default();
+        let t0 = Instant::now();
+        let pairs = hera_join::SimilarityJoin::new(join_cfg, &metric)
+            .join_dataset_with(&ds, &CandidateSource::Blocked(outcome.pairs.clone()));
+        let join_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        eprintln!("[{n}] {name}: {} value pairs, resolving…", pairs.len());
+        let t0 = Instant::now();
+        let result = hera.run_with_pairs(&ds, pairs.clone()).unwrap();
+        let resolve_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let f1 = PairMetrics::score(&result.clusters(), &ds.truth).f1();
+
+        let end_to_end = block_ms + join_ms + resolve_ms;
+        let speedup = base_ms.map(|b| b / end_to_end.max(1e-9));
+        let f1_delta = base_f1.map(|b| f1 - b);
+        row(&[
+            name.to_string(),
+            format!("{block_ms:.0}"),
+            outcome.pairs.len().to_string(),
+            format!("{pc:.4}"),
+            format!("{rr:.4}"),
+            format!("{join_ms:.0}"),
+            format!("{resolve_ms:.0}"),
+            format!("{f1:.4}"),
+            speedup.map_or("-".into(), |s| format!("{s:.1}x")),
+        ]);
+
+        if pc > best_pc {
+            best_pc = pc;
+            best_pairs_rr = (outcome.stats.pairs_emitted, rr);
+        }
+        let mut entry = vec![
+            ("scheme".into(), Json::Str(name.into())),
+            ("block_ms".into(), Json::Float(block_ms)),
+            ("blocks".into(), Json::Int(outcome.stats.blocks as i64)),
+            (
+                "blocks_purged".into(),
+                Json::Int(outcome.stats.blocks_purged as i64),
+            ),
+            (
+                "pairs_considered".into(),
+                Json::Int(outcome.stats.pairs_considered as i64),
+            ),
+            (
+                "pairs_emitted".into(),
+                Json::Int(outcome.stats.pairs_emitted as i64),
+            ),
+            (
+                "pairs_pruned".into(),
+                Json::Int(outcome.stats.pairs_pruned as i64),
+            ),
+            ("pair_completeness".into(), Json::Float(pc)),
+            ("reduction_ratio".into(), Json::Float(rr)),
+            ("join_ms".into(), Json::Float(join_ms)),
+            ("value_pairs".into(), Json::Int(pairs.len() as i64)),
+            ("resolve_ms".into(), Json::Float(resolve_ms)),
+            ("end_to_end_ms".into(), Json::Float(end_to_end)),
+            ("f1".into(), Json::Float(f1)),
+        ];
+        if let Some(s) = speedup {
+            entry.push(("speedup_vs_unblocked".into(), Json::Float(s)));
+        }
+        if let Some(d) = f1_delta {
+            entry.push(("f1_delta".into(), Json::Float(d)));
+        }
+        scheme_entries.push(Json::Obj(entry));
+    }
+    println!();
+
+    let entry = Json::Obj(vec![
+        ("records".into(), Json::Int(n as i64)),
+        ("seed".into(), Json::Int(seed as i64)),
+        ("entities".into(), Json::Int(ds.truth.entity_count() as i64)),
+        ("truth_pairs".into(), Json::Int(truth_pairs as i64)),
+        ("unblocked".into(), unblocked),
+        ("schemes".into(), Json::Arr(scheme_entries)),
+    ]);
+    (entry, best_pc, best_pairs_rr)
+}
+
+/// The unblocked (all-pairs) reference for one tier: measured live for
+/// small tiers, read from the committed `BENCH_scale.json` otherwise.
+fn unblocked_reference(ds: &Dataset, n: usize) -> Json {
+    if n <= MAX_LIVE_UNBLOCKED {
+        eprintln!("[{n}] unblocked reference (live)…");
+        let hera = Hera::builder(HeraConfig::new(DELTA, XI)).build();
+        let t0 = Instant::now();
+        let pairs = hera.join(ds);
+        let join_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let value_pairs = pairs.len();
+        let t0 = Instant::now();
+        let result = hera.run_with_pairs(ds, pairs).unwrap();
+        let resolve_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let f1 = PairMetrics::score(&result.clusters(), &ds.truth).f1();
+        return Json::Obj(vec![
+            ("source".into(), Json::Str("measured".into())),
+            ("join_ms".into(), Json::Float(join_ms)),
+            ("resolve_ms".into(), Json::Float(resolve_ms)),
+            ("end_to_end_ms".into(), Json::Float(join_ms + resolve_ms)),
+            ("value_pairs".into(), Json::Int(value_pairs as i64)),
+            ("f1".into(), Json::Float(f1)),
+        ]);
+    }
+    // Committed baseline. Missing file or tier degrades to "unknown"
+    // (speedup column prints "-"), it does not abort the sweep.
+    let committed = std::fs::read_to_string("results/BENCH_scale.json")
+        .ok()
+        .and_then(|text| parse(&text).ok())
+        .and_then(|doc| {
+            let tiers = doc.get("tiers")?.as_arr().ok()?.to_vec();
+            tiers.into_iter().find(|t| {
+                t.get("records").and_then(|r| r.as_i64().ok()) == Some(n as i64)
+                    && t.get("mode")
+                        .and_then(|m| m.as_str().ok().map(String::from))
+                        == Some("pipeline".into())
+            })
+        });
+    match committed {
+        Some(tier) => {
+            let f = |k: &str| tier.get(k).and_then(|v| v.as_f64().ok()).unwrap_or(0.0);
+            let (join_ms, resolve_ms) = (f("join_ms"), f("resolve_ms"));
+            Json::Obj(vec![
+                (
+                    "source".into(),
+                    Json::Str("committed BENCH_scale.json".into()),
+                ),
+                ("join_ms".into(), Json::Float(join_ms)),
+                ("resolve_ms".into(), Json::Float(resolve_ms)),
+                ("end_to_end_ms".into(), Json::Float(join_ms + resolve_ms)),
+                (
+                    "value_pairs".into(),
+                    Json::Int(tier.get("pairs").and_then(|v| v.as_i64().ok()).unwrap_or(0)),
+                ),
+            ])
+        }
+        None => {
+            eprintln!("[{n}] no committed unblocked baseline found — speedup unavailable");
+            Json::Obj(vec![("source".into(), Json::Str("unavailable".into()))])
+        }
+    }
+}

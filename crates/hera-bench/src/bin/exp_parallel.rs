@@ -3,7 +3,7 @@
 //! stay bit-identical, and records the speedups in
 //! `results/BENCH_parallel.json`.
 
-use hera_bench::{header, row, BenchReport};
+use hera_bench::{header, host_cpus, row, BenchReport};
 use hera_core::{Hera, HeraConfig};
 use hera_datagen::{CorruptionConfig, DatagenConfig, Generator};
 use hera_types::json::Json;
@@ -28,6 +28,13 @@ fn main() {
     .generate();
 
     println!("# Parallel scaling (ξ = δ = 0.5, {} records)\n", ds.len());
+    if host_cpus() == 1 {
+        eprintln!(
+            "exp_parallel: WARNING — this host exposes a single CPU; the speedup columns \
+             measure coordination overhead, not parallelism. Re-run on a multi-core host \
+             before citing them (the envelope's host_cpus records the conditions)."
+        );
+    }
     header(&[
         "threads",
         "join (ms)",
@@ -122,10 +129,14 @@ fn main() {
     BenchReport::new("parallel_scaling")
         .dataset_with_entities(&ds.name, ds.len(), ds.truth.entity_count())
         .reps(REPS)
-        .note(
+        .note(if host_cpus() == 1 {
+            "MEASURED ON A 1-CPU HOST: the speedup columns quantify coordination overhead \
+             only and do not substantiate parallel scaling; results are still verified \
+             bit-identical at every thread count"
+        } else {
             "speedups are bounded by host_cpus; results are bit-identical at every thread \
-             count, so a 1-CPU host measures only the (small) coordination overhead",
-        )
+             count, so a 1-CPU host measures only the (small) coordination overhead"
+        })
         .section("scaling", Json::Arr(entries))
         .write("results/BENCH_parallel.json");
 }

@@ -10,7 +10,8 @@
 //! RSS rather than the high-water mark of whichever tier ran first. The
 //! 10⁶ tier is generation-only: the stream is consumed without ever
 //! materializing the dataset, which is what bounds its footprint
-//! (resolving 10⁶ records needs the blocking layer of ROADMAP item 2).
+//! (resolving 10⁶ records end to end awaits blocking on the streaming
+//! path — ROADMAP item 2).
 //!
 //! * `--smoke` — 10⁴ pipeline tier only, single rep (the CI perf-gate
 //!   workload; see `perf_gate`).
@@ -34,9 +35,9 @@ const DELTA: f64 = 0.5;
 /// example uses ξ = 0.5, but at 10⁵ records the synthetic vocabularies
 /// are dense enough that ξ = 0.5 admits a near-quadratic set of one-edit
 /// value pairs (the 32k tier alone emits 14M pairs and peaks at 15 GB);
-/// until the blocking layer (ROADMAP item 2) lands, the sweep runs at
-/// ξ = 0.7, which keeps the candidate funnel selective while still
-/// exercising every stage.
+/// the sweep measures the *unblocked* baseline, so it runs at ξ = 0.7,
+/// which keeps the candidate funnel selective while still exercising
+/// every stage (the blocked pipeline is measured by `exp_blocking`).
 const XI: f64 = 0.7;
 
 /// One sweep tier: record count, generator seed, and how far to run.
@@ -161,6 +162,37 @@ fn main() {
         tier_entries.push(tier);
     }
 
+    // Per-tier pair realization, spelled out so candidate blowup is
+    // visible in CI logs without opening the artifact or the journal.
+    println!();
+    let mut headline_candidates: Option<(u64, f64)> = None;
+    for tier in &tier_entries {
+        if tier.get("mode").and_then(|m| m.as_str().ok()) != Some("pipeline") {
+            continue;
+        }
+        let n = tier
+            .get("records")
+            .and_then(|v| v.as_i64().ok())
+            .unwrap_or(0);
+        let pairs = tier.get("pairs").and_then(|v| v.as_i64().ok()).unwrap_or(0);
+        let quad = n as f64 * (n as f64 - 1.0) / 2.0;
+        let rr = if quad > 0.0 {
+            1.0 - pairs as f64 / quad
+        } else {
+            0.0
+        };
+        println!(
+            "summary: {n} records -> {pairs} value pairs \
+             ({:.1} per record, reduction {rr:.4} vs n(n-1)/2)",
+            pairs as f64 / (n as f64).max(1.0)
+        );
+        // Envelope headline: the smoke tier (smallest pipeline tier,
+        // first in the sweep) — the one perf_gate compares.
+        if headline_candidates.is_none() {
+            headline_candidates = Some((pairs as u64, rr));
+        }
+    }
+
     // Before/after measurements for the hot-path optimizations. The full
     // sweep measures on the 32k tier (the bulk index build only has real
     // work once the pair set is in the millions); smoke stays on 10k to
@@ -176,8 +208,11 @@ fn main() {
     ]);
     let opt_entries = measure_optimizations(reps, opt_n, opt_seed);
 
-    BenchReport::new("scale_sweep")
-        .reps(reps)
+    let mut report = BenchReport::new("scale_sweep").reps(reps);
+    if let Some((pairs, rr)) = headline_candidates {
+        report = report.candidates(pairs, rr);
+    }
+    report
         .note(&format!(
             "delta={DELTA} xi={XI}; each tier runs in its own child process so peak_rss_mb is \
              per-tier VmHWM; the 10^6 tier is generation-only (streamed, never materialized); \
@@ -207,6 +242,9 @@ fn run_pipeline_tier(n: usize, seed: u64) -> Json {
     let t0 = Instant::now();
     let pairs = hera.join(&ds);
     let join_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // The realized pair count is the sweep's blowup indicator — log it
+    // where CI sees it even if a later stage dies.
+    eprintln!("[{n}] join done: {} value pairs", pairs.len());
 
     eprintln!("[{n}] resolving…");
     let t0 = Instant::now();

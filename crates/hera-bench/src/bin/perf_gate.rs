@@ -10,10 +10,17 @@
 //! * `join_pairs_per_sec` — similarity-join throughput,
 //! * `resolve_records_per_sec` — end-to-end compare-and-merge throughput.
 //!
+//! Beyond throughput, the gate also fails on a **candidate-pair
+//! blowup**: if the smoke tier's realized `pairs` count grows past 2×
+//! the baseline's, candidate generation has regressed even if raw
+//! throughput kept up (more pairs per second can mask *far* more
+//! pairs). Tune with `--max-pair-blowup FACTOR`.
+//!
 //! Improvements are reported but never fail the gate. Usage:
 //!
 //! ```text
 //! perf_gate [--current PATH] [--baseline PATH] [--max-regression PCT]
+//!           [--max-pair-blowup FACTOR]
 //! ```
 //!
 //! Overrides:
@@ -58,6 +65,9 @@ fn main() {
     let max_regression: f64 = flag("--max-regression")
         .map(|v| v.parse().expect("--max-regression PCT"))
         .unwrap_or(30.0);
+    let max_pair_blowup: f64 = flag("--max-pair-blowup")
+        .map(|v| v.parse().expect("--max-pair-blowup FACTOR"))
+        .unwrap_or(2.0);
 
     let current_doc = load(&current_path);
     let baseline_doc = load(&baseline_path);
@@ -78,9 +88,25 @@ fn main() {
         };
         println!("  {metric:<26} {base:>12.0} -> {cur:>12.0}  ({change:+6.1}%)  {verdict}");
     }
+    // Candidate-pair blowup: more pairs is more downstream work even at
+    // equal throughput, so it gates independently.
+    let cur_pairs = metric_of(current, "pairs", &current_path);
+    let base_pairs = metric_of(baseline, "pairs", &baseline_path);
+    let factor = cur_pairs / base_pairs;
+    let verdict = if factor > max_pair_blowup {
+        failed = true;
+        "FAIL"
+    } else {
+        "ok"
+    };
+    println!(
+        "  {:<26} {base_pairs:>12.0} -> {cur_pairs:>12.0}  ({factor:>6.2}x)  {verdict} (limit {max_pair_blowup}x)",
+        "pairs"
+    );
     if failed {
         eprintln!(
-            "\nperf_gate: smoke-tier throughput regressed by more than {max_regression}%.\n\
+            "\nperf_gate: smoke-tier throughput regressed by more than {max_regression}%,\n\
+             or candidate pairs blew up past {max_pair_blowup}x the baseline.\n\
              If the slowdown is intentional, refresh the baseline\n\
              (cargo run --release -p hera-bench --bin exp_scale -- --smoke \
              --out results/BENCH_scale_baseline.json)\n\

@@ -31,6 +31,7 @@ pub struct BenchReport {
     experiment: String,
     dataset: Option<(String, usize, Option<usize>)>,
     reps: usize,
+    candidates: Option<(u64, f64)>,
     note: String,
     sections: Vec<(String, Json)>,
 }
@@ -42,6 +43,7 @@ impl BenchReport {
             experiment: experiment.to_owned(),
             dataset: None,
             reps: 1,
+            candidates: None,
             note: String::new(),
             sections: Vec::new(),
         }
@@ -62,6 +64,17 @@ impl BenchReport {
     /// Repetitions per measurement (best-of semantics are the caller's).
     pub fn reps(mut self, reps: usize) -> Self {
         self.reps = reps;
+        self
+    }
+
+    /// Records the candidate-pair funnel of the experiment's headline
+    /// configuration: how many record pairs went into verification and
+    /// the reduction ratio vs the quadratic pair space
+    /// (`1 − candidate_pairs / (n·(n−1)/2)`; negative when label
+    /// expansion outgrows the record-pair space). `perf_gate` keys off
+    /// these to catch candidate blowups that throughput alone can hide.
+    pub fn candidates(mut self, candidate_pairs: u64, reduction_ratio: f64) -> Self {
+        self.candidates = Some((candidate_pairs, reduction_ratio));
         self
     }
 
@@ -96,6 +109,10 @@ impl BenchReport {
         }
         obj.push(("reps".into(), Json::Int(self.reps as i64)));
         obj.push(("host_cpus".into(), Json::Int(host_cpus() as i64)));
+        if let Some((pairs, rr)) = self.candidates {
+            obj.push(("candidate_pairs".into(), Json::Int(pairs as i64)));
+            obj.push(("reduction_ratio".into(), Json::Float(rr)));
+        }
         if !self.note.is_empty() {
             obj.push(("note".into(), Json::Str(self.note.clone())));
         }
@@ -161,7 +178,39 @@ mod tests {
         let doc = BenchReport::new("demo").to_json();
         assert!(doc.get("dataset").is_none());
         assert!(doc.get("note").is_none());
+        assert!(doc.get("candidate_pairs").is_none());
+        assert!(doc.get("reduction_ratio").is_none());
         assert_eq!(doc.expect("reps").unwrap().as_i64().unwrap(), 1);
+    }
+
+    #[test]
+    fn candidates_land_in_the_envelope() {
+        let doc = BenchReport::new("demo")
+            .candidates(1234, 0.975)
+            .section("s", Json::Int(0))
+            .to_json();
+        let Json::Obj(pairs) = &doc else {
+            panic!("not an object")
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "schema_version",
+                "experiment",
+                "reps",
+                "host_cpus",
+                "candidate_pairs",
+                "reduction_ratio",
+                "s"
+            ]
+        );
+        assert_eq!(
+            doc.expect("candidate_pairs").unwrap().as_i64().unwrap(),
+            1234
+        );
+        let rr = doc.expect("reduction_ratio").unwrap().as_f64().unwrap();
+        assert!((rr - 0.975).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! MinHash-LSH banding over record token sets.
+//!
+//! Each record's token set is summarized by `bands × rows` min-hashes;
+//! the `rows` minima of one band are folded into a single 64-bit band
+//! key. Two records collide on a band with probability `s^rows` (where
+//! `s` is the Jaccard similarity of their token sets), so the chance of
+//! sharing at least one band is `1 − (1 − s^rows)^bands` — the classic
+//! S-curve that passes high-similarity pairs and drops dissimilar ones.
+
+/// SplitMix64 — the same tiny mixer hera-datagen uses for stream
+/// derivation; here it is the (seeded) hash family for min-hashing.
+#[inline]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Band keys of one record's token set, sorted and deduplicated.
+/// Empty token sets produce no keys (the record blocks with nothing).
+pub(crate) fn band_tokens(tokens: &[u64], bands: usize, rows: usize, seed: u64) -> Vec<u64> {
+    if tokens.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(bands);
+    for band in 0..bands {
+        // Fold the band's row minima into one key; the accumulator is
+        // seeded per band so identical minima in different bands cannot
+        // collide into one block.
+        let mut key = splitmix64(seed ^ ((band as u64) << 32));
+        for row in 0..rows {
+            let hseed = splitmix64(seed.wrapping_add(((band * rows + row) as u64) | 1 << 63));
+            let mut min = u64::MAX;
+            for &t in tokens {
+                let h = splitmix64(t ^ hseed);
+                if h < min {
+                    min = h;
+                }
+            }
+            key = splitmix64(key ^ min);
+        }
+        out.push(key);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_share_every_band() {
+        let toks = vec![1u64, 5, 9, 42];
+        let a = band_tokens(&toks, 8, 2, 7);
+        let b = band_tokens(&toks, 8, 2, 7);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_set_has_no_bands() {
+        assert!(band_tokens(&[], 8, 2, 7).is_empty());
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_collide() {
+        let a: Vec<u64> = (0..20).map(splitmix64).collect();
+        let b: Vec<u64> = (100..120).map(splitmix64).collect();
+        let ba = band_tokens(&a, 16, 2, 7);
+        let bb = band_tokens(&b, 16, 2, 7);
+        let shared = ba.iter().filter(|k| bb.contains(k)).count();
+        assert_eq!(shared, 0, "disjoint token sets collided on a band");
+    }
+
+    #[test]
+    fn similar_sets_collide_on_some_band() {
+        // 18 of 20 tokens shared → Jaccard ≈ 0.82; with 16 bands of 2
+        // rows the collision chance is ≈ 1-(1-0.67)^16 ≈ 1-2e-8.
+        let a: Vec<u64> = (0..20).map(splitmix64).collect();
+        let mut b = a.clone();
+        b[0] = splitmix64(999);
+        b[1] = splitmix64(998);
+        b.sort_unstable();
+        let ba = band_tokens(&a, 16, 2, 7);
+        let bb = band_tokens(&b, 16, 2, 7);
+        assert!(ba.iter().any(|k| bb.contains(k)));
+    }
+
+    #[test]
+    fn seed_changes_bands() {
+        let toks = vec![1u64, 5, 9, 42];
+        assert_ne!(band_tokens(&toks, 8, 2, 7), band_tokens(&toks, 8, 2, 8));
+    }
+}

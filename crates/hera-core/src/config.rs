@@ -1,5 +1,6 @@
 //! HERA configuration.
 
+use hera_block::BlockingScheme;
 use hera_index::BoundMode;
 
 /// Tuning knobs for [`Hera`](crate::Hera) (Algorithm 2's inputs plus the
@@ -47,6 +48,13 @@ pub struct HeraConfig {
     /// cache stores exact metric outputs — so this is purely a speed
     /// knob; disable to measure the uncached baseline.
     pub sim_cache: bool,
+    /// Candidate generation ahead of the similarity join.
+    /// [`BlockingScheme::None`] (the default) keeps the paper-exact
+    /// all-pairs enumeration — every existing result is bit-identical.
+    /// Any other scheme runs a blocking + meta-blocking pass (see the
+    /// `hera-block` crate) and restricts the join to the blocked record
+    /// pairs: sub-quadratic, at a measured pair-completeness cost.
+    pub blocking: BlockingScheme,
 }
 
 impl HeraConfig {
@@ -70,6 +78,7 @@ impl HeraConfig {
             validate_index: false,
             num_threads: 0,
             sim_cache: true,
+            blocking: BlockingScheme::None,
         }
     }
 
@@ -113,6 +122,13 @@ impl HeraConfig {
         self.sim_cache = false;
         self
     }
+
+    /// Selects the blocking scheme for candidate generation
+    /// ([`BlockingScheme::None`] restores the exact all-pairs join).
+    pub fn with_blocking(mut self, blocking: BlockingScheme) -> Self {
+        self.blocking = blocking;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +155,13 @@ mod tests {
     #[should_panic(expected = "xi")]
     fn bad_xi() {
         HeraConfig::new(0.5, -0.1);
+    }
+
+    #[test]
+    fn blocking_defaults_to_none() {
+        assert_eq!(HeraConfig::paper_example().blocking, BlockingScheme::None);
+        let c = HeraConfig::paper_example().with_blocking(BlockingScheme::token());
+        assert_eq!(c.blocking.name(), "token");
     }
 
     #[test]

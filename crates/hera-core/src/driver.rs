@@ -153,9 +153,18 @@ impl Hera {
         let mut join_cfg = JoinConfig::new(self.config.xi);
         join_cfg.prefix_filter = self.config.prefix_filter;
         join_cfg.num_threads = self.config.num_threads;
-        SimilarityJoin::new(join_cfg, self.metric.as_ref())
-            .with_recorder(self.recorder.clone())
-            .join_dataset(ds)
+        let join = SimilarityJoin::new(join_cfg, self.metric.as_ref())
+            .with_recorder(self.recorder.clone());
+        match &self.config.blocking {
+            hera_block::BlockingScheme::None => join.join_dataset(ds),
+            scheme => {
+                let outcome = hera_block::Blocker::new(scheme.clone())
+                    .with_recorder(self.recorder.clone())
+                    .with_threads(self.config.num_threads)
+                    .block(ds);
+                join.join_dataset_with(ds, &hera_join::CandidateSource::Blocked(outcome.pairs))
+            }
+        }
     }
 
     /// Runs Algorithm 2 on a dataset.

@@ -59,5 +59,6 @@ pub use super_record::{Field, SuperRecord};
 pub use verify::{InstanceVerifier, Verification, VerifyScratch};
 pub use voter::{vote_error_bound, DecidedMatching, SchemaVoter};
 
+pub use hera_block::{Blocker, BlockingScheme};
 pub use hera_index::BoundMode;
 pub use hera_obs::{JournalBuffer, Recorder};

@@ -190,7 +190,7 @@ pub fn scale_100k() -> ScaleConfig {
 }
 
 /// 10⁶-record tier (generation-only in the benchmarks: resolving it
-/// needs the blocking layer of ROADMAP item 2).
+/// end to end awaits blocking on the streaming path — ROADMAP item 2).
 pub fn scale_1m() -> ScaleConfig {
     scale_preset(1_000_000, 53)
 }

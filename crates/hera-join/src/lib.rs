@@ -38,9 +38,11 @@
 mod incremental;
 mod inverted;
 mod numeric;
+mod source;
 
 pub use incremental::IncrementalJoin;
 pub use inverted::{gram_candidates, gram_candidates_ref, GramIndex};
+pub use source::{CandidateSource, RecordPairSet};
 
 use hera_sim::ValueSimilarity;
 use hera_types::{Dataset, Label, Value};
@@ -172,6 +174,167 @@ impl<'m> SimilarityJoin<'m> {
             }
         }
         self.join(&values)
+    }
+
+    /// Joins a dataset through an explicit [`CandidateSource`]:
+    /// [`CandidateSource::AllPairs`] is exactly [`Self::join_dataset`];
+    /// [`CandidateSource::Blocked`] restricts the output to value pairs
+    /// whose records are in the allowed set, with bit-identical
+    /// similarities and the same output order (the blocked stream is a
+    /// subsequence of the all-pairs stream).
+    pub fn join_dataset_with(&self, ds: &Dataset, source: &CandidateSource) -> Vec<ValuePair> {
+        match source {
+            CandidateSource::AllPairs => self.join_dataset(ds),
+            CandidateSource::Blocked(allowed) => self.join_blocked(ds, allowed),
+        }
+    }
+
+    /// Record-pair-driven join: compares the field values of each allowed
+    /// record pair directly instead of generating candidates from the
+    /// value universe. For the sub-quadratic pair sets a blocker emits
+    /// this skips the (quadratic-prone) gram candidate generation
+    /// entirely, which is where the all-pairs join spends most of its
+    /// time at scale.
+    ///
+    /// Scoring replicates the all-pairs verification exactly — numeric
+    /// pairs go through the metric, gram-compatible string pairs through
+    /// the shared gram signatures (with the sound sketch prefilter), and
+    /// everything else through the black-box metric — so every emitted
+    /// pair carries the same similarity the all-pairs join would have
+    /// produced for it.
+    fn join_blocked(&self, ds: &Dataset, allowed: &RecordPairSet) -> Vec<ValuePair> {
+        let t0 = std::time::Instant::now();
+        // 1. Intern distinct values; remember each record's labeled slots.
+        let mut index_of: FxHashMap<&Value, u32> = FxHashMap::default();
+        let mut distinct: Vec<&Value> = Vec::new();
+        let mut slots: Vec<Vec<(u32, u32)>> = vec![Vec::new(); ds.len()]; // (fid, value index)
+        let mut total_values = 0usize;
+        for rec in ds.iter() {
+            for (fid, v) in rec.values.iter().enumerate() {
+                if v.is_null() {
+                    continue;
+                }
+                total_values += 1;
+                let vi = *index_of.entry(v).or_insert_with(|| {
+                    distinct.push(v);
+                    (distinct.len() - 1) as u32
+                });
+                slots[rec.id.raw() as usize].push((fid as u32, vi));
+            }
+        }
+
+        // 2. Shared signatures, exactly as the all-pairs verifier uses.
+        let fast_grams = self.metric.qgram_compatible() == Some(self.config.q);
+        let sketch_prefilter = fast_grams && self.config.sketch_prefilter;
+        let (sigs, sketches): (Vec<Vec<u64>>, Vec<hera_sim::text::GramSketch>) = if fast_grams {
+            let sigs: Vec<Vec<u64>> = distinct
+                .iter()
+                .map(|v| hera_sim::text::folded_qgram_set(&v.to_text(), self.config.q))
+                .collect();
+            let sketches = sigs
+                .iter()
+                .map(|s| hera_sim::text::GramSketch::of(s))
+                .collect();
+            (sigs, sketches)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let numeric: Vec<bool> = distinct.iter().map(|v| v.as_number().is_some()).collect();
+
+        // 3. Verify the field cross-product of every allowed record pair.
+        // Each (label, label) pair is visited at most once, so no dedup is
+        // needed; the final sort fixes the global order.
+        let verify_chunk = |chunk: &[(u32, u32)],
+                            out: &mut Vec<ValuePair>,
+                            comparisons: &mut u64| {
+            for &(ra, rb) in chunk {
+                if ra as usize >= slots.len() || rb as usize >= slots.len() {
+                    continue; // foreign rid in the pair set: nothing to compare
+                }
+                for &(fa, ia) in &slots[ra as usize] {
+                    for &(fb, ib) in &slots[rb as usize] {
+                        *comparisons += 1;
+                        let (va, vb) = (distinct[ia as usize], distinct[ib as usize]);
+                        let s = if fast_grams && !(numeric[ia as usize] && numeric[ib as usize]) {
+                            let (sa, sb) = (&sigs[ia as usize], &sigs[ib as usize]);
+                            if sketch_prefilter
+                                && sketches[ia as usize].jaccard_upper_bound(
+                                    sa.len(),
+                                    sketches[ib as usize],
+                                    sb.len(),
+                                ) < self.config.xi
+                            {
+                                continue;
+                            }
+                            hera_sim::text::jaccard_of_sets(sa, sb)
+                        } else {
+                            self.metric.sim(va, vb)
+                        };
+                        if s >= self.config.xi {
+                            push_pair(out, Label::new(ra, fa, 0), Label::new(rb, fb, 0), s);
+                        }
+                    }
+                }
+            }
+        };
+        let mut out: Vec<ValuePair> = Vec::new();
+        let mut comparisons = 0u64;
+        let threads = effective_threads(self.config.num_threads);
+        let pairs = allowed.as_slice();
+        if pairs.len() >= MIN_PARALLEL_CANDIDATES && threads > 1 {
+            let chunk_size = pairs.len().div_ceil(threads);
+            let results: Vec<(Vec<ValuePair>, u64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = pairs
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            let mut n = 0u64;
+                            verify_chunk(chunk, &mut local, &mut n);
+                            (local, n)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("blocked join thread panicked"))
+                    .collect()
+            });
+            for (mut part, n) in results {
+                out.append(&mut part);
+                comparisons += n;
+            }
+        } else {
+            verify_chunk(pairs, &mut out, &mut comparisons);
+        }
+
+        // Same deterministic order as the all-pairs join.
+        out.sort_unstable_by(|x, y| {
+            (x.a.rid, x.b.rid)
+                .cmp(&(y.a.rid, y.b.rid))
+                .then_with(|| {
+                    y.sim
+                        .partial_cmp(&x.sim)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+        });
+        // Same span name and counter set as the all-pairs path, so the
+        // funnel reads uniformly: `candidates` is the number of value
+        // comparisons attempted (all totals are order-independent, hence
+        // part of the deterministic core journal).
+        self.recorder.span(
+            "join",
+            None,
+            &[
+                ("values", total_values as i64),
+                ("distinct", distinct.len() as i64),
+                ("candidates", comparisons as i64),
+                ("pairs", out.len() as i64),
+            ],
+        );
+        self.recorder.timing("join", None, t0.elapsed());
+        out
     }
 
     /// Joins an explicit labeled value collection.
@@ -509,6 +672,58 @@ mod tests {
             assert_eq!(default, ref_cands, "xi={xi}");
             assert_eq!(default, both_off, "xi={xi}");
         }
+    }
+
+    #[test]
+    fn blocked_join_is_allpairs_restriction() {
+        let metric = TypeDispatch::paper_default();
+        let ds = motivating_example();
+        let n = ds.len() as u32;
+        for xi in [0.3, 0.5, 0.7] {
+            let join = SimilarityJoin::new(JoinConfig::new(xi), &metric);
+            let full = join.join_dataset(&ds);
+            // Full pair set: blocked output must equal the all-pairs output.
+            let mut everything = Vec::new();
+            for a in 0..n {
+                for b in a + 1..n {
+                    everything.push((a, b));
+                }
+            }
+            let all = join.join_dataset_with(
+                &ds,
+                &CandidateSource::Blocked(RecordPairSet::from_pairs(everything)),
+            );
+            assert_eq!(all, full, "xi={xi}");
+            // Partial pair set: exactly the restriction, sims bit-equal.
+            let some = RecordPairSet::from_pairs(vec![(0, 1), (2, 3)]);
+            let blocked = join.join_dataset_with(&ds, &CandidateSource::Blocked(some.clone()));
+            let expected: Vec<ValuePair> = full
+                .iter()
+                .copied()
+                .filter(|p| some.contains(p.a.rid, p.b.rid))
+                .collect();
+            assert_eq!(blocked, expected, "xi={xi}");
+        }
+    }
+
+    #[test]
+    fn blocked_join_empty_set_yields_nothing() {
+        let metric = TypeDispatch::paper_default();
+        let ds = motivating_example();
+        let join = SimilarityJoin::new(JoinConfig::new(0.3), &metric);
+        let out = join.join_dataset_with(&ds, &CandidateSource::Blocked(RecordPairSet::default()));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn allpairs_source_is_join_dataset() {
+        let metric = TypeDispatch::paper_default();
+        let ds = motivating_example();
+        let join = SimilarityJoin::new(JoinConfig::new(0.5), &metric);
+        assert_eq!(
+            join.join_dataset_with(&ds, &CandidateSource::AllPairs),
+            join.join_dataset(&ds)
+        );
     }
 
     proptest! {

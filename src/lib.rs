@@ -12,6 +12,7 @@
 //! | [`types`] | `hera-types` | records, schemas, values, datasets, ground truth |
 //! | [`sim`] | `hera-sim` | pluggable value-similarity metrics (q-gram Jaccard, edit, Jaro-Winkler, cosine, Soft TF-IDF, numeric) |
 //! | [`join`] | `hera-join` | similarity self-join (inverted q-gram index + prefix filter) |
+//! | [`block`] | `hera-block` | blocking & meta-blocking: token / q-gram / MinHash-LSH candidate generation |
 //! | [`matching`] | `hera-matching` | Kuhn–Munkres max-weight bipartite matching, simplification, greedy |
 //! | [`index`] | `hera-index` | the value-pair index, Algorithm-1 bounds, union–find, merge maintenance |
 //! | [`obs`] | `hera-obs` | structured run journal: spans, counters, merge/promotion events (JSON Lines) |
@@ -55,6 +56,7 @@
 #![forbid(unsafe_code)]
 
 pub use hera_baselines as baselines;
+pub use hera_block as block;
 pub use hera_core as core;
 pub use hera_datagen as datagen;
 pub use hera_eval as eval;
@@ -72,6 +74,7 @@ pub use hera_types as types;
 pub use hera_baselines::{
     CollectiveEr, CorrelationClustering, NestLoopVerifier, RSwoosh, Resolver,
 };
+pub use hera_block::{Blocker, BlockingScheme};
 pub use hera_core::{
     check_no_torn_state, run_chaos, BoundMode, ChaosConfig, ChaosReport, ChaosVerdict, Hera,
     HeraBuilder, HeraConfig, HeraResult, HeraSession, HeraSessionBuilder, InstanceVerifier,
