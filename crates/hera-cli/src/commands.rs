@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use hera_baselines::{CollectiveEr, CorrelationClustering, RSwoosh, Resolver};
-use hera_core::{chaos, BlockingScheme, Hera, HeraConfig, HeraSession};
+use hera_core::{chaos, BlockingScheme, Hera, HeraConfig, HeraSession, ResolveBudget};
 use hera_eval::{bcubed, PairMetrics};
 use hera_faults::{FaultInjector, FaultPlan};
 use hera_sim::TypeDispatch;
@@ -23,19 +23,21 @@ USAGE:
                 [--eval] [--matchings] [--no-sim-cache] [--trace FILE.jsonl]
                 [--trace-stderr] [--trace-deterministic] [--streaming]
                 [--checkpoint FILE.hera] [--checkpoint-every N]
+                [--budget N] [--budget-merges M]
                 [--fault-plan FILE.json] [--blocking <none|token|qgram|lsh>]
   hera-cli checkpoint --input FILE --out FILE.hera [--upto N] [--delta 0.5] [--xi 0.5]
                 [--threads N] [--no-sim-cache]
   hera-cli restore-resolve --snapshot FILE.hera --input FILE [--labels FILE] [--eval]
                 [--matchings] [--delta 0.5] [--xi 0.5] [--threads N] [--no-sim-cache]
+                [--budget N] [--budget-merges M] [--checkpoint FILE.hera]
                 [--trace FILE.jsonl] [--trace-stderr] [--trace-deterministic]
   hera-cli exchange --input FILE [--fraction 0.333] [--seed N] [--out FILE]
   hera-cli fuse     --input FILE --labels FILE [--fraction 1.0] [--seed N] [--out FILE]
   hera-cli baseline --input FILE --system <rswoosh|cc|cr> [--delta 0.5] [--xi 0.5] [--eval]
-  hera-cli trace-check --input FILE.jsonl
+  hera-cli trace-check --input FILE.jsonl [--require-monotonic-rounds]
   hera-cli faults gen --seed N [--out FILE.json]
   hera-cli faults replay --input FILE --plan FILE.json [--checkpoint-every N]
-                [--crash-after N] [--strict-checkpoints] [--upto N]
+                [--crash-after N] [--strict-checkpoints] [--upto N] [--resolve-budget N]
                 [--delta 0.5] [--xi 0.5] [--threads N] [--no-sim-cache]
   hera-cli demo
   hera-cli help
@@ -74,6 +76,23 @@ continuing is bit-identical to an uninterrupted streaming run — same
 entities, same stats, same core journal events (see DESIGN.md,
 Persistence). Snapshots are versioned and CRC-checked; corrupt or
 version-skewed files are rejected.
+
+`resolve --budget N` runs *progressive* (anytime) resolution: ingest
+everything, then spend at most N pair comparisons on the
+highest-expected-value candidates first (ranked by the value-pair
+index's Up/Low bounds — see DESIGN.md, Progressive resolution).
+`--budget-merges M` caps applied merges instead (or as well). An
+unlimited budget is bit-identical to plain `resolve`; a budgeted run's
+merges are a prefix of a bigger-budget run's. Combine with
+`--checkpoint FILE.hera` to snapshot the exhausted frontier, then
+`restore-resolve --snapshot FILE.hera --input FILE --budget N` to spend
+the next slice — the resumed run continues exactly where the previous
+one stopped (journal rounds keep counting up; `trace-check
+--require-monotonic-rounds` enforces that). `--checkpoint-every` does
+not compose with `--budget` (the budget already defines the boundary).
+`faults replay --resolve-budget N` runs the chaos harness with that
+per-record comparison budget, covering crash/recovery of progressive
+runs.
 
 `resolve --fault-plan FILE` runs under a deterministic fault-injection
 plan (hera-faults JSON): named failpoints on the snapshot write/read
@@ -226,6 +245,35 @@ fn build_config(args: &Args) -> Result<HeraConfig, String> {
         config = config.with_blocking(BlockingScheme::parse(scheme)?);
     }
     Ok(config)
+}
+
+/// The `--budget N` / `--budget-merges M` pair as a [`ResolveBudget`];
+/// `None` when neither flag is present (classic fixpoint resolution).
+fn budget_of(args: &Args) -> Result<Option<ResolveBudget>, String> {
+    let mut budget = ResolveBudget::unlimited();
+    if args.get("budget").is_some() {
+        budget.comparisons = Some(args.get_u64("budget", 0)?);
+    }
+    if args.get("budget-merges").is_some() {
+        budget.merges = Some(args.get_u64("budget-merges", 0)?);
+    }
+    Ok(budget.is_bounded().then_some(budget))
+}
+
+/// Prints what a budgeted [`HeraSession::resolve_progressive`] call did.
+fn report_progressive(report: &hera_core::ProgressiveReport) {
+    if report.exhausted {
+        eprintln!(
+            "budget exhausted: {} comparison(s) spent, {} merge(s) applied, \
+             {} candidate pair(s) left on the frontier",
+            report.comparisons_spent, report.merges, report.frontier
+        );
+    } else {
+        eprintln!(
+            "fixpoint reached within budget: {} comparison(s) spent, {} merge(s) applied",
+            report.comparisons_spent, report.merges
+        );
+    }
 }
 
 /// `--blocking` restricts the *batch* join's candidates; the streaming
@@ -484,7 +532,27 @@ fn restore_resolve(args: &Args) -> Result<(), String> {
         "restored {snap} at record {from}; continuing through record {}",
         ds.len()
     );
-    ingest_range(&mut session, &ds, &schemas, from, ds.len(), None, None)?;
+    if let Some(budget) = budget_of(args)? {
+        // Budgeted continuation: ingest whatever the snapshot has not
+        // seen, then spend one budgeted call on the frontier — for a
+        // snapshot taken at budget exhaustion this picks up exactly
+        // where the previous slice stopped.
+        for (i, rec) in ds.records.iter().enumerate().skip(from) {
+            session
+                .add_record(schemas[rec.schema.index()], rec.values.clone())
+                .map_err(|e| format!("ingesting record {i}: {e}"))?;
+        }
+        let report = session.resolve_progressive(budget);
+        report_progressive(&report);
+        if let Some(path) = args.get("checkpoint") {
+            session
+                .checkpoint(path)
+                .map_err(|e| format!("checkpointing to {path}: {e}"))?;
+            eprintln!("checkpoint written to {path}");
+        }
+    } else {
+        ingest_range(&mut session, &ds, &schemas, from, ds.len(), None, None)?;
+    }
     recorder.flush();
     if let Some(path) = args.get("trace") {
         eprintln!("trace journal written to {path}");
@@ -492,8 +560,56 @@ fn restore_resolve(args: &Args) -> Result<(), String> {
     report_session(args, &ds, &mut session)
 }
 
+/// `resolve --budget N [--budget-merges M]`: ingest everything into a
+/// session without intermediate resolution, then spend one budgeted
+/// [`HeraSession::resolve_progressive`] call over the whole frontier —
+/// the highest-expected-value candidates first. `--checkpoint FILE`
+/// snapshots the (possibly exhausted) session so `restore-resolve
+/// --budget` can spend the next slice.
+fn resolve_budgeted(args: &Args, ds: &Dataset, budget: ResolveBudget) -> Result<(), String> {
+    reject_blocking_when_streaming(args)?;
+    if args.get("checkpoint-every").is_some() {
+        return Err(
+            "--checkpoint-every does not compose with --budget; the budget boundary is \
+             the checkpoint boundary — use --checkpoint FILE.hera"
+                .into(),
+        );
+    }
+    let injector = fault_injector(args)?;
+    let recorder = build_recorder(args)?.with_faults(injector.clone());
+    let mut session = HeraSession::builder(build_config(args)?)
+        .recorder(recorder.clone())
+        .faults(injector)
+        .build();
+    let schemas = mirror_schemas(&mut session, ds);
+    for (i, rec) in ds.records.iter().enumerate() {
+        session
+            .add_record(schemas[rec.schema.index()], rec.values.clone())
+            .map_err(|e| format!("ingesting record {i}: {e}"))?;
+    }
+    let report = session.resolve_progressive(budget);
+    report_progressive(&report);
+    if let Some(path) = args.get("checkpoint") {
+        session
+            .checkpoint(path)
+            .map_err(|e| format!("checkpointing to {path}: {e}"))?;
+        eprintln!(
+            "checkpoint written to {path}; resume with \
+             `hera-cli restore-resolve --snapshot {path} --input … --budget N`"
+        );
+    }
+    recorder.flush();
+    if let Some(path) = args.get("trace") {
+        eprintln!("trace journal written to {path}");
+    }
+    report_session(args, ds, &mut session)
+}
+
 fn resolve(args: &Args) -> Result<(), String> {
     let ds = load_dataset(args.require("input")?)?;
+    if let Some(budget) = budget_of(args)? {
+        return resolve_budgeted(args, &ds, budget);
+    }
     if args.has("streaming")
         || args.get("checkpoint-every").is_some()
         || args.get("checkpoint").is_some()
@@ -694,6 +810,18 @@ fn trace_check(args: &Args) -> Result<(), String> {
     }
     let core_lines = hera_obs::deterministic_view(&text).lines().count();
     println!("  ({core_lines} deterministic core lines)");
+    match hera_obs::check_rounds_monotonic(&text) {
+        Ok(n) => println!("  rounds monotonic across {n} round-bearing line(s)"),
+        Err(e) if args.has("require-monotonic-rounds") => {
+            return Err(format!("{path}: rounds not monotonic: {e}"));
+        }
+        Err(e) => {
+            // Crash-*replay* journals legitimately rewind (the writer
+            // re-executes pre-crash rounds); anything else is a resumed
+            // run that restarted its counter — a bug.
+            println!("  rounds NOT monotonic ({e}) — expected only for crash-replay journals");
+        }
+    }
     Ok(())
 }
 
@@ -724,6 +852,9 @@ fn faults_replay(args: &Args) -> Result<(), String> {
     cfg.strict_checkpoints = args.has("strict-checkpoints");
     if args.get("upto").is_some() {
         cfg.upto = Some(args.get_u64("upto", 0)? as usize);
+    }
+    if args.get("resolve-budget").is_some() {
+        cfg.resolve_budget = Some(args.get_u64("resolve-budget", 0)?);
     }
 
     let dir = std::env::temp_dir().join(format!("hera-faults-replay-{}", std::process::id()));

@@ -24,7 +24,7 @@
 //! state are the failures this harness exists to rule out.
 
 use crate::config::HeraConfig;
-use crate::session::HeraSession;
+use crate::session::{HeraSession, ResolveBudget};
 use hera_faults::{BackoffPolicy, FaultInjector, FaultPlan, FiredFault, ManualClock};
 use hera_types::{Dataset, HeraError, SchemaId};
 use std::path::Path;
@@ -48,6 +48,13 @@ pub struct ChaosConfig {
     pub strict_checkpoints: bool,
     /// Ingest only the first `upto` records (`None` = whole dataset).
     pub upto: Option<usize>,
+    /// Per-record comparison budget: resolve via
+    /// [`HeraSession::resolve_progressive`] with this many comparisons
+    /// after each ingest instead of running to the fixpoint (`None` =
+    /// unlimited, the classic behavior). Deferred work stays on the
+    /// frontier and is picked up by later per-record calls, so torn-state
+    /// checking covers budgeted (progressive) runs too.
+    pub resolve_budget: Option<u64>,
 }
 
 impl ChaosConfig {
@@ -59,6 +66,18 @@ impl ChaosConfig {
             crash_after: None,
             strict_checkpoints: false,
             upto: None,
+            resolve_budget: None,
+        }
+    }
+
+    fn resolve_step(&self, session: &mut HeraSession) {
+        match self.resolve_budget {
+            Some(b) => {
+                session.resolve_progressive(ResolveBudget::comparisons(b));
+            }
+            None => {
+                session.resolve();
+            }
         }
     }
 
@@ -204,7 +223,7 @@ pub fn run_chaos(
             error = Some(e);
             break;
         }
-        session.resolve();
+        cfg.resolve_step(&mut session);
         i += 1;
 
         if cfg.checkpoint_every > 0 && i.is_multiple_of(cfg.checkpoint_every) {
@@ -349,7 +368,7 @@ pub fn check_no_torn_state(
                             report,
                         );
                     }
-                    session.resolve();
+                    cfg.resolve_step(&mut session);
                 }
                 let labels = labels_of(&session, n);
                 if labels != reference {

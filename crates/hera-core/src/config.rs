@@ -26,8 +26,10 @@ pub struct HeraConfig {
     /// Minimum number of votes before a matching can be decided (guards
     /// the bound's small-`n` regime).
     pub vote_min_n: u32,
-    /// Safety cap on compare-and-merge iterations (`k` in Table II stays
-    /// well below this on the paper's workloads).
+    /// Safety cap on compare-and-merge iterations. Rounds are chunked
+    /// (the progressive scheduler verifies at most `ROUND_CHUNK`
+    /// candidates per round), so the cap must scale with frontier size /
+    /// chunk, not with the paper's Table II `k`.
     pub max_iterations: usize,
     /// Run Kuhn–Munkres after graph simplification (true, the paper) or
     /// fall back to greedy matching (the A2 ablation's cheap arm).
@@ -72,7 +74,7 @@ impl HeraConfig {
             vote_prior: 0.8,
             vote_error_threshold: 0.6,
             vote_min_n: 3,
-            max_iterations: 64,
+            max_iterations: 4096,
             use_kuhn_munkres: true,
             prefix_filter: true,
             validate_index: false,

@@ -35,6 +35,92 @@ use rustc_hash::{FxHashMap, FxHashSet};
 use std::path::Path;
 use std::sync::Arc;
 
+/// Verification cap per resolve round (see
+/// [`HeraSession::resolve_progressive`]): small enough that a big
+/// cluster coalesces across rounds instead of burning Θ(k²) snapshot
+/// verifications before its first super-record pair forms, large enough
+/// that the parallel verify phase still amortizes its fan-out. Part of
+/// the deterministic schedule — never derived from the budget.
+const ROUND_CHUNK: usize = 64;
+
+/// Relative priority floor for one resolve round: candidates below
+/// `ROUND_FOCUS ×` the round's top priority wait for a later round even
+/// when the matching has slots left. Without it every round *fills* with
+/// low-value pairs — a k-record cluster contributes at most ⌊k/2⌋
+/// disjoint pairs per round, so the filler burns most of the budget
+/// while the top cluster crawls through its ~log k coalescence levels.
+/// Deferral is free (deferred pairs stay unverified on the frontier), so
+/// focusing a round only re-orders spending toward the highest expected
+/// value. Like [`ROUND_CHUNK`], a pure function of the ranked list —
+/// never of the budget.
+const ROUND_FOCUS: f64 = 0.5;
+
+/// Budget for one [`HeraSession::resolve_progressive`] call, in
+/// verification comparisons and/or applied merges. `None` on an axis
+/// means unlimited; the default is unlimited on both — equivalent to
+/// [`HeraSession::resolve`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolveBudget {
+    /// Maximum pair verifications (snapshot + stale re-verifications)
+    /// this call may spend.
+    pub comparisons: Option<u64>,
+    /// Maximum merges this call may apply.
+    pub merges: Option<u64>,
+}
+
+impl ResolveBudget {
+    /// No limit on either axis: runs to the fixpoint, exactly like
+    /// [`HeraSession::resolve`].
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Limit on verification comparisons only.
+    pub fn comparisons(n: u64) -> Self {
+        Self {
+            comparisons: Some(n),
+            merges: None,
+        }
+    }
+
+    /// Limit on applied merges only.
+    pub fn merges(n: u64) -> Self {
+        Self {
+            comparisons: None,
+            merges: Some(n),
+        }
+    }
+
+    /// Adds a merge limit to an existing budget.
+    pub fn with_merges(mut self, n: u64) -> Self {
+        self.merges = Some(n);
+        self
+    }
+
+    /// True when any axis is limited.
+    pub fn is_bounded(&self) -> bool {
+        self.comparisons.is_some() || self.merges.is_some()
+    }
+}
+
+/// What one [`HeraSession::resolve_progressive`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgressiveReport {
+    /// Merges applied during this call.
+    pub merges: usize,
+    /// Comparisons (pair verifications) spent during this call.
+    pub comparisons_spent: u64,
+    /// Candidate pairs still pending when the call returned (0 unless
+    /// `exhausted`); a following call drains them highest-priority
+    /// first.
+    pub frontier: usize,
+    /// True when the call stopped because a budget ran out rather than
+    /// because the fixpoint was reached. The session state is a clean
+    /// boundary: checkpoint it and a restored session continues exactly
+    /// where this call stopped.
+    pub exhausted: bool,
+}
+
 /// Incremental HERA: owns the schema registry and all algorithm state.
 pub struct HeraSession {
     config: HeraConfig,
@@ -51,8 +137,6 @@ pub struct HeraSession {
     /// Merge-aware `metric.sim` memo cache; persists across `resolve`
     /// calls, so a long-lived session keeps amortizing its metric work.
     cache: Option<SimCache>,
-    /// Scratch for the sequential re-verifications of the apply phase.
-    scratch: VerifyScratch,
     /// Journal recorder (disabled by default).
     recorder: hera_obs::Recorder,
     /// Fault injector threaded into snapshot IO (disabled by default).
@@ -139,7 +223,6 @@ impl HeraSessionBuilder {
         HeraSession {
             join: IncrementalJoin::new(self.config.xi, 2, self.metric.clone()),
             cache: self.config.sim_cache.then(SimCache::new),
-            scratch: VerifyScratch::new(),
             config: self.config,
             metric: self.metric,
             registry: SchemaRegistry::new(),
@@ -470,14 +553,49 @@ impl HeraSession {
     /// Runs compare-and-merge to a fixpoint over the dirty region.
     /// Returns the number of merges performed.
     ///
-    /// Each iteration uses the same two-phase structure as the batch
-    /// driver: a parallel snapshot phase verifies every surviving
-    /// candidate root-pair against the iteration-start state, then a
-    /// sequential apply phase merges in candidate order, re-verifying
-    /// any pair whose super records changed under an earlier merge. The
-    /// resolved entities are bit-identical for every
-    /// [`HeraConfig::num_threads`] setting.
+    /// Equivalent to [`HeraSession::resolve_progressive`] with an
+    /// unlimited [`ResolveBudget`] — both walk the same deterministic
+    /// priority schedule, so a budgeted run's merges are always a prefix
+    /// of this one's.
     pub fn resolve(&mut self) -> usize {
+        self.resolve_progressive(ResolveBudget::unlimited()).merges
+    }
+
+    /// Budget-scheduled (progressive / anytime) compare-and-merge: spends
+    /// up to `budget` on the highest-expected-value work first and stops
+    /// at a clean, checkpointable boundary when a budget runs out.
+    ///
+    /// Each iteration uses the same two-phase structure as the batch
+    /// driver: a parallel snapshot phase verifies surviving candidate
+    /// root-pairs against the iteration-start state, then a sequential
+    /// apply phase merges in candidate order, deferring any pair whose
+    /// super records changed under an earlier merge back to the frontier
+    /// (the next round re-ranks and re-verifies it). Each round verifies
+    /// the maximal-matching prefix of the ranked list — no two selected
+    /// pairs share a root — cut at a relative priority floor
+    /// (`ROUND_FOCUS`) and capped at `ROUND_CHUNK` verifications, so
+    /// merges collapse a big cluster's remaining intra-pairs into cheap
+    /// super-record pairs *before* the schedule spends comparisons on
+    /// them — without the matching, a cluster of k records burns Θ(k²)
+    /// verifications to buy k/2 merges. Both constants are never derived
+    /// from the budget, so every budget still walks the identical
+    /// schedule. Candidates are ordered by the value-pair index's
+    /// expected-value signal — Up/Low midpoint × frontier component size
+    /// ([`hera_index::RankedCandidate::priority`], descending, with
+    /// deterministic tie-breaks), so merges come out confidence-ranked
+    /// and a small budget completes the biggest clusters first. The schedule is
+    /// a pure function of session state: results are bit-identical for
+    /// every [`HeraConfig::num_threads`] setting and cache on/off, and
+    /// the merges emitted under budget `b` are a prefix of those emitted
+    /// under any budget `b' > b` (a budget only truncates the schedule,
+    /// never reorders it).
+    ///
+    /// On exhaustion, unprocessed candidates are returned to the frontier
+    /// (their roots re-marked dirty), so the session state — entirely
+    /// covered by [`HeraSession::checkpoint`] — is a clean boundary: a
+    /// restored session's next call continues exactly where this one
+    /// stopped, and journal rounds stay monotonic across the resume.
+    pub fn resolve_progressive(&mut self, budget: ResolveBudget) -> ProgressiveReport {
         let cfg = self.config.clone();
         let rec = self.recorder.clone();
         let verifier = InstanceVerifier::new(self.metric.as_ref(), cfg.xi, cfg.use_kuhn_munkres);
@@ -485,9 +603,22 @@ impl HeraSession {
         let resolve_start = std::time::Instant::now();
         self.stats.threads = threads;
         self.stats.index_size = self.stats.index_size.max(self.index.len());
-        let mut total = 0usize;
+        let mut report = ProgressiveReport::default();
         let mut iterations = 0usize;
+        // Root pairs already verified this call whose evidence is
+        // unchanged (neither side merged since): a deferral that
+        // re-dirties a shared root must not re-verify them — the verdict
+        // is a pure function of the two super records, so it would come
+        // out identical and only waste budget.
+        let mut decided: FxHashSet<(u32, u32)> = FxHashSet::default();
         while !self.dirty.is_empty() && iterations < cfg.max_iterations {
+            // A merge budget met between rounds stops before the next
+            // round spends any comparisons; the untouched dirty set *is*
+            // the frontier state.
+            if budget.merges.is_some_and(|m| report.merges as u64 >= m) {
+                report.exhausted = true;
+                break;
+            }
             iterations += 1;
             self.stats.iterations += 1;
             let round = self.stats.iterations;
@@ -500,31 +631,70 @@ impl HeraSession {
                 .filter(|(i, j)| dirty.contains(i) || dirty.contains(j))
                 .collect();
 
-            // Phase A: dedup root-pairs in group order, prune by bounds,
+            // Phase A: dedup root-pairs in group order, then drain them
+            // from the index in bound-priority order (pruning Up < δ),
             // and verify the survivors in parallel against the
             // iteration-start state (verification is read-only).
             let mut processed: FxHashSet<(u32, u32)> = FxHashSet::default();
-            let mut verify_list: Vec<(u32, u32)> = Vec::new();
+            let mut keys: Vec<(u32, u32)> = Vec::new();
             for (i, j) in groups {
                 let (ri, rj) = (self.uf.find(i), self.uf.find(j));
                 if ri == rj {
                     continue;
                 }
                 let key = (ri.min(rj), ri.max(rj));
-                if !processed.insert(key) {
+                if decided.contains(&key) || !processed.insert(key) {
                     continue;
                 }
-                let (si, sj) = (
-                    self.supers[&key.0].informative_size(),
-                    self.supers[&key.1].informative_size(),
-                );
-                let bounds = self.index.bounds(key.0, key.1, si, sj, cfg.bound_mode);
-                if bounds.up < cfg.delta {
-                    self.stats.pruned += 1;
-                    continue;
-                }
-                verify_list.push(key);
+                keys.push(key);
             }
+            let (ranked, pruned) = {
+                let supers = &self.supers;
+                self.index.drain_ranked(
+                    &keys,
+                    |r| supers[&r].informative_size(),
+                    |r| supers[&r].members.len() as u64,
+                    cfg.bound_mode,
+                    cfg.delta,
+                )
+            };
+            self.stats.pruned += pruned;
+
+            // Round schedule: the maximal-matching prefix of the ranked
+            // list, cut at the ROUND_FOCUS priority floor and capped at
+            // ROUND_CHUNK. Skipping a candidate whose root is already
+            // claimed this round costs nothing — it defers back to the
+            // frontier unverified — whereas verifying it would burn a
+            // comparison on a verdict guaranteed to go stale under the
+            // earlier, higher-priority merge (a big fragment's pairs all
+            // share its root, so an unfiltered chunk buys one merge per
+            // chunk). The schedule is a pure function of the ranked
+            // list; the budget only truncates it, and only the budget's
+            // cut marks exhaustion.
+            let floor = ranked.first().map_or(0.0, |c| ROUND_FOCUS * c.priority());
+            let mut claimed: FxHashSet<u32> = FxHashSet::default();
+            let mut selected: Vec<(u32, u32)> = Vec::new();
+            let mut unselected: Vec<(u32, u32)> = Vec::new();
+            for c in &ranked {
+                if selected.len() >= ROUND_CHUNK
+                    || c.priority() < floor
+                    || claimed.contains(&c.pair.0)
+                    || claimed.contains(&c.pair.1)
+                {
+                    unselected.push(c.pair);
+                    continue;
+                }
+                claimed.insert(c.pair.0);
+                claimed.insert(c.pair.1);
+                selected.push(c.pair);
+            }
+            let cap = match budget.comparisons {
+                Some(c) => {
+                    (c.saturating_sub(report.comparisons_spent) as usize).min(selected.len())
+                }
+                None => selected.len(),
+            };
+            let verify_list: Vec<(u32, u32)> = selected[..cap].to_vec();
             let tv = std::time::Instant::now();
             let verifications = {
                 let (index, supers, registry, cache) =
@@ -561,20 +731,29 @@ impl HeraSession {
                 self.stats.record_cache_delta(delta);
                 verify_agg.add(v, delta);
             }
+            report.comparisons_spent += verifications.len() as u64;
             verify_agg.emit(&rec, "resolve_verify", round);
             rec.timing("resolve_verify", Some(round), tv_elapsed);
 
-            // Phase B: apply sequentially in candidate order; stale
-            // verdicts (a side was merged earlier in this phase) are
-            // recomputed against the current state.
+            // Phase B: apply sequentially in candidate (priority) order.
+            // The matching filter guarantees no two candidates share a
+            // root, so verdicts cannot go stale within the phase; the
+            // stale branch below stays as a defensive safeguard (a stale
+            // pair defers to the next round rather than merging on
+            // outdated evidence).
             let mut touched: FxHashSet<u32> = FxHashSet::default();
-            let mut reverify_agg = crate::driver::StageAgg::default();
+            let mut deferred_stale = 0i64;
+            let mut deferred_from = verify_list.len();
             for (idx, &key) in verify_list.iter().enumerate() {
-                // Memoize this snapshot verdict's metric calls up front,
-                // even if the verdict goes stale below — the fills are
-                // exact metric outputs, so the sequential re-verification
-                // reuses them. Fills naming a since-folded record are
-                // filtered out (only root labels stay valid across merges).
+                if budget.merges.is_some_and(|m| report.merges as u64 >= m) {
+                    deferred_from = idx;
+                    break;
+                }
+                // Memoize this snapshot verdict's metric calls even if
+                // the verdict goes stale below — the fills are exact
+                // metric outputs, so the deferred re-verification next
+                // round reuses them. Fills naming a since-folded record
+                // are filtered out (only root labels stay valid).
                 if let Some(c) = self.cache.as_mut() {
                     let uf = &self.uf;
                     c.apply_if(&verifications[idx].1, |l| uf.find_const(l.rid) == l.rid);
@@ -587,34 +766,14 @@ impl HeraSession {
                 if cur != key && !processed.insert(cur) {
                     continue;
                 }
-                let stale = cur != key || touched.contains(&cur.0) || touched.contains(&cur.1);
-                let reverified;
-                let v = if stale {
-                    let voter_opt = cfg.schema_voting.then_some(&self.voter);
-                    let tr = std::time::Instant::now();
-                    reverified = verifier.verify_with(
-                        &self.index,
-                        &self.supers[&cur.0],
-                        &self.supers[&cur.1],
-                        &self.registry,
-                        voter_opt,
-                        self.cache.as_ref(),
-                        &mut self.scratch,
-                    );
-                    self.stats.verify_time += tr.elapsed();
-                    self.stats.comparisons += 1;
-                    self.stats.simplified_nodes_sum += reverified.simplified_nodes;
-                    self.stats.graph_nodes_sum += reverified.graph_nodes;
-                    self.stats.matchings_run += 1;
-                    self.stats.record_cache_delta(&self.scratch.delta);
-                    reverify_agg.add(&reverified, &self.scratch.delta);
-                    if let Some(c) = self.cache.as_mut() {
-                        c.apply(&self.scratch.delta);
-                    }
-                    &reverified
-                } else {
-                    &verifications[idx].0
-                };
+                if cur != key || touched.contains(&cur.0) || touched.contains(&cur.1) {
+                    self.dirty.insert(cur.0);
+                    self.dirty.insert(cur.1);
+                    deferred_stale += 1;
+                    continue;
+                }
+                decided.insert(cur);
+                let v = &verifications[idx].0;
                 if v.sim < cfg.delta {
                     continue;
                 }
@@ -663,7 +822,7 @@ impl HeraSession {
                 self.dirty.insert(k);
                 touched.insert(cur.0);
                 touched.insert(cur.1);
-                total += 1;
+                report.merges += 1;
                 self.stats.merges += 1;
             }
             self.stats
@@ -674,8 +833,7 @@ impl HeraSession {
                 Some(round),
                 &[
                     ("merges", (self.stats.merges - round_merges_before) as i64),
-                    ("reverified", reverify_agg.pairs),
-                    ("lookups", reverify_agg.lookups),
+                    ("deferred_stale", deferred_stale),
                 ],
             );
             rec.round_end(
@@ -683,6 +841,41 @@ impl HeraSession {
                 (self.stats.merges - round_merges_before) as i64,
                 self.index.len() as i64,
                 self.voter.open_buckets() as i64,
+            );
+
+            // Return every unprocessed candidate to the frontier by
+            // re-marking its current roots dirty — the next round (or the
+            // next call) regenerates and re-ranks them. Only a *budget*
+            // cut ends the call: the chunk cut just rolls into the next
+            // round. Either way the session state is a clean resume
+            // boundary.
+            let budget_truncated = cap < selected.len() || deferred_from < verify_list.len();
+            let deferred_pairs = selected[deferred_from..].iter().chain(&unselected).copied();
+            for (a, b) in deferred_pairs {
+                self.dirty.insert(self.uf.find(a));
+                self.dirty.insert(self.uf.find(b));
+            }
+            if budget_truncated {
+                report.exhausted = true;
+                break;
+            }
+        }
+        if report.exhausted {
+            report.frontier = self.frontier_len();
+        }
+        if budget.is_bounded() {
+            // One deterministic summary event per bounded call; its
+            // counters are pure functions of session state + budget, so
+            // the line is byte-identical at every thread count.
+            rec.span(
+                "progressive",
+                Some(self.stats.iterations),
+                &[
+                    ("budget_spent", report.comparisons_spent as i64),
+                    ("merges_emitted", report.merges as i64),
+                    ("frontier_size", report.frontier as i64),
+                    ("exhausted", i64::from(report.exhausted)),
+                ],
             );
         }
         self.stats.final_index_size = self.index.len();
@@ -692,7 +885,40 @@ impl HeraSession {
         }
         self.stats.resolve_time += resolve_start.elapsed();
         rec.flush();
-        total
+        report
+    }
+
+    /// Candidate root pairs currently pending on the frontier: pairs in
+    /// dirty-touching index groups whose upper bound clears `δ` — what
+    /// the next [`HeraSession::resolve_progressive`] call will drain
+    /// first. Read-only and deterministic.
+    pub fn frontier_len(&self) -> usize {
+        let mut processed: FxHashSet<(u32, u32)> = FxHashSet::default();
+        let mut keys: Vec<(u32, u32)> = Vec::new();
+        for (i, j) in self.index.record_pairs() {
+            if !(self.dirty.contains(&i) || self.dirty.contains(&j)) {
+                continue;
+            }
+            let (ri, rj) = (self.uf.find_const(i), self.uf.find_const(j));
+            if ri == rj {
+                continue;
+            }
+            let key = (ri.min(rj), ri.max(rj));
+            if processed.insert(key) {
+                keys.push(key);
+            }
+        }
+        let supers = &self.supers;
+        self.index
+            .drain_ranked(
+                &keys,
+                |r| supers[&r].informative_size(),
+                |r| supers[&r].members.len() as u64,
+                self.config.bound_mode,
+                self.config.delta,
+            )
+            .0
+            .len()
     }
 
     /// Current entity label (super-record rid) of a record.

@@ -119,6 +119,16 @@ pub struct ScaleConfig {
     /// `n − round(duplicate_ratio · n)` (min 1), so the realized ratio is
     /// within `1/n` of the request.
     pub duplicate_ratio: f64,
+    /// Cluster-size skew of the duplicate stream, ≥ 1. At 1 a duplicate
+    /// re-describes a uniformly random earlier entity, so cluster sizes
+    /// concentrate near the mean. Above 1, duplicates prefer low-index
+    /// entities via inverse-power sampling (`entity = ⌊n_e · u^skew⌋`),
+    /// giving the heavy-tailed cluster sizes of real ER workloads — a
+    /// few hub entities described by many sources plus a long tail of
+    /// near-singletons. Most ground-truth record pairs then sit inside
+    /// the hub clusters, which is the regime where anytime resolution
+    /// pays off (see `exp_progressive`).
+    pub duplicate_skew: f64,
     /// Number of canonical attributes (4 ..= [`scale_catalog`] length).
     pub n_attrs: usize,
     /// Number of heterogeneous sources (schemas), ≥ 2.
@@ -140,6 +150,12 @@ impl ScaleConfig {
             return Err(format!(
                 "duplicate_ratio must be in [0, 1), got {}",
                 self.duplicate_ratio
+            ));
+        }
+        if self.duplicate_skew < 1.0 || self.duplicate_skew.is_nan() {
+            return Err(format!(
+                "duplicate_skew must be >= 1, got {}",
+                self.duplicate_skew
             ));
         }
         if !(4..=scale_catalog().len()).contains(&self.n_attrs) {
@@ -173,6 +189,7 @@ pub fn scale_preset(n_records: usize, seed: u64) -> ScaleConfig {
         seed,
         n_records,
         duplicate_ratio: 0.3,
+        duplicate_skew: 1.0,
         n_attrs: 12,
         n_sources: 6,
         corruption: CorruptionConfig::moderate(),
@@ -345,16 +362,30 @@ impl ScaleGenerator {
         self.ds_attrs.iter().map(|a| a.generate(&mut rng)).collect()
     }
 
+    /// Picks the entity a duplicate record re-describes, honoring
+    /// [`ScaleConfig::duplicate_skew`]. The uniform case keeps drawing
+    /// through `gen_range` so existing seeds' streams stay
+    /// byte-identical.
+    fn dup_entity(&self, rng: &mut ChaCha8Rng) -> usize {
+        if self.cfg.duplicate_skew == 1.0 {
+            rng.gen_range(0..self.n_entities)
+        } else {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            ((self.n_entities as f64 * u.powf(self.cfg.duplicate_skew)) as usize)
+                .min(self.n_entities - 1)
+        }
+    }
+
     /// Derives record `i` (0-based). Records `0..n_entities` introduce
     /// their entity (so every entity appears at least once); later
-    /// records re-describe a uniformly random earlier entity.
+    /// records re-describe an earlier entity drawn by `dup_entity`.
     pub fn record(&self, i: usize) -> RecordSpec {
         let cfg = &self.cfg;
         let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(cfg.seed, TAG_RECORD, i as u64));
         let entity = if i < self.n_entities {
             i
         } else {
-            rng.gen_range(0..self.n_entities)
+            self.dup_entity(&mut rng)
         };
         let source_id = rng.gen_range(0..self.sources.len());
         let profile = self.profile(entity);
@@ -435,7 +466,7 @@ impl ScaleGenerator {
             let entity = if i < self.n_entities {
                 i
             } else {
-                rng.gen_range(0..self.n_entities)
+                self.dup_entity(&mut rng)
             };
             let source_id = rng.gen_range(0..self.sources.len());
             let values = self.render(source_id, &profiles[entity], &mut rng);
@@ -458,6 +489,7 @@ mod tests {
             seed,
             n_records: n,
             duplicate_ratio: dup,
+            duplicate_skew: 1.0,
             n_attrs: 10,
             n_sources: 4,
             corruption: CorruptionConfig::moderate(),
@@ -480,6 +512,37 @@ mod tests {
         let clusters = g.generate().truth.clusters();
         assert_eq!(clusters.len(), g.n_entities());
         assert!(clusters.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn duplicate_skew_concentrates_clusters() {
+        let uniform = ScaleGenerator::new(small(12, 2_000, 0.4));
+        let mut skewed_cfg = small(12, 2_000, 0.4);
+        skewed_cfg.duplicate_skew = 4.0;
+        let skewed = ScaleGenerator::new(skewed_cfg);
+        let max_cluster = |g: &ScaleGenerator| {
+            g.generate()
+                .truth
+                .clusters()
+                .iter()
+                .map(|c| c.len())
+                .max()
+                .unwrap()
+        };
+        let (u, s) = (max_cluster(&uniform), max_cluster(&skewed));
+        // Same entity count either way; skew only reshapes cluster sizes.
+        assert_eq!(uniform.n_entities(), skewed.n_entities());
+        assert!(
+            s >= 4 * u,
+            "skew 4 should grow the largest cluster well past uniform's ({u} -> {s})"
+        );
+    }
+
+    #[test]
+    fn duplicate_skew_below_one_is_rejected() {
+        let mut cfg = small(13, 100, 0.3);
+        cfg.duplicate_skew = 0.5;
+        assert!(cfg.validate().unwrap_err().contains("duplicate_skew"));
     }
 
     #[test]

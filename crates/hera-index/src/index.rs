@@ -174,6 +174,97 @@ impl ValuePairIndex {
         compute_bounds(&refined, key_sizes.0, key_sizes.1, mode)
     }
 
+    /// Bound-ordered candidate drain: computes Up/Low for each candidate
+    /// root pair, prunes pairs whose upper bound cannot reach `delta`,
+    /// and returns the survivors in deterministic priority order —
+    /// highest expected value first (see [`RankedCandidate::priority`]).
+    /// `size_of` supplies a root's informative size (the bound
+    /// denominator); `members_of` its member-record count, which is
+    /// summed per frontier component into the candidate gain. This is
+    /// the scheduling signal progressive resolution spends its
+    /// comparison budget along. Returns `(ranked survivors, pruned
+    /// count)`.
+    pub fn drain_ranked(
+        &self,
+        pairs: &[(u32, u32)],
+        mut size_of: impl FnMut(u32) -> usize,
+        mut members_of: impl FnMut(u32) -> u64,
+        mode: BoundMode,
+        delta: f64,
+    ) -> (Vec<RankedCandidate>, usize) {
+        // Pass 1: bounds; drop candidates whose upper bound cannot reach
+        // δ. A pair is *confident* when its expected similarity (the
+        // [Low, Up] midpoint) clears δ — only confident pairs carry and
+        // contribute cluster gain below.
+        let mut survivors: Vec<((u32, u32), Bounds, bool)> = Vec::with_capacity(pairs.len());
+        let mut pruned = 0usize;
+        for &(a, b) in pairs {
+            let bounds = self.bounds(a, b, size_of(a), size_of(b), mode);
+            if bounds.up < delta {
+                pruned += 1;
+                continue;
+            }
+            let confident = 0.5 * (bounds.up + bounds.low) >= delta;
+            survivors.push(((a, b), bounds, confident));
+        }
+
+        // Pass 2: connected components of the confident frontier graph.
+        // A component approximates one not-yet-coalesced cluster, and its
+        // total record count is the payoff completing that cluster buys.
+        // Union–find over the roots; the partition (and hence the gain)
+        // is independent of edge order.
+        let mut slot: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut parent: Vec<u32> = Vec::new();
+        let mut weight: Vec<u64> = Vec::new();
+        let mut slot_of = |r: u32, parent: &mut Vec<u32>, weight: &mut Vec<u64>| -> u32 {
+            *slot.entry(r).or_insert_with(|| {
+                let s = parent.len() as u32;
+                parent.push(s);
+                weight.push(members_of(r));
+                s
+            })
+        };
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for &((a, b), _, confident) in &survivors {
+            if !confident {
+                continue;
+            }
+            let (sa, sb) = (
+                slot_of(a, &mut parent, &mut weight),
+                slot_of(b, &mut parent, &mut weight),
+            );
+            let (ra, rb) = (find(&mut parent, sa), find(&mut parent, sb));
+            if ra != rb {
+                parent[ra as usize] = rb;
+                weight[rb as usize] += weight[ra as usize];
+            }
+        }
+
+        // Pass 3: gain = the candidate's component record total (1 for
+        // non-confident pairs), then the deterministic priority sort.
+        let mut ranked: Vec<RankedCandidate> = survivors
+            .into_iter()
+            .map(|((a, b), bounds, confident)| RankedCandidate {
+                pair: (a, b),
+                bounds,
+                gain: if confident {
+                    let s = slot[&a];
+                    weight[find(&mut parent, s) as usize]
+                } else {
+                    1
+                },
+            })
+            .collect();
+        rank_candidates(&mut ranked);
+        (ranked, pruned)
+    }
+
     /// Merge maintenance (§III-B2): records `i` and `j` were merged into
     /// `k` (one of `i`/`j` per union–find). `remap` rewrites an old value
     /// label of `i` or `j` into its new label under `k` (reflecting field
@@ -394,6 +485,61 @@ impl ValuePairIndex {
         }
         Ok(())
     }
+}
+
+/// A candidate root pair with its similarity bounds and merge gain,
+/// ready for priority-ordered verification (the progressive scheduler's
+/// unit of work).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedCandidate {
+    /// The normalized root pair `(min, max)`.
+    pub pair: (u32, u32),
+    /// Up/Low similarity bounds of the pair at drain time.
+    pub bounds: Bounds,
+    /// The total record count of this candidate's connected component in
+    /// the confident frontier graph — the size of the cluster this merge
+    /// is expected to help complete. Pair capture is quadratic in cluster
+    /// size while merge cost is linear, so completing components in
+    /// descending gain order is the pair-optimal anytime schedule. The
+    /// component total is *forward-looking*: two hub singletons carry
+    /// their whole hub's weight from round one, where an immediate payoff
+    /// like `|A|·|B|` would be blind (every singleton pair scores 1 and
+    /// the scheduler coalesces all clusters breadth-first in lockstep).
+    /// Set to 1 at drain time when the pair's expected similarity falls
+    /// short of δ — an unlikely pair must not borrow priority from a
+    /// cluster it probably does not belong to.
+    pub gain: u64,
+}
+
+impl RankedCandidate {
+    /// The expected-value priority signal: merge probability times merge
+    /// payoff. Probability is proxied by the midpoint of `[Low, Up]` —
+    /// `Up` alone over-ranks wide, uncertain intervals; the midpoint is
+    /// the expected similarity under an uninformative prior over the
+    /// interval. Payoff is [`RankedCandidate::gain`], the record total of
+    /// the candidate's frontier component. Ranking by probability alone
+    /// coalesces every cluster breadth-first — a maximal matching per
+    /// round across the whole frontier — so all clusters complete
+    /// together at the *end* of the budget; weighting by component size
+    /// makes every pair of the biggest pending cluster outrank every pair
+    /// of smaller ones, so the scheduler completes clusters in descending
+    /// size order and anytime quality front-loads.
+    pub fn priority(&self) -> f64 {
+        0.5 * (self.bounds.up + self.bounds.low) * self.gain as f64
+    }
+}
+
+/// Sorts candidates into the deterministic scheduling order: priority
+/// descending, then `Up` descending, then pair key ascending. All f64
+/// comparisons use `total_cmp`, so the order is a total order — equal
+/// inputs sort identically on every host, thread count, and run.
+pub fn rank_candidates(v: &mut [RankedCandidate]) {
+    v.sort_unstable_by(|x, y| {
+        y.priority()
+            .total_cmp(&x.priority())
+            .then(y.bounds.up.total_cmp(&x.bounds.up))
+            .then(x.pair.cmp(&y.pair))
+    });
 }
 
 /// Summary shape of a [`ValuePairIndex`].
@@ -647,5 +793,138 @@ mod tests {
         let mut p4: Vec<u32> = idx.partners(4).collect();
         p4.sort_unstable();
         assert_eq!(p4, vec![1, 2, 5, 6]);
+    }
+
+    #[test]
+    fn drain_ranked_orders_by_priority_and_prunes() {
+        let idx = fig4_index();
+        let pairs: Vec<(u32, u32)> = idx.record_pairs().collect();
+        // δ = 0.9 prunes the weak groups (e.g. (2,3): up = 0.5/5 per
+        // side pair — well under δ) and keeps the strong ones.
+        let (ranked, pruned) = idx.drain_ranked(&pairs, |_| 5, |_| 1, BoundMode::Sound, 0.5);
+        assert_eq!(ranked.len() + pruned, pairs.len());
+        assert!(!ranked.is_empty());
+        // Descending priority with the documented tie-breaks.
+        for w in ranked.windows(2) {
+            let (x, y) = (&w[0], &w[1]);
+            assert!(
+                x.priority() > y.priority()
+                    || (x.priority() == y.priority() && x.bounds.up > y.bounds.up)
+                    || (x.priority() == y.priority()
+                        && x.bounds.up == y.bounds.up
+                        && x.pair < y.pair),
+                "out of order: {x:?} before {y:?}"
+            );
+        }
+        // Every survivor clears the pruning bar.
+        for c in &ranked {
+            assert!(c.bounds.up >= 0.5);
+        }
+    }
+
+    #[test]
+    fn drain_ranked_is_input_order_independent() {
+        let idx = fig4_index();
+        let mut pairs: Vec<(u32, u32)> = idx.record_pairs().collect();
+        let (fwd, _) = idx.drain_ranked(&pairs, |_| 5, |_| 1, BoundMode::Sound, 0.3);
+        pairs.reverse();
+        let (rev, _) = idx.drain_ranked(&pairs, |_| 5, |_| 1, BoundMode::Sound, 0.3);
+        assert_eq!(fwd, rev, "ranking must not depend on drain input order");
+    }
+
+    #[test]
+    fn rank_candidates_ties_break_on_pair_key() {
+        let b = Bounds { up: 0.8, low: 0.2 };
+        let mut v = vec![
+            RankedCandidate {
+                pair: (3, 9),
+                bounds: b,
+                gain: 1,
+            },
+            RankedCandidate {
+                pair: (1, 2),
+                bounds: b,
+                gain: 1,
+            },
+            RankedCandidate {
+                pair: (5, 6),
+                bounds: Bounds { up: 0.9, low: 0.1 }, // same midpoint, higher up
+                gain: 1,
+            },
+        ];
+        rank_candidates(&mut v);
+        assert_eq!(v[0].pair, (5, 6));
+        assert_eq!(v[1].pair, (1, 2));
+        assert_eq!(v[2].pair, (3, 9));
+    }
+
+    #[test]
+    fn drain_ranked_gain_is_component_record_total() {
+        let idx = fig4_index();
+        let pairs: Vec<(u32, u32)> = idx.record_pairs().collect();
+        let (ranked, _) = idx.drain_ranked(&pairs, |_| 5, |_| 2, BoundMode::Sound, 0.3);
+        assert!(!ranked.is_empty());
+        // Recompute components naively from the confident survivors and
+        // check every candidate's gain is its component's record total
+        // (every root contributes members_of = 2 here), with
+        // non-confident pairs pinned to gain 1.
+        let confident: Vec<(u32, u32)> = ranked
+            .iter()
+            .filter(|c| 0.5 * (c.bounds.up + c.bounds.low) >= 0.3)
+            .map(|c| c.pair)
+            .collect();
+        let mut comps: Vec<std::collections::BTreeSet<u32>> = Vec::new();
+        for &(a, b) in &confident {
+            let ia = comps.iter().position(|s| s.contains(&a));
+            let ib = comps.iter().position(|s| s.contains(&b));
+            match (ia, ib) {
+                (Some(x), Some(y)) if x != y => {
+                    let merged = comps.swap_remove(y.max(x));
+                    comps[y.min(x)].extend(merged);
+                }
+                (Some(_), Some(_)) => {}
+                (Some(x), None) => {
+                    comps[x].insert(b);
+                }
+                (None, Some(y)) => {
+                    comps[y].insert(a);
+                }
+                (None, None) => {
+                    comps.push([a, b].into_iter().collect());
+                }
+            }
+        }
+        for c in &ranked {
+            if 0.5 * (c.bounds.up + c.bounds.low) >= 0.3 {
+                let comp = comps
+                    .iter()
+                    .find(|s| s.contains(&c.pair.0))
+                    .expect("confident pair must be in a component");
+                assert_eq!(c.gain, 2 * comp.len() as u64, "pair {:?}", c.pair);
+            } else {
+                assert_eq!(c.gain, 1, "non-confident pair {:?}", c.pair);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_candidates_weighs_gain_over_similarity() {
+        // A fragment pair resolving 6 record pairs outranks a cleaner
+        // singleton pair: expected value = probability × payoff.
+        let mut v = vec![
+            RankedCandidate {
+                pair: (1, 2),
+                bounds: Bounds { up: 1.0, low: 0.9 },
+                gain: 1,
+            },
+            RankedCandidate {
+                pair: (3, 4),
+                bounds: Bounds { up: 0.8, low: 0.6 },
+                gain: 6,
+            },
+        ];
+        rank_candidates(&mut v);
+        assert_eq!(v[0].pair, (3, 4));
+        assert!(v[0].priority() > v[1].priority());
     }
 }

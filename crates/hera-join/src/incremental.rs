@@ -12,14 +12,19 @@
 //!   stream grows, so it is deliberately not used here);
 //! * numeric values are probed through a sorted sweep, sound for metrics
 //!   non-increasing in `|a − b|`;
-//! * every candidate is verified with the black-box metric.
+//! * every candidate is verified with the black-box metric — except when
+//!   the metric declares [`ValueSimilarity::qgram_compatible`], in which
+//!   case non-numeric pairs are scored from gram signatures stored at
+//!   registration time, behind the same sound [`GramSketch`] upper-bound
+//!   prefilter the batch join uses (bit-identical scores, no
+//!   re-tokenization in the verify loop).
 //!
 //! Labels mutate when records merge (the index relabels its entries);
 //! [`IncrementalJoin::relabel`] applies the same remap here so future
 //! insertions emit pairs against *current* labels.
 
 use crate::ValuePair;
-use hera_sim::text::folded_qgram_set;
+use hera_sim::text::{folded_qgram_set, jaccard_of_sets, GramSketch};
 use hera_sim::ValueSimilarity;
 use hera_types::json::Json;
 use hera_types::{HeraError, Label, Result, Value};
@@ -28,6 +33,10 @@ use rustc_hash::FxHashMap;
 struct Entry {
     label: Label,
     value: Value,
+    /// Folded gram signature, kept so verification never re-tokenizes.
+    sig: Vec<u64>,
+    sketch: GramSketch,
+    is_num: bool,
 }
 
 /// Insert-only similarity join state. Owns its metric (`Arc`) so it can
@@ -36,6 +45,9 @@ pub struct IncrementalJoin {
     xi: f64,
     q: usize,
     metric: std::sync::Arc<dyn ValueSimilarity>,
+    /// True iff the metric's string leg is exactly q-gram Jaccard at our
+    /// gram length — enables signature scoring + the sketch prefilter.
+    fast_grams: bool,
     entries: Vec<Entry>,
     /// gram token → entry indices containing it.
     postings: FxHashMap<u64, Vec<usize>>,
@@ -54,10 +66,12 @@ impl IncrementalJoin {
     pub fn new(xi: f64, q: usize, metric: std::sync::Arc<dyn ValueSimilarity>) -> Self {
         assert!(xi > 0.0 && xi <= 1.0, "xi must be in (0, 1]");
         assert!(q >= 1, "q must be at least 1");
+        let fast_grams = metric.qgram_compatible() == Some(q);
         Self {
             xi,
             q,
             metric,
+            fast_grams,
             entries: Vec::new(),
             postings: FxHashMap::default(),
             numeric: Vec::new(),
@@ -113,13 +127,26 @@ impl IncrementalJoin {
         cand.sort_unstable();
         cand.dedup();
 
+        let value_num = value.as_number().is_some();
+        let sketch = GramSketch::of(&sig);
         let mut out = Vec::new();
         for i in cand {
             let other = &self.entries[i];
             if other.label.rid == label.rid {
                 continue;
             }
-            let s = self.metric.sim(&value, &other.value);
+            // Mirror of the batch join's verify dispatch: gram-compatible
+            // non-numeric pairs score from stored signatures (identical
+            // values by the `qgram_compatible` contract), behind the sound
+            // sketch upper bound; everything else asks the metric.
+            let s = if self.fast_grams && !(value_num && other.is_num) {
+                if sketch.jaccard_upper_bound(sig.len(), other.sketch, other.sig.len()) < self.xi {
+                    continue;
+                }
+                jaccard_of_sets(&sig, &other.sig)
+            } else {
+                self.metric.sim(&value, &other.value)
+            };
             if s >= self.xi {
                 let (a, b) = if label.rid < other.label.rid {
                     (label, other.label)
@@ -144,12 +171,19 @@ impl IncrementalJoin {
         for &t in sig {
             self.postings.entry(t).or_default().push(idx);
         }
-        if let Some(x) = value.as_number() {
+        let num = value.as_number();
+        if let Some(x) = num {
             let pos = self.numeric.partition_point(|&(v, _)| v < x);
             self.numeric.insert(pos, (x, idx));
         }
         self.by_rid.entry(label.rid).or_default().push(idx);
-        self.entries.push(Entry { label, value });
+        self.entries.push(Entry {
+            label,
+            value,
+            sig: sig.to_vec(),
+            sketch: GramSketch::of(sig),
+            is_num: num.is_some(),
+        });
     }
 
     /// Encodes the join state as JSON: the threshold, gram length, and
@@ -268,6 +302,48 @@ mod tests {
                     .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
             });
             assert_eq!(streamed, batch, "xi = {xi}");
+        }
+    }
+
+    /// Same metric values, but hidden behind a wrapper that does not
+    /// declare `qgram_compatible` — forcing every candidate through
+    /// `metric.sim`. The signature/sketch fast path must emit exactly the
+    /// same pair stream on every insert.
+    #[test]
+    fn signature_fast_path_matches_metric_path() {
+        #[derive(Clone)]
+        struct Opaque(TypeDispatch);
+        impl ValueSimilarity for Opaque {
+            fn sim(&self, a: &Value, b: &Value) -> f64 {
+                self.0.sim(a, b)
+            }
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+        }
+
+        let metric = TypeDispatch::paper_default();
+        assert_eq!(metric.qgram_compatible(), Some(2), "fast path engages");
+        let values: Vec<(Label, Value)> = vec![
+            (label(0, 0), Value::from("electronic")),
+            (label(0, 1), Value::from("1984")),
+            (label(1, 0), Value::from("electronics")),
+            (label(1, 1), Value::from(1984i64)),
+            (label(2, 0), Value::from("electro")),
+            (label(3, 0), Value::from("unrelated stuff")),
+            (label(4, 0), Value::from(1985i64)),
+            (label(5, 0), Value::from("electronic")),
+        ];
+        for xi in [0.3, 0.7] {
+            let mut fast = IncrementalJoin::new(xi, 2, Arc::new(metric.clone()));
+            let mut slow = IncrementalJoin::new(xi, 2, Arc::new(Opaque(metric.clone())));
+            assert!(fast.fast_grams);
+            assert!(!slow.fast_grams);
+            for (l, v) in &values {
+                let a = fast.insert(*l, v.clone());
+                let b = slow.insert(*l, v.clone());
+                assert_eq!(a, b, "xi = {xi}, inserting {l}");
+            }
         }
     }
 

@@ -457,6 +457,34 @@ pub fn deterministic_view(journal: &str) -> String {
     out
 }
 
+/// Checks that the `"round"` field of every round-bearing journal line
+/// never decreases — the invariant a checkpoint-resumed progressive run
+/// must uphold (the session's round counter is part of the snapshot, so
+/// a restored run continues the numbering instead of restarting at 1).
+/// Returns the number of round-bearing lines checked; the error names
+/// the first offending line. Unparseable lines are skipped (validation
+/// is [`validate`]'s job). Note that a crash-*replay* journal — where
+/// the writer re-executes pre-crash rounds — legitimately rewinds;
+/// apply this to journals of a single resumed lineage.
+pub fn check_rounds_monotonic(journal: &str) -> Result<usize, String> {
+    let mut last: Option<i64> = None;
+    let mut checked = 0usize;
+    for (i, line) in journal.lines().enumerate() {
+        let Ok(doc) = json::parse(line) else { continue };
+        let Some(round) = doc.get("round").and_then(|r| r.as_i64().ok()) else {
+            continue;
+        };
+        if let Some(prev) = last {
+            if round < prev {
+                return Err(format!("line {}: round {round} after round {prev}", i + 1));
+            }
+        }
+        last = Some(round);
+        checked += 1;
+    }
+    Ok(checked)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,6 +557,37 @@ mod tests {
         assert!(core.contains("\"ev\":\"merge\""));
         // A second pass is a fixpoint.
         assert_eq!(deterministic_view(&core), core);
+    }
+
+    #[test]
+    fn rounds_monotonic_accepts_resumed_numbering() {
+        let (rec, buf) = Recorder::to_memory();
+        rec.run_start("session", "d", 4, 0.5, 0.5);
+        rec.span("resolve_verify", Some(1), &[("pairs", 2)]);
+        rec.round_end(1, 1, 10, 0);
+        rec.span("progressive", Some(1), &[("exhausted", 1)]);
+        // Resumed lineage: the restored session continues at round 2.
+        rec.span("resolve_verify", Some(2), &[("pairs", 1)]);
+        rec.round_end(2, 0, 10, 0);
+        let checked = check_rounds_monotonic(&buf.contents()).unwrap();
+        assert_eq!(checked, 5);
+    }
+
+    #[test]
+    fn rounds_monotonic_rejects_rewound_numbering() {
+        let (rec, buf) = Recorder::to_memory();
+        rec.round_end(3, 0, 10, 0);
+        rec.round_end(1, 0, 10, 0); // restart-from-1 bug
+        let err = check_rounds_monotonic(&buf.contents()).unwrap_err();
+        assert!(err.contains("round 1 after round 3"), "{err}");
+    }
+
+    #[test]
+    fn rounds_monotonic_skips_roundless_lines() {
+        let (rec, buf) = Recorder::to_memory();
+        rec.run_start("batch", "d", 2, 0.5, 0.5);
+        rec.run_end(&[("merges", 0)]);
+        assert_eq!(check_rounds_monotonic(&buf.contents()).unwrap(), 0);
     }
 
     #[test]

@@ -350,12 +350,24 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so slicing
-                    // on char boundaries is safe via the char iterator).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.error("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                Some(b) => {
+                    // Consume one UTF-8 scalar. The input arrived as a
+                    // `&str`, so decoding only the next scalar's bytes is
+                    // enough — validating the whole remaining tail here
+                    // (as `from_utf8(&bytes[pos..])` would) turns parsing
+                    // quadratic in document size.
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    let c = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| self.error("invalid UTF-8"))?
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("invalid UTF-8"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

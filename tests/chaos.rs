@@ -66,7 +66,31 @@ fn expand(master_seed: u64) -> Case {
         cfg.crash_after = Some((next(&mut s) % n_records as u64) as usize);
     }
     cfg.strict_checkpoints = next(&mut s).is_multiple_of(4);
+    // A third of the cases resolve progressively: a small per-record
+    // comparison budget leaves deferred frontier work in (almost) every
+    // snapshot, so recovery is exercised mid-schedule, not only at
+    // fixpoints.
+    if next(&mut s).is_multiple_of(3) {
+        cfg.resolve_budget = Some(1 + next(&mut s) % 8);
+    }
     Case { ds, plan, cfg }
+}
+
+/// `expand` with the progressive budget forced on — the PR-8 chaos
+/// satellite's dedicated generator (crash/restore of budgeted runs).
+fn expand_budgeted(master_seed: u64) -> Case {
+    let mut case = expand(master_seed);
+    if case.cfg.resolve_budget.is_none() {
+        let mut s = master_seed ^ 0xb0d9_e7ed;
+        case.cfg.resolve_budget = Some(1 + next(&mut s) % 8);
+    }
+    // Budgeted runs must still crash somewhere to test mid-budget
+    // interruption; force a crash when expand() drew none.
+    if case.cfg.crash_after.is_none() {
+        let mut s = master_seed ^ 0xc4a5_11fe;
+        case.cfg.crash_after = Some((next(&mut s) % case.ds.len() as u64) as usize);
+    }
+    case
 }
 
 /// Persists the failing case's dataset + plan and returns the
@@ -90,6 +114,9 @@ fn persist_failure(master_seed: u64, case: &Case) -> String {
     if case.cfg.strict_checkpoints {
         cmd.push_str(" --strict-checkpoints");
     }
+    if let Some(b) = case.cfg.resolve_budget {
+        cmd.push_str(&format!(" --resolve-budget {b}"));
+    }
     cmd
 }
 
@@ -103,8 +130,11 @@ fn case_dir(master_seed: u64) -> PathBuf {
 /// Runs one chaos case end to end; `Err` carries the verdict detail plus
 /// the persisted repro command.
 fn run_case(master_seed: u64) -> Result<(), String> {
-    let case = expand(master_seed);
-    let dir = case_dir(master_seed);
+    run_expanded_case(expand(master_seed), master_seed)
+}
+
+fn run_expanded_case(case: Case, master_seed: u64) -> Result<(), String> {
+    let dir = case_dir(master_seed ^ case.cfg.resolve_budget.unwrap_or(0).wrapping_mul(0x9e37));
     std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
     let verdict = check_no_torn_state(&case.ds, &case.cfg, &case.plan, &dir);
     let result = if verdict.ok {
@@ -128,6 +158,22 @@ proptest! {
     #[test]
     fn chaos_no_torn_state(master_seed in any::<u64>()) {
         let outcome = run_case(master_seed);
+        prop_assert!(outcome.is_ok(), "{}", outcome.err().unwrap_or_default());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// PR-8 satellite: every case resolves under a per-record comparison
+    /// budget AND crashes mid-stream — restoring must land the run
+    /// bit-identically on the uninterrupted *budgeted* reference (the
+    /// reference inside `check_no_torn_state` shares the budget), so
+    /// progressive frontier state round-trips through snapshots.
+    #[test]
+    fn chaos_budgeted_runs_resume_exactly(master_seed in any::<u64>()) {
+        let case = expand_budgeted(master_seed);
+        let outcome = run_expanded_case(case, master_seed);
         prop_assert!(outcome.is_ok(), "{}", outcome.err().unwrap_or_default());
     }
 }
@@ -162,6 +208,25 @@ fn crash_before_first_checkpoint_restarts_cleanly() {
     let mut cfg = ChaosConfig::new(HeraConfig::new(0.5, 0.5), 6);
     cfg.crash_after = Some(3);
     let dir = case_dir(u64::MAX);
+    std::fs::create_dir_all(&dir).unwrap();
+    let verdict = check_no_torn_state(&ds, &cfg, &FaultPlan::none(), &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(verdict.ok, "{}", verdict.detail);
+    assert_eq!(verdict.report.restores, 1);
+    assert!(verdict.report.completed());
+}
+
+/// A progressive run interrupted mid-budget restores and continues to
+/// the same final state as the uninterrupted budgeted run (pinned:
+/// exercises budget + crash + checkpoint together regardless of what
+/// proptest draws).
+#[test]
+fn progressive_crash_mid_budget_resumes_exactly() {
+    let ds = dataset(19, 20, 5, 1);
+    let mut cfg = ChaosConfig::new(HeraConfig::new(0.5, 0.5), 2);
+    cfg.resolve_budget = Some(2); // tight: every snapshot carries frontier work
+    cfg.crash_after = Some(9);
+    let dir = case_dir(u64::MAX - 1);
     std::fs::create_dir_all(&dir).unwrap();
     let verdict = check_no_torn_state(&ds, &cfg, &FaultPlan::none(), &dir);
     let _ = std::fs::remove_dir_all(&dir);
