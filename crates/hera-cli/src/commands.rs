@@ -263,9 +263,17 @@ fn budget_of(args: &Args) -> Result<Option<ResolveBudget>, String> {
 /// Prints what a budgeted [`HeraSession::resolve_progressive`] call did.
 fn report_progressive(report: &hera_core::ProgressiveReport) {
     if report.exhausted {
+        let deferred = if report.comparisons_deferred > 0 {
+            format!(
+                " ({} verified pair(s) deferred by the merge budget)",
+                report.comparisons_deferred
+            )
+        } else {
+            String::new()
+        };
         eprintln!(
-            "budget exhausted: {} comparison(s) spent, {} merge(s) applied, \
-             {} candidate pair(s) left on the frontier",
+            "budget exhausted: {} comparison(s) spent{deferred}, {} merge(s) applied, \
+             {} dirty root(s) left on the frontier",
             report.comparisons_spent, report.merges, report.frontier
         );
     } else {

@@ -110,12 +110,20 @@ pub struct ProgressiveReport {
     pub merges: usize,
     /// Comparisons (pair verifications) spent during this call.
     pub comparisons_spent: u64,
-    /// Candidate pairs still pending when the call returned (0 unless
-    /// `exhausted`); a following call drains them highest-priority
-    /// first.
+    /// Of `comparisons_spent`, verifications whose merge verdict could
+    /// not be applied because the merge budget ran out mid-round: the
+    /// pairs return to the frontier and a following call re-verifies
+    /// them. Non-zero only on `exhausted` runs that bound both axes.
+    pub comparisons_deferred: u64,
+    /// Union–find roots still marked dirty when the call returned — a
+    /// free proxy for remaining work, 0 exactly when the fixpoint was
+    /// reached. For the exact count of ranked candidate pairs the next
+    /// call will drain, ask [`HeraSession::frontier_len`] (an
+    /// O(index-scan) computation this report deliberately skips).
     pub frontier: usize,
-    /// True when the call stopped because a budget ran out rather than
-    /// because the fixpoint was reached. The session state is a clean
+    /// True when the call stopped short of the fixpoint — a budget ran
+    /// out, or the `HeraConfig::max_iterations` round cap ended the
+    /// call with frontier work remaining. The session state is a clean
     /// boundary: checkpoint it and a restored session continues exactly
     /// where this call stopped.
     pub exhausted: bool,
@@ -595,6 +603,12 @@ impl HeraSession {
     /// covered by [`HeraSession::checkpoint`] — is a clean boundary: a
     /// restored session's next call continues exactly where this one
     /// stopped, and journal rounds stay monotonic across the resume.
+    /// When the merge budget runs out mid-round, already-verified
+    /// below-δ verdicts are still consumed (the decision is
+    /// budget-independent), but verified would-merge pairs must defer:
+    /// their spent comparisons are reported in
+    /// [`ProgressiveReport::comparisons_deferred`] so a caller bounding
+    /// both axes can see the re-verification cost the next call pays.
     pub fn resolve_progressive(&mut self, budget: ResolveBudget) -> ProgressiveReport {
         let cfg = self.config.clone();
         let rec = self.recorder.clone();
@@ -606,11 +620,21 @@ impl HeraSession {
         let mut report = ProgressiveReport::default();
         let mut iterations = 0usize;
         // Root pairs already verified this call whose evidence is
-        // unchanged (neither side merged since): a deferral that
-        // re-dirties a shared root must not re-verify them — the verdict
-        // is a pure function of the two super records, so it would come
-        // out identical and only waste budget.
-        let mut decided: FxHashSet<(u32, u32)> = FxHashSet::default();
+        // unchanged (neither side merged since, no new schema matchings
+        // decided): a deferral that re-dirties a shared root must not
+        // re-verify them — the verdict is a pure function of the two
+        // super records (plus the voter's decided matchings), so it
+        // would come out identical and only waste budget. Each entry is
+        // stamped with both roots' merge epochs and the voter epoch at
+        // decision time; a merge bumps the winning root's epoch (and,
+        // when it decides fresh schema matchings, the voter epoch), so
+        // an entry whose evidence changed reads as stale and the pair
+        // is re-verified — an emergent merge (super[a] absorbing b
+        // makes a∪b match a previously-rejected c) is never skipped.
+        let mut decided: FxHashMap<(u32, u32), (u32, u32, u32)> = FxHashMap::default();
+        let mut merge_epoch: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut voter_epoch: u32 = 0;
+        let epoch_of = |epochs: &FxHashMap<u32, u32>, r: u32| epochs.get(&r).copied().unwrap_or(0);
         while !self.dirty.is_empty() && iterations < cfg.max_iterations {
             // A merge budget met between rounds stops before the next
             // round spends any comparisons; the untouched dirty set *is*
@@ -643,7 +667,12 @@ impl HeraSession {
                     continue;
                 }
                 let key = (ri.min(rj), ri.max(rj));
-                if decided.contains(&key) || !processed.insert(key) {
+                let verdict_fresh = decided.get(&key).is_some_and(|&(ea, eb, ev)| {
+                    ea == epoch_of(&merge_epoch, key.0)
+                        && eb == epoch_of(&merge_epoch, key.1)
+                        && ev == voter_epoch
+                });
+                if verdict_fresh || !processed.insert(key) {
                     continue;
                 }
                 keys.push(key);
@@ -743,12 +772,8 @@ impl HeraSession {
             // outdated evidence).
             let mut touched: FxHashSet<u32> = FxHashSet::default();
             let mut deferred_stale = 0i64;
-            let mut deferred_from = verify_list.len();
+            let deferred_before = report.comparisons_deferred;
             for (idx, &key) in verify_list.iter().enumerate() {
-                if budget.merges.is_some_and(|m| report.merges as u64 >= m) {
-                    deferred_from = idx;
-                    break;
-                }
                 // Memoize this snapshot verdict's metric calls even if
                 // the verdict goes stale below — the fills are exact
                 // metric outputs, so the deferred re-verification next
@@ -772,9 +797,31 @@ impl HeraSession {
                     deferred_stale += 1;
                     continue;
                 }
-                decided.insert(cur);
                 let v = &verifications[idx].0;
                 if v.sim < cfg.delta {
+                    // A below-δ verdict consumes no merge budget, so a
+                    // mid-phase merge cut still banks it — its
+                    // comparison was already spent and the decision is
+                    // budget-independent.
+                    decided.insert(
+                        cur,
+                        (
+                            epoch_of(&merge_epoch, cur.0),
+                            epoch_of(&merge_epoch, cur.1),
+                            voter_epoch,
+                        ),
+                    );
+                    continue;
+                }
+                if budget.merges.is_some_and(|m| report.merges as u64 >= m) {
+                    // Verified, would merge, but the merge budget is
+                    // spent: the pair returns to the frontier undecided
+                    // and a following call re-verifies it. Its
+                    // comparison is already in comparisons_spent;
+                    // count the write-off so the waste is observable.
+                    self.dirty.insert(cur.0);
+                    self.dirty.insert(cur.1);
+                    report.comparisons_deferred += 1;
                     continue;
                 }
                 if cfg.schema_voting {
@@ -794,6 +841,11 @@ impl HeraSession {
                         self.voter
                             .decide(cfg.vote_prior, cfg.vote_error_threshold, cfg.vote_min_n);
                     self.stats.schema_matchings_decided += fresh.len();
+                    if !fresh.is_empty() {
+                        // New matchings can flip any pair's verdict, not
+                        // just the merging pair's: stale every memo.
+                        voter_epoch += 1;
+                    }
                     if rec.enabled() {
                         for d in &fresh {
                             rec.schema_decided(
@@ -819,6 +871,7 @@ impl HeraSession {
                     c.merge(cur.0, cur.1, k, |l| remap.apply(l));
                 }
                 self.join.relabel(cur.0, cur.1, |l| remap.apply(l));
+                *merge_epoch.entry(cur.0).or_insert(0) += 1;
                 self.dirty.insert(k);
                 touched.insert(cur.0);
                 touched.insert(cur.1);
@@ -849,8 +902,9 @@ impl HeraSession {
             // cut ends the call: the chunk cut just rolls into the next
             // round. Either way the session state is a clean resume
             // boundary.
-            let budget_truncated = cap < selected.len() || deferred_from < verify_list.len();
-            let deferred_pairs = selected[deferred_from..].iter().chain(&unselected).copied();
+            let budget_truncated =
+                cap < selected.len() || report.comparisons_deferred > deferred_before;
+            let deferred_pairs = selected[cap..].iter().chain(&unselected).copied();
             for (a, b) in deferred_pairs {
                 self.dirty.insert(self.uf.find(a));
                 self.dirty.insert(self.uf.find(b));
@@ -860,9 +914,13 @@ impl HeraSession {
                 break;
             }
         }
-        if report.exhausted {
-            report.frontier = self.frontier_len();
+        if !self.dirty.is_empty() {
+            // Either a budget break above (already flagged) or the
+            // max_iterations elbow: work remains, so a partial result
+            // must never read as a fixpoint.
+            report.exhausted = true;
         }
+        report.frontier = self.dirty.len();
         if budget.is_bounded() {
             // One deterministic summary event per bounded call; its
             // counters are pure functions of session state + budget, so
@@ -873,6 +931,7 @@ impl HeraSession {
                 &[
                     ("budget_spent", report.comparisons_spent as i64),
                     ("merges_emitted", report.merges as i64),
+                    ("comparisons_deferred", report.comparisons_deferred as i64),
                     ("frontier_size", report.frontier as i64),
                     ("exhausted", i64::from(report.exhausted)),
                 ],
@@ -919,6 +978,16 @@ impl HeraSession {
             )
             .0
             .len()
+    }
+
+    /// Re-marks every live root dirty, returning the whole universe to
+    /// the frontier: the next resolve call re-examines every candidate
+    /// pair from scratch. A resolved session is a true fixpoint, so
+    /// resolving again after this performs zero merges — the invariant
+    /// `tests/progressive.rs` property-tests (it is what catches a
+    /// schedule that silently skips an emergent merge).
+    pub fn mark_all_dirty(&mut self) {
+        self.dirty.extend(self.supers.keys().copied());
     }
 
     /// Current entity label (super-record rid) of a record.

@@ -361,6 +361,124 @@ fn checkpoint_resume_keeps_rounds_monotonic_and_state_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// ---------------------------------------------------------------------
+// 4. A resolved session is a true fixpoint.
+// ---------------------------------------------------------------------
+
+/// `resolve()` must leave *no* mergeable pair behind: re-marking the
+/// whole universe dirty and resolving again performs zero merges. This
+/// guards the decide-then-merge-then-skip class of bug — a below-δ
+/// verdict for (a, c) memoized early in a call must be re-examined
+/// after (a, b) merges under the same root `a`, or the emergent merge
+/// (a∪b ≈ c) is silently missed and the "fixpoint" returned here would
+/// still have work in it.
+///
+/// Schema voting is off: decided matchings can retroactively raise the
+/// similarity of pairs that are no longer dirty, and resolve() has
+/// never re-dirtied the universe on a schema decision (matchings are
+/// forward-looking by design — DESIGN.md, "Schema-based method"), so
+/// under voting the re-scan can legitimately find late merges.
+fn fixpoint_dataset(master_seed: u64) -> hera::Dataset {
+    // Emergent merges need clusters whose pooled evidence crosses δ
+    // where the fragments alone do not — a heavy-corruption, larger-n
+    // regime than `random_dataset` (which almost never produces them).
+    let mut s = master_seed;
+    let n_records = 40 + (next(&mut s) % 81) as usize; // 40..=120
+    let n_entities = 5 + (next(&mut s) % 8) as usize; // 5..=12
+    let corruption = 1 + (next(&mut s) % 2) as u8; // moderate | heavy
+    dataset(next(&mut s), n_records, n_entities, corruption)
+}
+
+fn check_resolved_is_fixpoint(master_seed: u64) -> Result<(), String> {
+    let ds = fixpoint_dataset(master_seed);
+    for threads in [1usize, 4] {
+        let cfg = HeraConfig::new(0.5, 0.5)
+            .with_threads(threads)
+            .without_schema_voting();
+        let (mut s, _) = ingest_all(cfg, &ds);
+        s.resolve();
+        let labels = labels_of(&s);
+        s.mark_all_dirty();
+        let recheck = s.resolve_progressive(ResolveBudget::unlimited());
+        if recheck.merges != 0 {
+            return Err(format!(
+                "[{threads}t] resolve() missed {} emergent merge(s)",
+                recheck.merges
+            ));
+        }
+        if recheck.exhausted || recheck.frontier != 0 {
+            return Err(format!("[{threads}t] re-scan did not reach the fixpoint"));
+        }
+        if labels_of(&s) != labels {
+            return Err(format!("[{threads}t] re-scan moved entity labels"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn resolved_session_is_a_true_fixpoint(master_seed in any::<u64>()) {
+        let outcome = check_resolved_is_fixpoint(master_seed);
+        prop_assert!(outcome.is_ok(), "seed {master_seed}: {}", outcome.err().unwrap_or_default());
+    }
+}
+
+/// Pinned decide-then-merge-then-skip regression. On this seed the
+/// per-call memo used to keep a below-δ verdict alive after a merge
+/// changed its evidence — the maximal matching defers the sibling pair
+/// behind the memoized one, producing exactly the
+/// decide-then-merge-then-skip ordering — so resolve() returned with an
+/// emergent merge missing. The epoch-stamped memo re-verifies the pair
+/// once either root's evidence (or the voter's decided-matching set)
+/// changes, and the post-resolve re-scan here must find nothing left.
+#[test]
+fn emergent_merges_survive_the_decided_memo() {
+    let ds = dataset(19, 60, 8, 2);
+    let (mut s, _) = ingest_all(HeraConfig::new(0.4, 0.5), &ds);
+    s.resolve();
+    let labels = labels_of(&s);
+    s.mark_all_dirty();
+    let recheck = s.resolve_progressive(ResolveBudget::unlimited());
+    assert_eq!(
+        recheck.merges, 0,
+        "resolve() left emergent merges on the table"
+    );
+    assert_eq!(labels_of(&s), labels);
+}
+
+/// An iteration-capped call must report exhaustion — a partial result
+/// is never presented as a fixpoint — and repeated capped calls still
+/// land on the full run's answer.
+#[test]
+fn iteration_cap_reports_exhaustion() {
+    let ds = dataset(19, 40, 6, 1);
+    let (mut full, _) = ingest_all(HeraConfig::new(0.5, 0.5), &ds);
+    let full_merges = full.resolve();
+
+    let mut cfg = HeraConfig::new(0.5, 0.5);
+    cfg.max_iterations = 1;
+    let (mut s, _) = ingest_all(cfg, &ds);
+    let first = s.resolve_progressive(ResolveBudget::unlimited());
+    assert!(
+        first.exhausted && first.frontier > 0,
+        "a one-round cap on this workload must leave frontier work, and \
+         the report must say so"
+    );
+    let mut merges = first.merges;
+    for _ in 0..4096 {
+        let r = s.resolve_progressive(ResolveBudget::unlimited());
+        merges += r.merges;
+        if !r.exhausted {
+            break;
+        }
+    }
+    assert_eq!(merges, full_merges);
+    assert_eq!(labels_of(&s), labels_of(&full));
+}
+
 /// A merge budget stops between rounds without spending comparisons,
 /// and `--budget-merges`-style limits compose with comparison limits.
 #[test]
@@ -369,6 +487,8 @@ fn merge_budget_stops_cleanly() {
     let (mut s, _) = ingest_all(HeraConfig::new(0.5, 0.5), &ds);
     let r = s.resolve_progressive(ResolveBudget::merges(3));
     assert!(r.merges <= 3);
+    assert!(r.comparisons_deferred <= r.comparisons_spent);
+    assert!(r.comparisons_deferred == 0 || r.exhausted);
     if r.exhausted {
         // Spending the rest of the schedule lands on resolve()'s answer.
         let (mut full, _) = ingest_all(HeraConfig::new(0.5, 0.5), &ds);
@@ -383,4 +503,5 @@ fn merge_budget_stops_cleanly() {
     assert_eq!(rz.merges, 0);
     assert_eq!(rz.comparisons_spent, 0);
     assert!(rz.exhausted);
+    assert!(rz.frontier > 0, "untouched dirty roots are the frontier");
 }
