@@ -1,0 +1,222 @@
+//! hera-serve throughput/latency sweep: ingest rate, lookup latency,
+//! and boundary-pass cost across shard counts on the scale-tier stream.
+//!
+//! For each shard count the harness builds an `ErService`, streams the
+//! seeded scale dataset through it (budget-free shard resolves every
+//! `RESOLVE_EVERY` records — the latency-oriented serving pattern),
+//! samples provisional lookup latency, runs the cross-shard boundary
+//! pass, samples stitched lookup latency, and scores the stitched
+//! partition against ground truth. The stitched partition must be
+//! identical at every shard count — the harness asserts it, so the
+//! sweep doubles as a large-scale run of the sharding-equivalence
+//! property.
+//!
+//! With streaming blocking on (`--blocking`, default token), the
+//! incremental join verifies each record against its co-blocked
+//! neighborhood only (`IncrementalJoin::insert_among`), so per-record
+//! ingest cost is already universe-independent and the shard counts
+//! land within noise of each other on this single-core host — the
+//! sweep's value is showing that sharding costs nothing (routing +
+//! stitch overhead stay flat) while bounding per-shard state for
+//! scale-out. With `--blocking none` the join scans its full posting
+//! lists and smaller per-shard universes *do* win; that is the
+//! configuration where the shard axis is interesting.
+//!
+//! * `--smoke` — 5k-record tier (the CI workload).
+//! * `--records N` — ad-hoc tier size (default 100 000, seed 52).
+//! * `--blocking S` — none | token | qgram | lsh (default token).
+//! * `--out PATH` — artifact path (default `results/BENCH_serve.json`).
+
+use hera_bench::{header, host_cpus, row, BenchReport};
+use hera_block::BlockingScheme;
+use hera_core::{HeraConfig, ResolveBudget};
+use hera_datagen::{scale_preset, ScaleGenerator};
+use hera_eval::PairMetrics;
+use hera_serve::ErService;
+use hera_types::json::Json;
+use hera_types::{Dataset, SchemaId};
+use std::time::Instant;
+
+/// Matches the `exp_scale` pipeline conventions (δ = 0.5, ξ = 0.7).
+const DELTA: f64 = 0.5;
+const XI: f64 = 0.7;
+
+/// 100k-tier stream, seed 52 — the same stream `exp_scale` runs.
+const FULL_RECORDS: usize = 100_000;
+const SMOKE_RECORDS: usize = 5_000;
+const SEED: u64 = 52;
+
+const SHARD_COUNTS: &[usize] = &[1, 2, 4];
+
+/// Budget-free shard resolve cadence during ingest.
+const RESOLVE_EVERY: usize = 5_000;
+
+/// Lookup-latency sample size per phase.
+const LOOKUP_SAMPLE: usize = 200;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("exp_serve: {name} requires a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = value_of("--out").unwrap_or_else(|| "results/BENCH_serve.json".into());
+    let records: usize = value_of("--records")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--records expects a count, got {v:?}"))
+        })
+        .unwrap_or(if smoke { SMOKE_RECORDS } else { FULL_RECORDS });
+    let blocking = value_of("--blocking").unwrap_or_else(|| "token".into());
+    let scheme = BlockingScheme::parse(&blocking).unwrap_or_else(|e| panic!("{e}"));
+
+    eprintln!("[gen] {records} records, seed {SEED}…");
+    let ds = ScaleGenerator::new(scale_preset(records, SEED)).generate();
+
+    println!(
+        "# hera-serve sweep (δ = {DELTA}, ξ = {XI}, blocking = {blocking}, \
+         {records} records, {} cpu(s))\n",
+        host_cpus()
+    );
+    header(&[
+        "shards",
+        "ingest_ms",
+        "rec/s",
+        "lookup_us(prov)",
+        "stitch_ms",
+        "lookup_us(stitched)",
+        "f1",
+        "entities",
+    ]);
+
+    let mut entries: Vec<Json> = Vec::new();
+    let mut reference: Option<Vec<Vec<u32>>> = None;
+    for &shards in SHARD_COUNTS {
+        let e = run_shard_count(&ds, scheme.clone(), shards, &mut reference);
+        entries.push(e);
+    }
+
+    BenchReport::new("serve_sweep")
+        .dataset(&format!("scale_{records}"), records)
+        .reps(1)
+        .note(&format!(
+            "delta={DELTA} xi={XI} blocking={blocking}; single-core host; with blocking on, the \
+             incremental join verifies only co-blocked candidates (insert_among), so per-record \
+             cost is universe-independent and shard counts land within noise — the sweep shows \
+             sharding costs nothing while bounding per-shard state; shard resolves run \
+             budget-free every {RESOLVE_EVERY} records; lookup latency is the mean over \
+             {LOOKUP_SAMPLE} strided probes; the stitched partition is asserted identical \
+             across shard counts"
+        ))
+        .section("shard_counts", Json::Arr(entries))
+        .write(&out);
+}
+
+/// Runs the full serve lifecycle at one shard count; returns its JSON
+/// entry and checks the stitched partition against the first run's.
+fn run_shard_count(
+    ds: &Dataset,
+    scheme: BlockingScheme,
+    shards: usize,
+    reference: &mut Option<Vec<Vec<u32>>>,
+) -> Json {
+    let config = HeraConfig::new(DELTA, XI).with_blocking(scheme);
+    let mut service = ErService::builder(config, shards).build();
+    let schemas: Vec<SchemaId> = ds
+        .registry
+        .schemas()
+        .map(|s| {
+            service.add_schema(
+                &s.name,
+                &s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+
+    eprintln!("[{shards} shard(s)] ingesting…");
+    let t0 = Instant::now();
+    let mut resolve_ms = 0.0f64;
+    for (i, r) in ds.records.iter().enumerate() {
+        service
+            .ingest(schemas[r.schema.index()], r.values.clone())
+            .expect("ingest");
+        if (i + 1) % RESOLVE_EVERY == 0 {
+            let tr = Instant::now();
+            service.resolve(ResolveBudget::unlimited());
+            resolve_ms += tr.elapsed().as_secs_f64() * 1e3;
+            eprintln!("  …{} records in {:.1}s", i + 1, t0.elapsed().as_secs_f64());
+        }
+    }
+    service.resolve(ResolveBudget::unlimited());
+    let ingest_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let per_sec = ds.len() as f64 / (ingest_ms / 1e3);
+
+    let lookup_prov_us = sample_lookup_us(&service, ds.len());
+
+    eprintln!("[{shards} shard(s)] stitching…");
+    let t0 = Instant::now();
+    let stitch = service.stitch();
+    let stitch_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let lookup_stitched_us = sample_lookup_us(&service, ds.len());
+
+    let partition = service.stitched_partition();
+    let f1 = PairMetrics::score(&partition, &ds.truth).f1();
+    let entities = partition.len();
+    match reference {
+        Some(want) => assert_eq!(
+            *want, partition,
+            "{shards} shard(s): stitched partition diverged from the 1-shard run"
+        ),
+        None => *reference = Some(partition),
+    }
+
+    row(&[
+        shards.to_string(),
+        format!("{ingest_ms:.0}"),
+        format!("{per_sec:.0}"),
+        format!("{lookup_prov_us:.1}"),
+        format!("{stitch_ms:.0}"),
+        format!("{lookup_stitched_us:.1}"),
+        format!("{f1:.4}"),
+        entities.to_string(),
+    ]);
+
+    Json::Obj(vec![
+        ("shards".into(), Json::Int(shards as i64)),
+        ("ingest_ms".into(), Json::Float(ingest_ms)),
+        ("shard_resolve_ms".into(), Json::Float(resolve_ms)),
+        ("ingest_records_per_sec".into(), Json::Float(per_sec)),
+        ("lookup_provisional_us".into(), Json::Float(lookup_prov_us)),
+        ("stitch_ms".into(), Json::Float(stitch_ms)),
+        (
+            "stitch_merges".into(),
+            Json::Int(stitch.report.merges as i64),
+        ),
+        ("lookup_stitched_us".into(), Json::Float(lookup_stitched_us)),
+        ("f1".into(), Json::Float(f1)),
+        ("entities".into(), Json::Int(entities as i64)),
+    ])
+}
+
+/// Mean lookup latency in microseconds over a deterministic strided
+/// sample of record ids.
+fn sample_lookup_us(service: &ErService, n: usize) -> f64 {
+    let stride = (n / LOOKUP_SAMPLE).max(1);
+    let ids: Vec<u32> = (0..n).step_by(stride).map(|i| i as u32).collect();
+    let t0 = Instant::now();
+    let mut touched = 0usize;
+    for &id in &ids {
+        touched += service.lookup(id).expect("sampled id exists").members.len();
+    }
+    let us = t0.elapsed().as_secs_f64() * 1e6 / ids.len() as f64;
+    std::hint::black_box(touched);
+    us
+}

@@ -28,9 +28,11 @@
 
 mod meta;
 mod minhash;
+mod streaming;
 mod tokenize;
 
 pub use meta::MetaBlocking;
+pub use streaming::{route_shard, StreamingBlocker};
 
 use hera_join::RecordPairSet;
 use hera_types::Dataset;

@@ -1,0 +1,368 @@
+//! Streaming (incremental) blocking — the batch blocker's semantics
+//! maintained under record insertions, for the session ingest path and
+//! the serving layer's shard router.
+//!
+//! The batch [`crate::Blocker`] sees the whole dataset at once: it can
+//! purge a block by its *final* size and prune pairs by collection-wide
+//! weights. A streaming session sees one record at a time, so
+//! [`StreamingBlocker`] keeps the block map live and answers, per
+//! arriving record, *which earlier records share enough blocking
+//! evidence to be worth joining against*:
+//!
+//! * blocks grow as records arrive; once a block outgrows
+//!   `max_block_size` it is **purged going forward** — it stops
+//!   producing candidates and drops its member list (records admitted
+//!   while it was small already used its evidence; the batch blocker
+//!   would have dropped those pairs too, so streaming purge is strictly
+//!   more permissive, never less complete);
+//! * a candidate must co-occur with the new record in at least
+//!   `min_common_blocks` retained blocks (the CBS rule, counted against
+//!   the blocks retained *at admission time*);
+//! * `MetaBlocking::weighted` needs the collection-wide mean edge
+//!   weight and therefore has no streaming analogue — it is ignored
+//!   here (documented divergence from the batch pass).
+//!
+//! The blocker is session state: it serializes into the session
+//! snapshot ([`StreamingBlocker::to_json`]) so a restored session
+//! admits future records against exactly the blocks the checkpointed
+//! one held.
+
+use crate::{minhash, tokenize, BlockingScheme, MetaBlocking};
+use hera_types::json::Json;
+use hera_types::{HeraError, Result, Value};
+use rustc_hash::FxHashMap;
+
+/// One live block: the records holding its key, in arrival order.
+/// `None` once purged (members dropped to bound memory).
+type Block = Option<Vec<u32>>;
+
+/// Incremental blocking state — see the module docs for semantics.
+pub struct StreamingBlocker {
+    scheme: BlockingScheme,
+    meta: MetaBlocking,
+    /// blocking key → live members, or `None` once purged.
+    blocks: FxHashMap<u64, Block>,
+    /// Records admitted so far (for stats/sanity only).
+    records: u64,
+}
+
+impl StreamingBlocker {
+    /// Creates a streaming blocker for a scheme, or `None` for
+    /// [`BlockingScheme::None`] — no blocking means the caller keeps the
+    /// unfiltered join path, bit-identical to not having a blocker at
+    /// all.
+    pub fn new(scheme: &BlockingScheme) -> Option<Self> {
+        let meta = match scheme {
+            BlockingScheme::None => return None,
+            BlockingScheme::Token(p) => p.meta,
+            BlockingScheme::QGram(p) => p.meta,
+            BlockingScheme::MinHashLsh(p) => p.meta,
+        };
+        Some(Self {
+            scheme: scheme.clone(),
+            meta,
+            blocks: FxHashMap::default(),
+            records: 0,
+        })
+    }
+
+    /// The scheme this blocker runs.
+    pub fn scheme(&self) -> &BlockingScheme {
+        &self.scheme
+    }
+
+    /// Records admitted so far.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// True before the first admission.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Blocking keys of one record under this blocker's scheme — sorted
+    /// and deduplicated, a pure function of the values.
+    pub fn keys_of(&self, values: &[Value]) -> Vec<u64> {
+        keys_for(&self.scheme, values)
+    }
+
+    /// Admits record `rid` and returns the earlier records it may be
+    /// compared against — every rid sharing ≥ `min_common_blocks`
+    /// retained blocks with it, sorted ascending (deterministic
+    /// regardless of map order). The record joins its blocks either way;
+    /// a block pushed past `max_block_size` by this admission is purged
+    /// for all *future* admissions.
+    pub fn admit(&mut self, rid: u32, values: &[Value]) -> Vec<u32> {
+        self.records += 1;
+        let keys = self.keys_of(values);
+        let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+        for &k in &keys {
+            let block = self.blocks.entry(k).or_insert_with(|| Some(Vec::new()));
+            let Some(members) = block else {
+                continue; // purged: no candidates, no growth
+            };
+            for &m in members.iter() {
+                *counts.entry(m).or_insert(0) += 1;
+            }
+            members.push(rid);
+            if members.len() > self.meta.max_block_size {
+                *block = None;
+            }
+        }
+        let floor = self.meta.min_common_blocks.max(1);
+        let mut out: Vec<u32> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= floor)
+            .map(|(m, _)| m)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Encodes the block map (sorted by key for byte-stable snapshots):
+    /// live blocks with their members in arrival order, purged blocks as
+    /// bare keys. The scheme itself is *not* serialized — it is config,
+    /// and the restoring session supplies it (mismatches are the
+    /// session's config-compatibility check to make).
+    pub fn to_json(&self) -> Json {
+        let mut live: Vec<(&u64, &Vec<u32>)> = Vec::new();
+        let mut purged: Vec<u64> = Vec::new();
+        for (k, b) in &self.blocks {
+            match b {
+                Some(members) => live.push((k, members)),
+                None => purged.push(*k),
+            }
+        }
+        live.sort_unstable_by_key(|(k, _)| **k);
+        purged.sort_unstable();
+        Json::Obj(vec![
+            ("records".into(), Json::Int(self.records as i64)),
+            (
+                "blocks".into(),
+                Json::Arr(
+                    live.into_iter()
+                        .map(|(k, members)| {
+                            Json::Obj(vec![
+                                ("key".into(), Json::Str(format!("{k:016x}"))),
+                                (
+                                    "members".into(),
+                                    Json::Arr(
+                                        members.iter().map(|&m| Json::Int(m as i64)).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "purged".into(),
+                Json::Arr(
+                    purged
+                        .into_iter()
+                        .map(|k| Json::Str(format!("{k:016x}")))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a blocker checkpointed by [`StreamingBlocker::to_json`],
+    /// under the restoring session's `scheme` (must match the
+    /// checkpointing session's for the continuation to be equivalent).
+    ///
+    /// # Errors
+    /// [`HeraError::Corrupt`] on malformed keys, and
+    /// [`HeraError::InvalidConfig`] when `scheme` is
+    /// [`BlockingScheme::None`] (state exists but config says no
+    /// blocking — the caller's config check should have caught this).
+    pub fn from_json(scheme: &BlockingScheme, json: &Json) -> Result<Self> {
+        let mut blocker = Self::new(scheme).ok_or_else(|| {
+            HeraError::InvalidConfig(
+                "snapshot carries streaming-blocker state but the restore config disables \
+                 blocking"
+                    .into(),
+            )
+        })?;
+        let records = json.expect("records")?.as_i64()?;
+        if records < 0 {
+            return Err(HeraError::Corrupt("negative blocker record count".into()));
+        }
+        blocker.records = records as u64;
+        let parse_key = |j: &Json| -> Result<u64> {
+            let s = j.as_str()?;
+            u64::from_str_radix(s, 16)
+                .map_err(|_| HeraError::Corrupt(format!("bad blocking key '{s}'")))
+        };
+        for b in json.expect("blocks")?.as_arr()? {
+            let key = parse_key(b.expect("key")?)?;
+            let mut members = Vec::new();
+            for m in b.expect("members")?.as_arr()? {
+                members.push(m.as_u32()?);
+            }
+            if members.len() > blocker.meta.max_block_size {
+                return Err(HeraError::Corrupt(format!(
+                    "live block {key:016x} exceeds max_block_size"
+                )));
+            }
+            if blocker.blocks.insert(key, Some(members)).is_some() {
+                return Err(HeraError::Corrupt(format!(
+                    "duplicate blocking key {key:016x}"
+                )));
+            }
+        }
+        for p in json.expect("purged")?.as_arr()? {
+            let key = parse_key(p)?;
+            if blocker.blocks.insert(key, None).is_some() {
+                return Err(HeraError::Corrupt(format!(
+                    "duplicate blocking key {key:016x}"
+                )));
+            }
+        }
+        Ok(blocker)
+    }
+}
+
+/// Blocking keys of a record's values under a scheme — the shared
+/// extraction the batch blocker, the streaming blocker, and the shard
+/// router all use. Sorted and deduplicated; empty for all-null records.
+pub(crate) fn keys_for(scheme: &BlockingScheme, values: &[Value]) -> Vec<u64> {
+    match scheme {
+        BlockingScheme::None => Vec::new(),
+        BlockingScheme::Token(p) => tokenize::word_value_tokens(values, p.include_full_value),
+        BlockingScheme::QGram(p) => tokenize::qgram_tokens(values, p.q),
+        BlockingScheme::MinHashLsh(p) => minhash::band_tokens(
+            &tokenize::word_value_tokens(values, true),
+            p.bands,
+            p.rows,
+            p.seed,
+        ),
+    }
+}
+
+/// Routes a record to one of `shards` partitions by its minimum word
+/// token — a 1-row MinHash, so records sharing their rarest rendering
+/// tend to co-locate and most duplicate pairs resolve inside one shard.
+/// Pure function of the values: the same record always routes the same
+/// way, at any ingest order. Records with no tokens (all-null) go to
+/// shard 0.
+///
+/// Routing is a *locality* heuristic, never a correctness boundary: a
+/// serving layer's cross-shard boundary pass re-examines everything, so
+/// a duplicate pair split across shards is still found — just later.
+pub fn route_shard(values: &[Value], shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    if shards == 1 {
+        return 0;
+    }
+    let toks = tokenize::word_value_tokens(values, false);
+    match toks.iter().min() {
+        Some(&min) => (min % shards as u64) as usize,
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(texts: &[&str]) -> Vec<Value> {
+        texts.iter().map(|t| Value::from(*t)).collect()
+    }
+
+    fn small_token(max_block_size: usize, min_common_blocks: u32) -> BlockingScheme {
+        BlockingScheme::Token(crate::TokenParams {
+            include_full_value: true,
+            meta: MetaBlocking {
+                max_block_size,
+                min_common_blocks,
+                weighted: false,
+            },
+        })
+    }
+
+    #[test]
+    fn none_scheme_has_no_blocker() {
+        assert!(StreamingBlocker::new(&BlockingScheme::None).is_none());
+    }
+
+    #[test]
+    fn cbs_threshold_filters_single_block_coincidences() {
+        // min_common_blocks = 2: sharing one token is not enough.
+        let mut b = StreamingBlocker::new(&small_token(100, 2)).unwrap();
+        assert!(b.admit(0, &vals(&["alice smith"])).is_empty());
+        assert!(b.admit(1, &vals(&["bob smith"])).is_empty(), "one shared");
+        let c = b.admit(2, &vals(&["alice smith"]));
+        assert_eq!(c, vec![0], "shares alice+smith(+full) with 0 only");
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn purged_blocks_stop_producing_candidates() {
+        // max_block_size = 2: the third record sharing a key purges it.
+        let mut b = StreamingBlocker::new(&small_token(2, 1)).unwrap();
+        assert!(b.admit(0, &vals(&["common"])).is_empty());
+        assert_eq!(b.admit(1, &vals(&["common"])), vec![0]);
+        // This admission fills the block past 2 and purges it…
+        assert_eq!(b.admit(2, &vals(&["common"])), vec![0, 1]);
+        // …so later records see nothing through it.
+        assert!(b.admit(3, &vals(&["common"])).is_empty());
+    }
+
+    #[test]
+    fn admit_order_is_deterministic_and_sorted() {
+        let mut b = StreamingBlocker::new(&small_token(100, 1)).unwrap();
+        for rid in 0..20 {
+            b.admit(rid, &vals(&["shared key"]));
+        }
+        let c = b.admit(20, &vals(&["shared key"]));
+        assert_eq!(c, (0..20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_future_admissions() {
+        let scheme = small_token(2, 1);
+        let mut live = StreamingBlocker::new(&scheme).unwrap();
+        for (rid, text) in [(0, "aa bb"), (1, "aa cc"), (2, "aa dd"), (3, "ee ff")] {
+            live.admit(rid, &vals(&[text]));
+        }
+        let dump = live.to_json().to_string_compact();
+        let mut restored =
+            StreamingBlocker::from_json(&scheme, &hera_types::json::parse(&dump).unwrap()).unwrap();
+        assert_eq!(restored.to_json().to_string_compact(), dump, "fixpoint");
+        assert_eq!(restored.len(), live.len());
+        let a = live.admit(9, &vals(&["aa bb ee"]));
+        let b = restored.admit(9, &vals(&["aa bb ee"]));
+        assert_eq!(a, b, "restored blocker admits identically");
+    }
+
+    #[test]
+    fn from_json_rejects_none_scheme() {
+        let dump = StreamingBlocker::new(&small_token(10, 1))
+            .unwrap()
+            .to_json()
+            .to_string_compact();
+        let err = StreamingBlocker::from_json(
+            &BlockingScheme::None,
+            &hera_types::json::parse(&dump).unwrap(),
+        )
+        .err()
+        .expect("None scheme must be rejected");
+        assert!(matches!(err, HeraError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn route_shard_is_stable_and_in_range() {
+        let v = vals(&["norman street", "los angeles"]);
+        for shards in 1..=8 {
+            let s = route_shard(&v, shards);
+            assert!(s < shards);
+            assert_eq!(s, route_shard(&v, shards), "pure function");
+        }
+        assert_eq!(route_shard(&[Value::Null], 4), 0, "token-free fallback");
+        // Identical values co-locate at every shard count.
+        let w = vals(&["norman street", "los angeles"]);
+        assert_eq!(route_shard(&v, 5), route_shard(&w, 5));
+    }
+}

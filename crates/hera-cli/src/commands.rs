@@ -26,11 +26,12 @@ USAGE:
                 [--budget N] [--budget-merges M]
                 [--fault-plan FILE.json] [--blocking <none|token|qgram|lsh>]
   hera-cli checkpoint --input FILE --out FILE.hera [--upto N] [--delta 0.5] [--xi 0.5]
-                [--threads N] [--no-sim-cache]
+                [--threads N] [--no-sim-cache] [--blocking <none|token|qgram|lsh>]
   hera-cli restore-resolve --snapshot FILE.hera --input FILE [--labels FILE] [--eval]
                 [--matchings] [--delta 0.5] [--xi 0.5] [--threads N] [--no-sim-cache]
                 [--budget N] [--budget-merges M] [--checkpoint FILE.hera]
                 [--trace FILE.jsonl] [--trace-stderr] [--trace-deterministic]
+                [--blocking <none|token|qgram|lsh>]
   hera-cli exchange --input FILE [--fraction 0.333] [--seed N] [--out FILE]
   hera-cli fuse     --input FILE --labels FILE [--fraction 1.0] [--seed N] [--out FILE]
   hera-cli baseline --input FILE --system <rswoosh|cc|cr> [--delta 0.5] [--xi 0.5] [--eval]
@@ -39,6 +40,12 @@ USAGE:
   hera-cli faults replay --input FILE --plan FILE.json [--checkpoint-every N]
                 [--crash-after N] [--strict-checkpoints] [--upto N] [--resolve-budget N]
                 [--delta 0.5] [--xi 0.5] [--threads N] [--no-sim-cache]
+  hera-cli serve    [--shards N] [--listen ADDR | (stdio default)] [--restore FILE.hera]
+                [--stitch-every N] [--delta 0.5] [--xi 0.5] [--threads N]
+                [--no-sim-cache] [--blocking <none|token|qgram|lsh>]
+                [--trace FILE.jsonl] [--trace-deterministic]
+                [--fault-plan FILE.json] [--no-retry]
+  hera-cli client   --connect ADDR [--line JSON]...   (stdin JSONL when no --line)
   hera-cli demo
   hera-cli help
 
@@ -52,8 +59,11 @@ baseline timing).
 of the similarity join (token, qgram, or lsh — see DESIGN.md, Candidate
 generation) and compares only the blocked record pairs: sub-quadratic
 candidate generation at a measured pair-completeness cost. The default
-`none` keeps the exact all-pairs join. Batch resolve only — streaming
-ingest uses the incremental join and rejects the flag.
+`none` keeps the exact all-pairs join. With `--streaming` (and in
+`checkpoint` / `restore-resolve`) the same schemes run *incrementally*:
+each arriving record joins only against its co-blocked candidates, and
+the blocker state rides along in snapshots (a snapshot restores only
+under the blocking scheme that produced it).
 
 `--trace FILE` writes a structured run journal (JSON Lines: per-stage
 spans, every merge, every decided schema matching — see DESIGN.md,
@@ -94,6 +104,17 @@ not compose with `--budget` (the budget already defines the boundary).
 per-record comparison budget, covering crash/recovery of progressive
 runs.
 
+`serve` runs the long-lived sharded ER service (crate hera-serve):
+records arrive as JSON-lines requests — over stdin/stdout by default,
+or TCP with `--listen 127.0.0.1:PORT` — route to `--shards N` per-shard
+sessions by blocking key, resolve incrementally under per-request
+budgets, and stay queryable (`lookup` / `entity` / `stats`).
+`--stitch-every N` runs the cross-shard boundary pass automatically
+every N ingested records (or send `{\"cmd\":\"stitch\"}` manually). The
+`checkpoint` request snapshots every shard plus a manifest;
+`serve --restore FILE.hera` brings the whole service back. `client`
+forwards request lines to a running server and prints the responses.
+
 `resolve --fault-plan FILE` runs under a deterministic fault-injection
 plan (hera-faults JSON): named failpoints on the snapshot write/read
 paths and the trace sink fire on scheduled hits. A failing trace sink
@@ -118,6 +139,8 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "fuse" => fuse(args),
         "baseline" => baseline(args),
         "trace-check" => trace_check(args),
+        "serve" => serve(args),
+        "client" => client(args),
         "faults gen" => faults_gen(args),
         "faults replay" => faults_replay(args),
         "faults" => Err("faults needs an action: `faults gen` or `faults replay`".into()),
@@ -284,20 +307,6 @@ fn report_progressive(report: &hera_core::ProgressiveReport) {
     }
 }
 
-/// `--blocking` restricts the *batch* join's candidates; the streaming
-/// session feeds its incremental join record by record and ignores the
-/// setting, so passing both is a user error rather than a silent no-op.
-fn reject_blocking_when_streaming(args: &Args) -> Result<(), String> {
-    match args.get("blocking") {
-        Some(s) if s != "none" => Err(
-            "--blocking applies to batch resolve only; streaming/checkpoint ingest \
-             uses the incremental join (drop --blocking or the streaming flags)"
-                .into(),
-        ),
-        _ => Ok(()),
-    }
-}
-
 /// Loads a fault plan file (hera-faults JSON).
 fn load_fault_plan(path: &str) -> Result<FaultPlan, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -446,7 +455,6 @@ fn report_session(args: &Args, ds: &Dataset, session: &mut HeraSession) -> Resul
 }
 
 fn resolve_streaming(args: &Args, ds: &Dataset) -> Result<(), String> {
-    reject_blocking_when_streaming(args)?;
     let every = match args.get("checkpoint-every") {
         Some(_) => Some(args.get_u64("checkpoint-every", 1)? as usize),
         None => None,
@@ -480,7 +488,6 @@ fn resolve_streaming(args: &Args, ds: &Dataset) -> Result<(), String> {
 }
 
 fn checkpoint(args: &Args) -> Result<(), String> {
-    reject_blocking_when_streaming(args)?;
     let ds = load_dataset(args.require("input")?)?;
     let out = args.require("out")?;
     let upto = match args.get("upto") {
@@ -512,7 +519,6 @@ fn checkpoint(args: &Args) -> Result<(), String> {
 }
 
 fn restore_resolve(args: &Args) -> Result<(), String> {
-    reject_blocking_when_streaming(args)?;
     let ds = load_dataset(args.require("input")?)?;
     let snap = args.require("snapshot")?;
     let recorder = build_recorder(args)?;
@@ -575,7 +581,6 @@ fn restore_resolve(args: &Args) -> Result<(), String> {
 /// snapshots the (possibly exhausted) session so `restore-resolve
 /// --budget` can spend the next slice.
 fn resolve_budgeted(args: &Args, ds: &Dataset, budget: ResolveBudget) -> Result<(), String> {
-    reject_blocking_when_streaming(args)?;
     if args.get("checkpoint-every").is_some() {
         return Err(
             "--checkpoint-every does not compose with --budget; the budget boundary is \
@@ -903,6 +908,99 @@ fn faults_replay(args: &Args) -> Result<(), String> {
             verdict.detail
         ))
     }
+}
+
+/// `serve` — run the long-lived sharded ER service over stdio or TCP.
+fn serve(args: &Args) -> Result<(), String> {
+    let config = build_config(args)?;
+    let shards = args.get_u64("shards", 1)? as usize;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let stitch_every = args.get_u64("stitch-every", 0)? as usize;
+    let recorder = build_recorder(args)?;
+    let injector = fault_injector(args)?;
+    let mut builder = hera_serve::ErService::builder(config, shards)
+        .stitch_every(stitch_every)
+        .recorder(recorder.clone())
+        .faults(injector);
+    if args.has("no-retry") {
+        builder = builder.retry(hera_faults::BackoffPolicy::none());
+    }
+    let mut service = match args.get("restore") {
+        Some(path) => builder
+            .restore(path)
+            .map_err(|e| format!("restoring {path}: {e}"))?,
+        None => builder.build(),
+    };
+    eprintln!(
+        "hera-serve: {} shard(s), {} record(s) restored, stitch-every {}",
+        service.shard_count(),
+        service.len(),
+        stitch_every
+    );
+
+    let shutdown = match args.get("listen") {
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            eprintln!(
+                "listening on {}",
+                listener.local_addr().map_err(|e| e.to_string())?
+            );
+            hera_serve::serve_tcp(&mut service, listener).map(|_| true)
+        }
+        None => {
+            // stdio mode: requests on stdin, responses on stdout.
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            hera_serve::serve_lines(&mut service, stdin.lock(), &mut stdout)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    recorder.flush();
+    eprintln!(
+        "hera-serve: {} ({} record(s), {} stitched)",
+        if shutdown { "shutdown" } else { "input closed" },
+        service.len(),
+        service.len() - service.pending_len()
+    );
+    Ok(())
+}
+
+/// `client` — forward JSON-lines requests to a running server. `--line`
+/// sends one request per flag occurrence; with none, stdin is piped.
+/// Responses print to stdout, one line per request.
+fn client(args: &Args) -> Result<(), String> {
+    let addr = args.require("connect")?;
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let reader = std::io::BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let lines: Vec<String> = if args.get_all("line").is_empty() {
+        use std::io::BufRead as _;
+        std::io::stdin()
+            .lock()
+            .lines()
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?
+    } else {
+        args.get_all("line").to_vec()
+    };
+    use std::io::{BufRead as _, Write as _};
+    let mut responses = reader;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(writer, "{line}").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let mut reply = String::new();
+        if responses.read_line(&mut reply).map_err(|e| e.to_string())? == 0 {
+            return Err("server closed the connection".into());
+        }
+        print!("{reply}");
+    }
+    Ok(())
 }
 
 fn demo() -> Result<(), String> {

@@ -114,33 +114,6 @@ impl Hera {
         HeraBuilder::with_config(config)
     }
 
-    /// Creates a runner with the paper's default metric stack
-    /// ([`TypeDispatch::paper_default`]).
-    #[deprecated(since = "0.1.0", note = "use `Hera::builder(config).build()`")]
-    pub fn new(config: HeraConfig) -> Self {
-        Self::builder(config).build()
-    }
-
-    /// Creates a runner with a custom black-box value similarity.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Hera::builder(config).metric(metric).build()`"
-    )]
-    pub fn with_metric(config: HeraConfig, metric: Arc<dyn ValueSimilarity>) -> Self {
-        Self::builder(config).metric(metric).build()
-    }
-
-    /// Attaches a journal recorder; every stage of the run emits through
-    /// it (see the `hera-obs` crate docs for the event schema).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Hera::builder(config).recorder(recorder).build()`"
-    )]
-    pub fn with_recorder(mut self, recorder: hera_obs::Recorder) -> Self {
-        self.recorder = recorder;
-        self
-    }
-
     /// Read access to the configuration.
     pub fn config(&self) -> &HeraConfig {
         &self.config
@@ -985,24 +958,6 @@ mod tests {
         // …and never calls the metric more often than the uncached run.
         assert!(on.stats.metric_sim_calls <= off.stats.metric_sim_calls);
         assert_eq!(on.stats.metric_calls_by_round.len(), on.stats.iterations);
-    }
-
-    /// The pre-builder constructors stay behaviorally identical to the
-    /// builder path while they ride out their deprecation window.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        let ds = motivating_example();
-        let a = Hera::new(HeraConfig::paper_example()).run(&ds).unwrap();
-        let b = Hera::with_metric(
-            HeraConfig::paper_example(),
-            Arc::new(TypeDispatch::paper_default()),
-        )
-        .with_recorder(hera_obs::Recorder::disabled())
-        .run(&ds)
-        .unwrap();
-        assert_eq!(a.entity_of, b.entity_of);
-        assert_eq!(a.stats.merges, b.stats.merges);
     }
 
     #[test]

@@ -52,7 +52,9 @@ mod voter;
 pub use chaos::{check_no_torn_state, run_chaos, ChaosConfig, ChaosReport, ChaosVerdict};
 pub use config::HeraConfig;
 pub use driver::{Hera, HeraBuilder, HeraResult};
-pub use session::{HeraSession, HeraSessionBuilder, ProgressiveReport, ResolveBudget};
+pub use session::{
+    HeraSession, HeraSessionBuilder, MergeEvent, ProgressiveReport, ResolveBudget, ResolveStream,
+};
 pub use simcache::{SimCache, SimDelta};
 pub use stats::RunStats;
 pub use super_record::{Field, SuperRecord};

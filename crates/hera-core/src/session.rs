@@ -24,6 +24,7 @@ use crate::stats::RunStats;
 use crate::super_record::SuperRecord;
 use crate::verify::{InstanceVerifier, VerifyScratch};
 use crate::voter::{DecidedMatching, SchemaVoter};
+use hera_block::StreamingBlocker;
 use hera_faults::{io_retryable, BackoffPolicy, Clock, FaultInjector, SystemClock};
 use hera_index::{UnionFind, ValuePairIndex};
 use hera_join::IncrementalJoin;
@@ -32,8 +33,10 @@ use hera_store::Snapshot;
 use hera_types::json::Json;
 use hera_types::{HeraError, Label, RecordId, Result, SchemaId, SchemaRegistry, Value};
 use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Verification cap per resolve round (see
 /// [`HeraSession::resolve_progressive`]): small enough that a big
@@ -56,9 +59,9 @@ const ROUND_CHUNK: usize = 64;
 const ROUND_FOCUS: f64 = 0.5;
 
 /// Budget for one [`HeraSession::resolve_progressive`] call, in
-/// verification comparisons and/or applied merges. `None` on an axis
-/// means unlimited; the default is unlimited on both — equivalent to
-/// [`HeraSession::resolve`].
+/// verification comparisons, applied merges, and/or wall-clock time.
+/// `None` on an axis means unlimited; the default is unlimited on all —
+/// equivalent to [`HeraSession::resolve`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResolveBudget {
     /// Maximum pair verifications (snapshot + stale re-verifications)
@@ -66,10 +69,21 @@ pub struct ResolveBudget {
     pub comparisons: Option<u64>,
     /// Maximum merges this call may apply.
     pub merges: Option<u64>,
+    /// Maximum wall-clock time this call may spend. Unlike the two
+    /// deterministic axes, a wall-clock cut is **best-effort, not
+    /// bit-exact**: the schedule is still the same deterministic
+    /// priority order, but *where* it is cut depends on host timing, so
+    /// two runs with the same wall-clock budget may stop at different
+    /// prefixes of it. The cut is enforced at round boundaries plus a
+    /// per-round cap predicted by the session's verify cost model
+    /// ([`HeraSession::per_comparison_cost`]); a call can therefore
+    /// overshoot by roughly one round of verifications while the model
+    /// warms up.
+    pub wall_clock: Option<Duration>,
 }
 
 impl ResolveBudget {
-    /// No limit on either axis: runs to the fixpoint, exactly like
+    /// No limit on any axis: runs to the fixpoint, exactly like
     /// [`HeraSession::resolve`].
     pub fn unlimited() -> Self {
         Self::default()
@@ -79,15 +93,24 @@ impl ResolveBudget {
     pub fn comparisons(n: u64) -> Self {
         Self {
             comparisons: Some(n),
-            merges: None,
+            ..Self::default()
         }
     }
 
     /// Limit on applied merges only.
     pub fn merges(n: u64) -> Self {
         Self {
-            comparisons: None,
             merges: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// Limit on wall-clock time only (best-effort; see
+    /// [`ResolveBudget::wall_clock`] for the exactness caveat).
+    pub fn wall_clock(d: Duration) -> Self {
+        Self {
+            wall_clock: Some(d),
+            ..Self::default()
         }
     }
 
@@ -97,10 +120,38 @@ impl ResolveBudget {
         self
     }
 
+    /// Adds a wall-clock limit to an existing budget (best-effort; see
+    /// [`ResolveBudget::wall_clock`] for the exactness caveat).
+    pub fn with_wall_clock(mut self, d: Duration) -> Self {
+        self.wall_clock = Some(d);
+        self
+    }
+
     /// True when any axis is limited.
     pub fn is_bounded(&self) -> bool {
-        self.comparisons.is_some() || self.merges.is_some()
+        self.comparisons.is_some() || self.merges.is_some() || self.wall_clock.is_some()
     }
+}
+
+/// One applied merge, streamed by [`HeraSession::resolve_stream`] /
+/// [`HeraSession::resolve_progressive_with`] as it happens. Events come
+/// out in schedule order — the same confidence-ranked order a budgeted
+/// [`HeraSession::resolve_progressive`] spends its budget in — so a
+/// consumer that stops listening after `k` events has seen exactly the
+/// merges a merge budget of `k` would have applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeEvent {
+    /// Root record id that absorbed the loser (the surviving entity
+    /// label).
+    pub winner: u32,
+    /// Root record id folded into the winner.
+    pub loser: u32,
+    /// Record-level similarity of the merged pair (the verifier's
+    /// matching score; always ≥ the session's δ).
+    pub confidence: f64,
+    /// Cumulative comparisons spent by this call when the event was
+    /// emitted — the x-axis of a progressive-recall curve.
+    pub comparisons_spent: u64,
 }
 
 /// What one [`HeraSession::resolve_progressive`] call did.
@@ -129,6 +180,38 @@ pub struct ProgressiveReport {
     pub exhausted: bool,
 }
 
+/// Per-call state of a progressive resolve, threaded between rounds by
+/// the callback ([`HeraSession::resolve_progressive_with`]) and
+/// iterator ([`HeraSession::resolve_stream`]) frontends. Holds exactly
+/// the locals the old monolithic loop kept on its stack, so splitting
+/// the loop into resumable rounds cannot change the schedule.
+struct ProgressiveState {
+    report: ProgressiveReport,
+    /// Rounds run by this call (bounded by `HeraConfig::max_iterations`).
+    iterations: usize,
+    /// Root pairs already verified this call whose evidence is
+    /// unchanged (neither side merged since, no new schema matchings
+    /// decided): a deferral that re-dirties a shared root must not
+    /// re-verify them — the verdict is a pure function of the two
+    /// super records (plus the voter's decided matchings), so it
+    /// would come out identical and only waste budget. Each entry is
+    /// stamped with both roots' merge epochs and the voter epoch at
+    /// decision time; a merge bumps the winning root's epoch (and,
+    /// when it decides fresh schema matchings, the voter epoch), so
+    /// an entry whose evidence changed reads as stale and the pair
+    /// is re-verified — an emergent merge (super[a] absorbing b
+    /// makes a∪b match a previously-rejected c) is never skipped.
+    decided: FxHashMap<(u32, u32), (u32, u32, u32)>,
+    merge_epoch: FxHashMap<u32, u32>,
+    voter_epoch: u32,
+    /// Call start, for `RunStats::resolve_time`.
+    started: Instant,
+    /// Wall-clock cutoff derived from `ResolveBudget::wall_clock`.
+    deadline: Option<Instant>,
+    /// Guards `progressive_finish` so the seal runs exactly once.
+    finished: bool,
+}
+
 /// Incremental HERA: owns the schema registry and all algorithm state.
 pub struct HeraSession {
     config: HeraConfig,
@@ -142,6 +225,11 @@ pub struct HeraSession {
     voter: SchemaVoter,
     /// Records whose evidence changed since the last `resolve`.
     dirty: FxHashSet<u32>,
+    /// Streaming blocker gating the incremental join's candidate
+    /// universe; `None` when [`HeraConfig::blocking`] is
+    /// [`hera_block::BlockingScheme::None`] — that path is byte-for-byte
+    /// the historical unfiltered ingest.
+    blocker: Option<StreamingBlocker>,
     /// Merge-aware `metric.sim` memo cache; persists across `resolve`
     /// calls, so a long-lived session keeps amortizing its metric work.
     cache: Option<SimCache>,
@@ -231,6 +319,7 @@ impl HeraSessionBuilder {
         HeraSession {
             join: IncrementalJoin::new(self.config.xi, 2, self.metric.clone()),
             cache: self.config.sim_cache.then(SimCache::new),
+            blocker: StreamingBlocker::new(&self.config.blocking),
             config: self.config,
             metric: self.metric,
             registry: SchemaRegistry::new(),
@@ -266,6 +355,20 @@ impl HeraSessionBuilder {
                 "snapshot was taken at xi={snap_xi} but the restore config has xi={}; \
                  the live-value join universe is xi-dependent",
                 session.config.xi
+            )));
+        }
+        // Blocking is likewise universe-shaping: the scheme used at
+        // checkpoint time must be the scheme restored under (pre-blocking
+        // snapshots carry no key and mean "none").
+        let snap_blocking = match snap.expect("config")?.get("blocking") {
+            Some(j) => j.as_str()?,
+            None => "none",
+        };
+        if snap_blocking != session.config.blocking.name() {
+            return Err(HeraError::InvalidConfig(format!(
+                "snapshot was taken with blocking '{snap_blocking}' but the restore config \
+                 has '{}'; the join's candidate universe is blocking-dependent",
+                session.config.blocking.name()
             )));
         }
 
@@ -328,6 +431,18 @@ impl HeraSessionBuilder {
             None
         };
 
+        match snap.get("blocker") {
+            Some(j) => {
+                session.blocker = Some(StreamingBlocker::from_json(&session.config.blocking, j)?);
+            }
+            None => {
+                if session.blocker.is_some() {
+                    return Err(HeraError::Corrupt(
+                        "snapshot config enables blocking but carries no blocker section".into(),
+                    ));
+                }
+            }
+        }
         session.registry = registry;
         session.record_count = record_count;
         session.index = index;
@@ -358,32 +473,6 @@ impl HeraSession {
     /// Starts building a session; see [`HeraSessionBuilder`].
     pub fn builder(config: HeraConfig) -> HeraSessionBuilder {
         HeraSessionBuilder::with_config(config)
-    }
-
-    /// Creates an empty session with the paper-default metric.
-    #[deprecated(since = "0.1.0", note = "use `HeraSession::builder(config).build()`")]
-    pub fn new(config: HeraConfig) -> Self {
-        Self::builder(config).build()
-    }
-
-    /// Creates an empty session with a custom metric.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `HeraSession::builder(config).metric(metric).build()`"
-    )]
-    pub fn with_metric(config: HeraConfig, metric: Arc<dyn ValueSimilarity>) -> Self {
-        Self::builder(config).metric(metric).build()
-    }
-
-    /// Attaches a journal recorder; every `resolve` round emits through
-    /// it (see the `hera-obs` crate docs for the event schema).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `HeraSession::builder(config).recorder(recorder).build()`"
-    )]
-    pub fn with_recorder(mut self, recorder: hera_obs::Recorder) -> Self {
-        self.recorder = recorder;
-        self
     }
 
     /// Restores a session from a snapshot written by
@@ -459,8 +548,15 @@ impl HeraSession {
             Json::Obj(vec![
                 ("xi".into(), Json::Float(self.config.xi)),
                 ("sim_cache".into(), Json::Bool(self.config.sim_cache)),
+                (
+                    "blocking".into(),
+                    Json::Str(self.config.blocking.name().into()),
+                ),
             ]),
         );
+        if let Some(b) = &self.blocker {
+            snap.insert("blocker", b.to_json());
+        }
         snap.insert("registry", self.registry.to_json());
         snap.insert("record_count", Json::Int(self.record_count as i64));
         let mut roots: Vec<&SuperRecord> = self.supers.values().collect();
@@ -541,13 +637,37 @@ impl HeraSession {
             },
         );
 
+        // With blocking on, the record's co-blocked candidates bound the
+        // join's candidate universe. The blocker speaks in original rids;
+        // the join's labels carry union-find roots (relabeled on every
+        // merge), so the allow-list is the candidates' *current roots* —
+        // and the join verifies against exactly those records
+        // (`insert_among`), never probing its full posting lists, so
+        // blocked insert cost tracks the co-blocked neighborhood instead
+        // of the live-value universe.
+        let allowed: Option<Vec<u32>> = self.blocker.as_mut().map(|b| {
+            let uf = &mut self.uf;
+            let mut roots: Vec<u32> = b
+                .admit(rid, &values)
+                .into_iter()
+                .map(|r| uf.find(r))
+                .collect();
+            roots.sort_unstable();
+            roots.dedup();
+            roots
+        });
+
         // Join each value against the live universe; labels of previously
         // merged records are already current (the join is relabeled on
         // every merge).
         let mut new_pairs = Vec::new();
         for (fid, v) in values.iter().enumerate() {
             if !v.is_null() {
-                new_pairs.extend(self.join.insert(Label::new(rid, fid as u32, 0), v.clone()));
+                let label = Label::new(rid, fid as u32, 0);
+                match &allowed {
+                    Some(rids) => new_pairs.extend(self.join.insert_among(label, v.clone(), rids)),
+                    None => new_pairs.extend(self.join.insert(label, v.clone())),
+                }
             }
         }
         for p in &new_pairs {
@@ -609,41 +729,129 @@ impl HeraSession {
     /// their spent comparisons are reported in
     /// [`ProgressiveReport::comparisons_deferred`] so a caller bounding
     /// both axes can see the re-verification cost the next call pays.
+    ///
+    /// Implemented as [`HeraSession::resolve_progressive_with`] with a
+    /// no-op merge observer, so the two are bit-identical by
+    /// construction.
     pub fn resolve_progressive(&mut self, budget: ResolveBudget) -> ProgressiveReport {
+        self.resolve_progressive_with(budget, |_| {})
+    }
+
+    /// [`HeraSession::resolve_progressive`] with a streaming observer:
+    /// `on_merge` is invoked for every applied merge, in schedule order,
+    /// the moment it lands (ROADMAP item 3(a)'s callback form). The
+    /// schedule, the report, and the journal are bit-identical to
+    /// [`HeraSession::resolve_progressive`] under the same budget — the
+    /// observer only *watches* the run. For a pull-based iterator over
+    /// the same events, see [`HeraSession::resolve_stream`].
+    pub fn resolve_progressive_with<F: FnMut(MergeEvent)>(
+        &mut self,
+        budget: ResolveBudget,
+        mut on_merge: F,
+    ) -> ProgressiveReport {
+        let mut st = self.progressive_start(budget);
+        while self.progressive_round(budget, &mut st, &mut on_merge) {}
+        self.progressive_finish(budget, &mut st);
+        st.report
+    }
+
+    /// Pull-based streaming resolve: returns an iterator that advances
+    /// the budget-scheduled fixpoint one round at a time and yields each
+    /// [`MergeEvent`] as it is applied. Dropping the stream early is
+    /// safe — rounds are atomic, so the session is left at the same
+    /// clean checkpointable boundary a budget cut would produce, with
+    /// unfinished work back on the frontier. The final
+    /// [`ProgressiveReport`] is available from
+    /// [`ResolveStream::report`] once the iterator is exhausted (or via
+    /// [`ResolveStream::finish`], which drains the rest).
+    pub fn resolve_stream(&mut self, budget: ResolveBudget) -> ResolveStream<'_> {
+        let st = self.progressive_start(budget);
+        ResolveStream {
+            session: self,
+            budget,
+            st,
+            buf: VecDeque::new(),
+            done: false,
+        }
+    }
+
+    /// Estimated wall-clock cost of one pair verification, from the
+    /// session's lifetime verify-phase timings (the same quantity the
+    /// journal records as `resolve_verify` timing spans): total verify
+    /// time over total comparisons. `None` until the session has
+    /// verified at least one pair. This is the cost model behind
+    /// [`ResolveBudget::wall_clock`]'s per-round cap.
+    pub fn per_comparison_cost(&self) -> Option<Duration> {
+        (self.stats.comparisons > 0).then(|| {
+            Duration::from_secs_f64(
+                self.stats.verify_time.as_secs_f64() / self.stats.comparisons as f64,
+            )
+        })
+    }
+
+    /// Opens a progressive call: stamps thread/index stats and starts
+    /// the wall-clock, returning the per-call state the round driver
+    /// threads through.
+    fn progressive_start(&mut self, budget: ResolveBudget) -> ProgressiveState {
+        let started = Instant::now();
+        self.stats.threads = crate::parallel::effective_threads(self.config.num_threads);
+        self.stats.index_size = self.stats.index_size.max(self.index.len());
+        ProgressiveState {
+            report: ProgressiveReport::default(),
+            iterations: 0,
+            decided: FxHashMap::default(),
+            merge_epoch: FxHashMap::default(),
+            voter_epoch: 0,
+            started,
+            deadline: budget.wall_clock.map(|d| started + d),
+            finished: false,
+        }
+    }
+
+    /// Runs one resolve round (phase A verify + phase B apply) against
+    /// `st`, reporting each applied merge through `on_merge`. Returns
+    /// `false` when the call is over — fixpoint reached, iteration cap
+    /// hit, or a budget ran out — after which
+    /// [`HeraSession::progressive_finish`] must seal the call exactly
+    /// once.
+    fn progressive_round(
+        &mut self,
+        budget: ResolveBudget,
+        st: &mut ProgressiveState,
+        on_merge: &mut dyn FnMut(MergeEvent),
+    ) -> bool {
         let cfg = self.config.clone();
         let rec = self.recorder.clone();
         let verifier = InstanceVerifier::new(self.metric.as_ref(), cfg.xi, cfg.use_kuhn_munkres);
         let threads = crate::parallel::effective_threads(cfg.num_threads);
-        let resolve_start = std::time::Instant::now();
-        self.stats.threads = threads;
-        self.stats.index_size = self.stats.index_size.max(self.index.len());
-        let mut report = ProgressiveReport::default();
-        let mut iterations = 0usize;
-        // Root pairs already verified this call whose evidence is
-        // unchanged (neither side merged since, no new schema matchings
-        // decided): a deferral that re-dirties a shared root must not
-        // re-verify them — the verdict is a pure function of the two
-        // super records (plus the voter's decided matchings), so it
-        // would come out identical and only waste budget. Each entry is
-        // stamped with both roots' merge epochs and the voter epoch at
-        // decision time; a merge bumps the winning root's epoch (and,
-        // when it decides fresh schema matchings, the voter epoch), so
-        // an entry whose evidence changed reads as stale and the pair
-        // is re-verified — an emergent merge (super[a] absorbing b
-        // makes a∪b match a previously-rejected c) is never skipped.
-        let mut decided: FxHashMap<(u32, u32), (u32, u32, u32)> = FxHashMap::default();
-        let mut merge_epoch: FxHashMap<u32, u32> = FxHashMap::default();
-        let mut voter_epoch: u32 = 0;
         let epoch_of = |epochs: &FxHashMap<u32, u32>, r: u32| epochs.get(&r).copied().unwrap_or(0);
-        while !self.dirty.is_empty() && iterations < cfg.max_iterations {
-            // A merge budget met between rounds stops before the next
-            // round spends any comparisons; the untouched dirty set *is*
-            // the frontier state.
-            if budget.merges.is_some_and(|m| report.merges as u64 >= m) {
-                report.exhausted = true;
-                break;
-            }
-            iterations += 1;
+        if self.dirty.is_empty() || st.iterations >= cfg.max_iterations {
+            return false;
+        }
+        // A merge budget met between rounds stops before the next
+        // round spends any comparisons; the untouched dirty set *is*
+        // the frontier state.
+        if budget.merges.is_some_and(|m| st.report.merges as u64 >= m) {
+            st.report.exhausted = true;
+            return false;
+        }
+        // A wall-clock deadline met between rounds likewise ends the
+        // call at the round boundary (best-effort — see
+        // [`ResolveBudget::wall_clock`]).
+        if st.deadline.is_some_and(|d| Instant::now() >= d) {
+            st.report.exhausted = true;
+            return false;
+        }
+        st.iterations += 1;
+        let deadline = st.deadline;
+        let ProgressiveState {
+            report,
+            decided,
+            merge_epoch,
+            voter_epoch,
+            ..
+        } = st;
+        {
             self.stats.iterations += 1;
             let round = self.stats.iterations;
             let round_merges_before = self.stats.merges;
@@ -668,9 +876,9 @@ impl HeraSession {
                 }
                 let key = (ri.min(rj), ri.max(rj));
                 let verdict_fresh = decided.get(&key).is_some_and(|&(ea, eb, ev)| {
-                    ea == epoch_of(&merge_epoch, key.0)
-                        && eb == epoch_of(&merge_epoch, key.1)
-                        && ev == voter_epoch
+                    ea == epoch_of(merge_epoch, key.0)
+                        && eb == epoch_of(merge_epoch, key.1)
+                        && ev == *voter_epoch
                 });
                 if verdict_fresh || !processed.insert(key) {
                     continue;
@@ -717,12 +925,29 @@ impl HeraSession {
                 claimed.insert(c.pair.1);
                 selected.push(c.pair);
             }
-            let cap = match budget.comparisons {
+            let mut cap = match budget.comparisons {
                 Some(c) => {
                     (c.saturating_sub(report.comparisons_spent) as usize).min(selected.len())
                 }
                 None => selected.len(),
             };
+            // Wall-clock budgets additionally cap the round at the
+            // number of verifications the cost model predicts still fit
+            // before the deadline. Host timing feeds both inputs, so
+            // this cut — unlike the two counters above — is best-effort
+            // rather than bit-exact (see [`ResolveBudget::wall_clock`]).
+            if let Some(d) = deadline {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    cap = 0;
+                } else if let Some(per) = self.per_comparison_cost() {
+                    if !per.is_zero() {
+                        let affordable =
+                            (remaining.as_secs_f64() / per.as_secs_f64()).floor() as usize;
+                        cap = cap.min(affordable);
+                    }
+                }
+            }
             let verify_list: Vec<(u32, u32)> = selected[..cap].to_vec();
             let tv = std::time::Instant::now();
             let verifications = {
@@ -806,9 +1031,9 @@ impl HeraSession {
                     decided.insert(
                         cur,
                         (
-                            epoch_of(&merge_epoch, cur.0),
-                            epoch_of(&merge_epoch, cur.1),
-                            voter_epoch,
+                            epoch_of(merge_epoch, cur.0),
+                            epoch_of(merge_epoch, cur.1),
+                            *voter_epoch,
                         ),
                     );
                     continue;
@@ -844,7 +1069,7 @@ impl HeraSession {
                     if !fresh.is_empty() {
                         // New matchings can flip any pair's verdict, not
                         // just the merging pair's: stale every memo.
-                        voter_epoch += 1;
+                        *voter_epoch += 1;
                     }
                     if rec.enabled() {
                         for d in &fresh {
@@ -877,6 +1102,12 @@ impl HeraSession {
                 touched.insert(cur.1);
                 report.merges += 1;
                 self.stats.merges += 1;
+                on_merge(MergeEvent {
+                    winner: cur.0,
+                    loser: cur.1,
+                    confidence: v.sim,
+                    comparisons_spent: report.comparisons_spent,
+                });
             }
             self.stats
                 .metric_calls_by_round
@@ -911,11 +1142,24 @@ impl HeraSession {
             }
             if budget_truncated {
                 report.exhausted = true;
-                break;
+                return false;
             }
         }
+        true
+    }
+
+    /// Seals a progressive call exactly once: finalizes the report and
+    /// lifetime stats and emits the per-call summary span. Idempotent —
+    /// the second and later calls are no-ops, so the stream's `Drop` can
+    /// invoke it unconditionally.
+    fn progressive_finish(&mut self, budget: ResolveBudget, st: &mut ProgressiveState) {
+        if st.finished {
+            return;
+        }
+        st.finished = true;
+        let report = &mut st.report;
         if !self.dirty.is_empty() {
-            // Either a budget break above (already flagged) or the
+            // Either a budget cut above (already flagged) or the
             // max_iterations elbow: work remains, so a partial result
             // must never read as a fixpoint.
             report.exhausted = true;
@@ -924,8 +1168,11 @@ impl HeraSession {
         if budget.is_bounded() {
             // One deterministic summary event per bounded call; its
             // counters are pure functions of session state + budget, so
-            // the line is byte-identical at every thread count.
-            rec.span(
+            // the line is byte-identical at every thread count. (A
+            // wall-clock-only budget still gets the span, but its
+            // counters then depend on where host timing cut the
+            // schedule.)
+            self.recorder.span(
                 "progressive",
                 Some(self.stats.iterations),
                 &[
@@ -942,9 +1189,8 @@ impl HeraSession {
             self.stats.sim_cache_size = c.len();
             self.stats.sim_cache_invalidated = c.invalidated();
         }
-        self.stats.resolve_time += resolve_start.elapsed();
-        rec.flush();
-        report
+        self.stats.resolve_time += st.started.elapsed();
+        self.recorder.flush();
     }
 
     /// Candidate root pairs currently pending on the frontier: pairs in
@@ -995,6 +1241,14 @@ impl HeraSession {
         self.uf.find_const(rid.raw())
     }
 
+    /// Member record ids of the entity labeled `label`, in merge order
+    /// (the winner's members followed by each absorbed loser's), or
+    /// `None` when `label` is not a live entity label. O(1) — reads the
+    /// super record.
+    pub fn entity_members(&self, label: u32) -> Option<&[u32]> {
+        self.supers.get(&label).map(|s| s.members.as_slice())
+    }
+
     /// All records grouped by current entity.
     pub fn clusters(&mut self) -> Vec<Vec<u32>> {
         self.uf.clusters()
@@ -1042,6 +1296,75 @@ impl HeraSession {
     /// The session's schema registry.
     pub fn registry(&self) -> &SchemaRegistry {
         &self.registry
+    }
+}
+
+/// Pull-based view of one progressive resolve call — see
+/// [`HeraSession::resolve_stream`]. Yields [`MergeEvent`]s in schedule
+/// order, advancing the session one round at a time as the consumer
+/// pulls. While the stream is live it mutably borrows the session;
+/// dropping it (drained or not) seals the call's report, stats, and
+/// journal summary exactly as [`HeraSession::resolve_progressive`]
+/// would.
+pub struct ResolveStream<'s> {
+    session: &'s mut HeraSession,
+    budget: ResolveBudget,
+    st: ProgressiveState,
+    /// Events produced by the current round, drained before the next
+    /// round runs.
+    buf: VecDeque<MergeEvent>,
+    /// True once the round driver reported no more rounds.
+    done: bool,
+}
+
+impl ResolveStream<'_> {
+    /// The call's report so far: complete (frontier, exhausted flag)
+    /// once the iterator has returned `None` or the stream was dropped
+    /// via [`ResolveStream::finish`]; a live snapshot before that.
+    pub fn report(&self) -> ProgressiveReport {
+        self.st.report
+    }
+
+    /// Drains the remaining events and returns the final report —
+    /// `resolve_progressive` semantics for a caller that started
+    /// streaming but stopped caring about individual merges.
+    pub fn finish(mut self) -> ProgressiveReport {
+        for _ in self.by_ref() {}
+        self.session.progressive_finish(self.budget, &mut self.st);
+        self.st.report
+    }
+}
+
+impl Iterator for ResolveStream<'_> {
+    type Item = MergeEvent;
+
+    fn next(&mut self) -> Option<MergeEvent> {
+        loop {
+            if let Some(e) = self.buf.pop_front() {
+                return Some(e);
+            }
+            if self.done {
+                return None;
+            }
+            let mut buf = std::mem::take(&mut self.buf);
+            let more = self
+                .session
+                .progressive_round(self.budget, &mut self.st, &mut |e| buf.push_back(e));
+            self.buf = buf;
+            if !more {
+                self.done = true;
+                self.session.progressive_finish(self.budget, &mut self.st);
+            }
+        }
+    }
+}
+
+impl Drop for ResolveStream<'_> {
+    fn drop(&mut self) {
+        // An abandoned stream still seals the call (idempotent): rounds
+        // are atomic, so the session sits at a clean budget-cut-style
+        // boundary with unfinished work back on the frontier.
+        self.session.progressive_finish(self.budget, &mut self.st);
     }
 }
 

@@ -93,6 +93,23 @@ impl IncrementalJoin {
     /// against previously inserted values of *other* records, normalized
     /// (`a.rid < b.rid`) and ordered by partner label.
     pub fn insert(&mut self, label: Label, value: Value) -> Vec<ValuePair> {
+        self.insert_filtered(label, value, |_| true)
+    }
+
+    /// [`IncrementalJoin::insert`] restricted to a candidate-record
+    /// filter: only pairs whose partner rid passes `allowed` are scored
+    /// and emitted — the hook a blocking stage uses to keep the
+    /// incremental join from enumerating the full value universe. The
+    /// value is registered either way (it must be probe-able by future
+    /// insertions), and an always-true filter is bit-identical to
+    /// [`IncrementalJoin::insert`] — same candidates, same scores, same
+    /// order.
+    pub fn insert_filtered(
+        &mut self,
+        label: Label,
+        value: Value,
+        allowed: impl Fn(u32) -> bool,
+    ) -> Vec<ValuePair> {
         if value.is_null() {
             return Vec::new();
         }
@@ -131,35 +148,100 @@ impl IncrementalJoin {
         let sketch = GramSketch::of(&sig);
         let mut out = Vec::new();
         for i in cand {
-            let other = &self.entries[i];
-            if other.label.rid == label.rid {
+            if self.entries[i].label.rid == label.rid || !allowed(self.entries[i].label.rid) {
                 continue;
             }
-            // Mirror of the batch join's verify dispatch: gram-compatible
-            // non-numeric pairs score from stored signatures (identical
-            // values by the `qgram_compatible` contract), behind the sound
-            // sketch upper bound; everything else asks the metric.
-            let s = if self.fast_grams && !(value_num && other.is_num) {
-                if sketch.jaccard_upper_bound(sig.len(), other.sketch, other.sig.len()) < self.xi {
-                    continue;
-                }
-                jaccard_of_sets(&sig, &other.sig)
-            } else {
-                self.metric.sim(&value, &other.value)
-            };
-            if s >= self.xi {
-                let (a, b) = if label.rid < other.label.rid {
-                    (label, other.label)
-                } else {
-                    (other.label, label)
-                };
-                out.push(ValuePair { a, b, sim: s });
+            if let Some(p) = self.verify(label, &value, value_num, &sig, sketch, i) {
+                out.push(p);
             }
         }
         out.sort_unstable_by_key(|x| (x.a, x.b));
 
         self.register(label, value, &sig);
         out
+    }
+
+    /// [`IncrementalJoin::insert`] restricted to an explicit candidate
+    /// *record* list: the value is verified against every stored value of
+    /// the `rids` given (the blocked streaming path — candidates come
+    /// from the blocker, so the inverted gram index and numeric sweep are
+    /// not probed at all, making insert cost proportional to the
+    /// co-blocked neighborhood instead of the live-value universe).
+    ///
+    /// Like the batch blocked join, this verifies the allowed cross
+    /// product directly with the same dispatch as
+    /// [`IncrementalJoin::insert`], so for the default gram-compatible
+    /// metric it emits exactly the [`IncrementalJoin::insert_filtered`]
+    /// pairs for the same record set (share-a-gram candidate generation
+    /// is complete for q-gram Jaccard); an exotic metric scoring
+    /// zero-gram-overlap string pairs above ξ can only gain pairs here,
+    /// never lose one. Entries of `label`'s own record never pair, and
+    /// the value is registered for future probes either way.
+    pub fn insert_among(&mut self, label: Label, value: Value, rids: &[u32]) -> Vec<ValuePair> {
+        if value.is_null() {
+            return Vec::new();
+        }
+        let sig = folded_qgram_set(&value.to_text(), self.q);
+        let value_num = value.as_number().is_some();
+        let sketch = GramSketch::of(&sig);
+
+        let mut cand: Vec<usize> = Vec::new();
+        for rid in rids {
+            if let Some(list) = self.by_rid.get(rid) {
+                cand.extend(list.iter().copied());
+            }
+        }
+        cand.sort_unstable();
+        cand.dedup();
+
+        let mut out = Vec::new();
+        for i in cand {
+            if self.entries[i].label.rid == label.rid {
+                continue;
+            }
+            if let Some(p) = self.verify(label, &value, value_num, &sig, sketch, i) {
+                out.push(p);
+            }
+        }
+        out.sort_unstable_by_key(|x| (x.a, x.b));
+
+        self.register(label, value, &sig);
+        out
+    }
+
+    /// Scores the incoming value against stored entry `i` — mirror of the
+    /// batch join's verify dispatch: gram-compatible non-numeric pairs
+    /// score from stored signatures (identical values by the
+    /// `qgram_compatible` contract), behind the sound sketch upper bound;
+    /// everything else asks the metric. Returns the normalized pair when
+    /// the score clears ξ.
+    fn verify(
+        &self,
+        label: Label,
+        value: &Value,
+        value_num: bool,
+        sig: &[u64],
+        sketch: GramSketch,
+        i: usize,
+    ) -> Option<ValuePair> {
+        let other = &self.entries[i];
+        let s = if self.fast_grams && !(value_num && other.is_num) {
+            if sketch.jaccard_upper_bound(sig.len(), other.sketch, other.sig.len()) < self.xi {
+                return None;
+            }
+            jaccard_of_sets(sig, &other.sig)
+        } else {
+            self.metric.sim(value, &other.value)
+        };
+        if s < self.xi {
+            return None;
+        }
+        let (a, b) = if label.rid < other.label.rid {
+            (label, other.label)
+        } else {
+            (other.label, label)
+        };
+        Some(ValuePair { a, b, sim: s })
     }
 
     /// Registers a value in the probe structures without emitting pairs.
@@ -446,5 +528,81 @@ mod tests {
     fn zero_xi_rejected() {
         let metric = TypeDispatch::paper_default();
         IncrementalJoin::new(0.0, 2, Arc::new(metric));
+    }
+
+    /// `insert` is `insert_filtered` with an always-true filter, and a
+    /// filtered insert emits exactly the unfiltered pairs whose partner
+    /// rid passes — same pairs, same sims, same order — while still
+    /// registering the value for future candidates either way.
+    #[test]
+    fn insert_filtered_is_a_restriction_of_insert() {
+        let metric = TypeDispatch::paper_default();
+        let values: Vec<(Label, Value)> = vec![
+            (label(0, 0), Value::from("electronic")),
+            (label(1, 0), Value::from("electronics")),
+            (label(2, 0), Value::from("electronical")),
+            (label(3, 0), Value::from("electronic")),
+        ];
+        let mut plain = IncrementalJoin::new(0.3, 2, Arc::new(metric.clone()));
+        let mut open = IncrementalJoin::new(0.3, 2, Arc::new(metric.clone()));
+        let mut gated = IncrementalJoin::new(0.3, 2, Arc::new(metric.clone()));
+        for (l, v) in &values {
+            let a = plain.insert(*l, v.clone());
+            let b = open.insert_filtered(*l, v.clone(), |_| true);
+            assert_eq!(a, b, "always-true filter must match insert bit for bit");
+            // Gate out rid 1 as a *candidate*: pairs whose partner is
+            // rid 1 vanish, the rest are untouched — including rid 1's
+            // own insert against earlier values, proving the filter
+            // constrains candidates, not registration.
+            let c = gated.insert_filtered(*l, v.clone(), |r| r != 1);
+            let expect: Vec<ValuePair> = a
+                .iter()
+                .filter(|p| {
+                    let partner = if p.a.rid == l.rid { p.b.rid } else { p.a.rid };
+                    partner != 1
+                })
+                .copied()
+                .collect();
+            assert_eq!(
+                c, expect,
+                "filter must only remove the gated candidate's pairs"
+            );
+        }
+    }
+
+    /// With the default gram-compatible metric, `insert_among(rids)` is
+    /// bit-identical to `insert_filtered(set-membership)` — it verifies
+    /// the allowed cross product directly instead of probing the gram
+    /// index, but share-a-gram candidate generation is complete for
+    /// q-gram Jaccard, so neither path can see a pair the other misses.
+    #[test]
+    fn insert_among_matches_insert_filtered() {
+        use hera_sim::NumericProximity;
+        let metric =
+            TypeDispatch::paper_default().with_numeric_metric(Arc::new(NumericProximity::new(5.0)));
+        let values: Vec<(Label, Value)> = vec![
+            (label(0, 0), Value::from("electronic")),
+            (label(0, 1), Value::from(1980i64)),
+            (label(1, 0), Value::from("electronics")),
+            (label(1, 1), Value::from(1981i64)),
+            (label(2, 0), Value::from("unrelated stuff")),
+            (label(3, 0), Value::from("electronic")),
+            (label(3, 1), Value::from(1990i64)),
+            (label(4, 0), Value::from("electro")),
+        ];
+        // Every subset of earlier records as the allowed set, at two
+        // thresholds: same pairs, same sims, same order.
+        for xi in [0.3, 0.7] {
+            for mask in 0u32..32 {
+                let mut filtered = IncrementalJoin::new(xi, 2, Arc::new(metric.clone()));
+                let mut among = IncrementalJoin::new(xi, 2, Arc::new(metric.clone()));
+                for (l, v) in &values {
+                    let rids: Vec<u32> = (0..5).filter(|r| mask & (1 << r) != 0).collect();
+                    let a = filtered.insert_filtered(*l, v.clone(), |r| rids.contains(&r));
+                    let b = among.insert_among(*l, v.clone(), &rids);
+                    assert_eq!(a, b, "xi = {xi}, mask = {mask:b}, inserting {l}");
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,42 @@
+//! hera-serve — a long-lived, sharded entity-resolution service over
+//! the incremental HERA session.
+//!
+//! The batch driver answers "resolve this dataset"; this crate answers
+//! "keep resolving forever": records arrive in batches over a
+//! line-delimited JSON protocol (stdin/stdout or TCP), route to
+//! per-shard [`hera_core::HeraSession`]s by blocking key, resolve
+//! incrementally under per-request [`hera_core::ResolveBudget`]s, and
+//! stay queryable the whole time (`lookup`, `entity`, `stats`). A
+//! periodic *boundary pass* stitches entities across shards with the
+//! same union-find + schema-vote machinery the sessions already run —
+//! sharding changes when answers arrive, never what they are (see the
+//! [`service`] module docs for the construction).
+//!
+//! The service is durable: `checkpoint` snapshots every shard, the
+//! stitcher, and a manifest through `hera-store` (atomic, CRC-checked,
+//! retried under a `hera-faults` backoff policy), and
+//! [`ErServiceBuilder::restore`] brings the whole service back. With a
+//! journal attached ([`ErServiceBuilder::recorder`]), every protocol
+//! request lands an audit line next to the sessions' own events.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`service`] | [`ErService`]: sharding, stitching, checkpointing |
+//! | [`protocol`] | [`Request`] and the JSON-lines wire format |
+//! | [`server`] | [`serve_lines`] (stdio) and [`serve_tcp`] loops |
+//! | [`client`] | [`ServeClient`] / [`TcpClient`] typed client |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use client::{ServeClient, TcpClient};
+pub use protocol::Request;
+pub use server::{serve_lines, serve_tcp};
+pub use service::{
+    ErService, ErServiceBuilder, IngestReply, LookupReply, ResolveReply, StitchReply,
+};

@@ -1,0 +1,67 @@
+//! Transport loops: drive an [`ErService`] from any line-delimited byte
+//! stream (stdio) or a TCP listener.
+//!
+//! Both loops are single-threaded and process requests strictly in
+//! arrival order — determinism comes for free, and the sessions inside
+//! the service still parallelize their resolve rounds internally
+//! (`HeraConfig::num_threads`).
+
+use crate::protocol::{err, Request};
+use crate::service::ErService;
+use hera_types::json::parse;
+use hera_types::{HeraError, Result};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+/// Serves line-delimited JSON requests from `input`, writing one
+/// response line each to `output`, until the stream ends or a
+/// `shutdown` request arrives. Returns `true` when the exit was an
+/// explicit shutdown (the TCP loop uses this to distinguish "client
+/// hung up" from "stop the server").
+///
+/// Malformed lines get an error response and the loop continues; blank
+/// lines are ignored.
+pub fn serve_lines<R: BufRead, W: Write>(
+    service: &mut ErService,
+    input: R,
+    output: &mut W,
+) -> Result<bool> {
+    let io_err = |e: std::io::Error| HeraError::Io(e.to_string());
+    for line in input.lines() {
+        let line = line.map_err(io_err)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, keep_going) = match parse(&line).and_then(|j| Request::from_json(&j)) {
+            Ok(request) => service.handle(&request),
+            Err(e) => (err(e), true),
+        };
+        writeln!(output, "{}", response.to_string_compact()).map_err(io_err)?;
+        output.flush().map_err(io_err)?;
+        if !keep_going {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Accepts TCP connections sequentially and serves each with
+/// [`serve_lines`] until some client sends `shutdown`. A disconnecting
+/// client ends only its own connection; the service state persists
+/// across connections.
+pub fn serve_tcp(service: &mut ErService, listener: TcpListener) -> Result<()> {
+    for conn in listener.incoming() {
+        let conn = conn.map_err(|e| HeraError::Io(e.to_string()))?;
+        let reader = BufReader::new(conn.try_clone().map_err(|e| HeraError::Io(e.to_string()))?);
+        let mut writer = conn;
+        match serve_lines(service, reader, &mut writer) {
+            Ok(true) => return Ok(()),
+            Ok(false) => continue,
+            // A connection-level IO error (e.g. reset mid-line) drops
+            // that client; the service keeps running.
+            Err(HeraError::Io(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,692 @@
+//! The sharded ER service: N per-shard [`HeraSession`]s behind a
+//! blocking-key router, plus a *stitcher* session that replays the
+//! global arrival stream to resolve across shard boundaries.
+//!
+//! # Sharding model
+//!
+//! Each arriving record routes to one shard by
+//! [`hera_block::route_shard`] — a pure function of its values — and
+//! joins only that shard's live universe, so per-record ingest cost
+//! scales with the shard's value universe, not the service's. Shard
+//! resolution ([`ErService::resolve`]) is budgeted, incremental, and
+//! *provisional*: two duplicates routed to different shards cannot merge
+//! there.
+//!
+//! The boundary pass ([`ErService::stitch`]) fixes that without new
+//! machinery: a dedicated single-shard session (the stitcher) ingests
+//! the pending suffix of the global stream — same records, same order,
+//! global record ids — and resolves with the ordinary union-find +
+//! schema-vote pipeline. The stitched partition is therefore *by
+//! construction* the partition a single-shard session would have
+//! produced on the same stream: sharding never changes answers, only
+//! when they arrive. Shards answer between passes (flagged
+//! `provisional`); the stitcher answers for everything it has seen.
+//!
+//! Determinism carries over from the sessions: the same request
+//! sequence produces the same replies, entities, and journal at any
+//! thread count.
+
+use crate::protocol::{err, ok, Request};
+use hera_block::route_shard;
+use hera_core::{HeraConfig, HeraSession, ProgressiveReport, ResolveBudget};
+use hera_faults::{io_retryable, BackoffPolicy, Clock, FaultInjector, SystemClock};
+use hera_obs::Recorder;
+use hera_store::Snapshot;
+use hera_types::json::Json;
+use hera_types::{HeraError, RecordId, Result, SchemaId, Value};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Builder for [`ErService`] — shard count, cadence, and the fault /
+/// journal plumbing threaded into every session.
+pub struct ErServiceBuilder {
+    config: HeraConfig,
+    shards: usize,
+    stitch_every: usize,
+    recorder: Recorder,
+    faults: FaultInjector,
+    retry: BackoffPolicy,
+    clock: Arc<dyn Clock>,
+}
+
+impl ErServiceBuilder {
+    fn new(config: HeraConfig, shards: usize) -> Self {
+        Self {
+            config,
+            shards,
+            stitch_every: 0,
+            recorder: Recorder::disabled(),
+            faults: FaultInjector::disabled(),
+            retry: BackoffPolicy::checkpoint_default(),
+            clock: Arc::new(SystemClock),
+        }
+    }
+
+    /// Runs the boundary pass automatically once this many records are
+    /// pending (0, the default, stitches only on explicit request).
+    pub fn stitch_every(mut self, records: usize) -> Self {
+        self.stitch_every = records;
+        self
+    }
+
+    /// Attaches the audit journal: every protocol request and boundary
+    /// pass emits through it, alongside the sessions' own events.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Threads a fault injector into every snapshot write/read.
+    pub fn faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Retry policy for checkpoint IO (default
+    /// [`BackoffPolicy::checkpoint_default`]).
+    pub fn retry(mut self, policy: BackoffPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Delay source behind retry backoff (tests inject a manual clock).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    fn session(&self) -> HeraSession {
+        HeraSession::builder(self.config.clone())
+            .recorder(self.recorder.clone())
+            .faults(self.faults.clone())
+            .retry(self.retry)
+            .clock(self.clock.clone())
+            .build()
+    }
+
+    /// Builds an empty service.
+    pub fn build(self) -> ErService {
+        let shards = (0..self.shards).map(|_| self.session()).collect();
+        let stitcher = self.session();
+        ErService {
+            shards,
+            stitcher,
+            schemas: Vec::new(),
+            route: Vec::new(),
+            local_to_global: vec![Vec::new(); self.shards],
+            pending: Vec::new(),
+            builder: self,
+        }
+    }
+
+    /// Builds a service whose state is loaded from a checkpoint written
+    /// by [`ErService::checkpoint`] — manifest plus one snapshot per
+    /// shard and one for the stitcher, all beside `path`. The builder's
+    /// config and shard count must match the checkpointing service's.
+    pub fn restore(self, path: impl AsRef<Path>) -> Result<ErService> {
+        let path = path.as_ref();
+        let manifest = Snapshot::read_with(path, &self.faults)?;
+        let snap_shards = manifest.expect("service")?.expect("shards")?.as_u32()? as usize;
+        if snap_shards != self.shards {
+            return Err(HeraError::InvalidConfig(format!(
+                "checkpoint has {snap_shards} shard(s) but the restore asked for {}; \
+                 record routing is shard-count-dependent",
+                self.shards
+            )));
+        }
+        let mut schemas = Vec::new();
+        for s in manifest.expect("schemas")?.as_arr()? {
+            let name = s.expect("name")?.as_str()?.to_string();
+            let attrs = s
+                .expect("attrs")?
+                .as_arr()?
+                .iter()
+                .map(|a| Ok(a.as_str()?.to_string()))
+                .collect::<Result<Vec<_>>>()?;
+            schemas.push((name, attrs));
+        }
+        let mut route = Vec::new();
+        let mut local_to_global: Vec<Vec<u32>> = vec![Vec::new(); self.shards];
+        for r in manifest.expect("route")?.as_arr()? {
+            let shard = r.as_u32()? as usize;
+            if shard >= self.shards {
+                return Err(HeraError::Corrupt(format!(
+                    "route entry names shard {shard} of {}",
+                    self.shards
+                )));
+            }
+            let global = route.len() as u32;
+            route.push((shard as u32, local_to_global[shard].len() as u32));
+            local_to_global[shard].push(global);
+        }
+        let mut pending = Vec::new();
+        for p in manifest.expect("pending")?.as_arr()? {
+            let schema = p.expect("schema")?.as_u32()?;
+            let values = p
+                .expect("values")?
+                .as_arr()?
+                .iter()
+                .map(Value::from_json)
+                .collect::<Result<Vec<_>>>()?;
+            pending.push((SchemaId::new(schema), values));
+        }
+
+        let shards = (0..self.shards)
+            .map(|i| self.restore_session(&shard_path(path, i)))
+            .collect::<Result<Vec<_>>>()?;
+        let stitcher = self.restore_session(&stitcher_path(path))?;
+
+        for (i, shard) in shards.iter().enumerate() {
+            if shard.len() != local_to_global[i].len() {
+                return Err(HeraError::Corrupt(format!(
+                    "shard {i} snapshot holds {} record(s), route says {}",
+                    shard.len(),
+                    local_to_global[i].len()
+                )));
+            }
+        }
+        if stitcher.len() + pending.len() != route.len() {
+            return Err(HeraError::Corrupt(format!(
+                "stitcher has {} record(s) and {} pending, route says {}",
+                stitcher.len(),
+                pending.len(),
+                route.len()
+            )));
+        }
+
+        Ok(ErService {
+            shards,
+            stitcher,
+            schemas,
+            route,
+            local_to_global,
+            pending,
+            builder: self,
+        })
+    }
+
+    fn restore_session(&self, path: &std::path::PathBuf) -> Result<HeraSession> {
+        HeraSession::builder(self.config.clone())
+            .recorder(self.recorder.clone())
+            .faults(self.faults.clone())
+            .retry(self.retry)
+            .clock(self.clock.clone())
+            .restore(path)
+    }
+}
+
+fn shard_path(manifest: &Path, shard: usize) -> std::path::PathBuf {
+    let mut p = manifest.as_os_str().to_owned();
+    p.push(format!(".shard{shard}"));
+    p.into()
+}
+
+fn stitcher_path(manifest: &Path) -> std::path::PathBuf {
+    let mut p = manifest.as_os_str().to_owned();
+    p.push(".stitcher");
+    p.into()
+}
+
+/// Reply to [`ErService::ingest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReply {
+    /// Global record id (dense, arrival-ordered — the protocol's `id`).
+    pub id: u32,
+    /// Shard the record routed to.
+    pub shard: u32,
+    /// Whether this ingest tripped the automatic boundary pass.
+    pub stitched: bool,
+}
+
+/// Reply to [`ErService::lookup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupReply {
+    /// Entity label: a global record id — the cluster representative's
+    /// id when stitched, the shard-root's global id when provisional.
+    pub entity: u32,
+    /// True when the record has not been through a boundary pass yet:
+    /// the entity reflects one shard's view and may change (only by
+    /// growing or relabeling, never splitting) at the next stitch.
+    pub provisional: bool,
+    /// Global ids of the entity's known members, ascending.
+    pub members: Vec<u32>,
+}
+
+/// Reply to [`ErService::resolve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveReply {
+    /// Merges applied across all shards.
+    pub merges: usize,
+    /// Comparisons spent across all shards.
+    pub comparisons: u64,
+    /// True when any shard's budget ran out before its fixpoint.
+    pub exhausted: bool,
+    /// Per-shard progressive reports, shard-ordered.
+    pub per_shard: Vec<ProgressiveReport>,
+}
+
+/// Reply to [`ErService::stitch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StitchReply {
+    /// Records the boundary pass ingested (the pending suffix).
+    pub ingested: usize,
+    /// The stitcher's resolution report for the pass.
+    pub report: ProgressiveReport,
+}
+
+/// A long-lived sharded ER service — see the module docs for the model.
+pub struct ErService {
+    shards: Vec<HeraSession>,
+    /// Single-shard session over the whole global stream, fed lazily at
+    /// boundary passes; its record ids *are* the global ids.
+    stitcher: HeraSession,
+    /// Registered schemas (name, attrs), id-ordered — kept for the
+    /// checkpoint manifest so a restored service can validate requests.
+    schemas: Vec<(String, Vec<String>)>,
+    /// Global id → (shard, local id).
+    route: Vec<(u32, u32)>,
+    /// Per-shard local id → global id.
+    local_to_global: Vec<Vec<u32>>,
+    /// Records ingested since the last boundary pass, global-id-ordered
+    /// (global id = stitcher.len() + position).
+    pending: Vec<(SchemaId, Vec<Value>)>,
+    builder: ErServiceBuilder,
+}
+
+impl ErService {
+    /// Starts building a service with `shards` shard sessions.
+    ///
+    /// # Panics
+    /// When `shards` is zero.
+    pub fn builder(config: HeraConfig, shards: usize) -> ErServiceBuilder {
+        assert!(shards > 0, "a service needs at least one shard");
+        ErServiceBuilder::new(config, shards)
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records ingested over the service's lifetime.
+    pub fn len(&self) -> usize {
+        self.route.len()
+    }
+
+    /// True before the first ingest.
+    pub fn is_empty(&self) -> bool {
+        self.route.is_empty()
+    }
+
+    /// Records awaiting their first boundary pass.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Registers a schema in every shard and the stitcher; ids are
+    /// assigned densely in registration order, identical across all
+    /// sessions.
+    pub fn add_schema(&mut self, name: &str, attrs: &[String]) -> SchemaId {
+        let id = self.stitcher.add_schema(name.to_string(), attrs.to_vec());
+        for shard in &mut self.shards {
+            let shard_id = shard.add_schema(name.to_string(), attrs.to_vec());
+            debug_assert_eq!(shard_id, id);
+        }
+        self.schemas.push((name.to_string(), attrs.to_vec()));
+        id
+    }
+
+    /// Ingests one record: routes it by blocking key, joins it into its
+    /// shard, and queues it for the next boundary pass. Trips an
+    /// automatic stitch when the builder's `stitch_every` threshold
+    /// fills.
+    pub fn ingest(&mut self, schema: SchemaId, values: Vec<Value>) -> Result<IngestReply> {
+        let shard = route_shard(&values, self.shards.len());
+        // The shard session validates schema and arity; bookkeeping only
+        // happens once it has accepted the record.
+        let local = self.shards[shard].add_record(schema, values.clone())?;
+        let global = self.route.len() as u32;
+        self.route.push((shard as u32, local.raw()));
+        self.local_to_global[shard].push(global);
+        self.pending.push((schema, values));
+        let mut stitched = false;
+        if self.builder.stitch_every > 0 && self.pending.len() >= self.builder.stitch_every {
+            self.stitch();
+            stitched = true;
+        }
+        Ok(IngestReply {
+            id: global,
+            shard: shard as u32,
+            stitched,
+        })
+    }
+
+    /// Runs budgeted incremental resolution on every shard (each shard
+    /// gets the full `budget` — the schedule inside a shard is the
+    /// session's usual deterministic one).
+    pub fn resolve(&mut self, budget: ResolveBudget) -> ResolveReply {
+        let per_shard: Vec<ProgressiveReport> = self
+            .shards
+            .iter_mut()
+            .map(|s| s.resolve_progressive(budget))
+            .collect();
+        ResolveReply {
+            merges: per_shard.iter().map(|r| r.merges).sum(),
+            comparisons: per_shard.iter().map(|r| r.comparisons_spent).sum(),
+            exhausted: per_shard.iter().any(|r| r.exhausted),
+            per_shard,
+        }
+    }
+
+    /// The cross-shard boundary pass: the stitcher ingests the pending
+    /// suffix of the global stream and resolves to a fixpoint, making
+    /// every record seen so far part of the authoritative partition.
+    pub fn stitch(&mut self) -> StitchReply {
+        let pending = std::mem::take(&mut self.pending);
+        let ingested = pending.len();
+        for (schema, values) in pending {
+            self.stitcher
+                .add_record(schema, values)
+                .expect("stitcher schemas mirror the shards'");
+        }
+        let report = self
+            .stitcher
+            .resolve_progressive(ResolveBudget::unlimited());
+        self.builder.recorder.emit(
+            "serve_stitch",
+            vec![
+                ("ingested", Json::Int(ingested as i64)),
+                ("merges", Json::Int(report.merges as i64)),
+                ("stitched_total", Json::Int(self.stitcher.len() as i64)),
+            ],
+        );
+        self.builder.recorder.flush();
+        StitchReply { ingested, report }
+    }
+
+    /// Looks up the entity of a record by global id. Stitched records
+    /// answer from the authoritative partition; records still awaiting a
+    /// boundary pass answer from their shard, flagged provisional, with
+    /// member ids translated to global ids.
+    pub fn lookup(&self, id: u32) -> Result<LookupReply> {
+        if (id as usize) >= self.route.len() {
+            return Err(HeraError::UnknownId(format!("record {id}")));
+        }
+        if (id as usize) < self.stitcher.len() {
+            let entity = self.stitcher.entity_of(RecordId::new(id));
+            let members = self
+                .stitcher
+                .entity_members(entity)
+                .expect("stitched root has a super record")
+                .to_vec();
+            return Ok(LookupReply {
+                entity,
+                provisional: false,
+                members,
+            });
+        }
+        let (shard, local) = self.route[id as usize];
+        let session = &self.shards[shard as usize];
+        let root = session.entity_of(RecordId::new(local));
+        let map = &self.local_to_global[shard as usize];
+        let mut members: Vec<u32> = session
+            .entity_members(root)
+            .expect("shard root has a super record")
+            .iter()
+            .map(|&l| map[l as usize])
+            .collect();
+        members.sort_unstable();
+        Ok(LookupReply {
+            entity: map[root as usize],
+            provisional: true,
+            members,
+        })
+    }
+
+    /// Members of a stitched entity by label (a stitched `Lookup`'s
+    /// `entity` field).
+    pub fn entity(&self, label: u32) -> Result<&[u32]> {
+        self.stitcher
+            .entity_members(label)
+            .ok_or_else(|| HeraError::UnknownId(format!("entity {label}")))
+    }
+
+    /// The authoritative stitched partition (one vec of global ids per
+    /// entity). Runs no resolution — call [`ErService::stitch`] first
+    /// for full coverage.
+    pub fn stitched_partition(&mut self) -> Vec<Vec<u32>> {
+        self.stitcher.clusters()
+    }
+
+    /// Service-wide counters as a JSON object (the `stats` reply body).
+    pub fn stats(&self) -> Vec<(String, Json)> {
+        let shard_stats: Vec<Json> = self
+            .shards
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("records".into(), Json::Int(s.len() as i64)),
+                    ("merges".into(), Json::Int(s.stats().merges as i64)),
+                    (
+                        "comparisons".into(),
+                        Json::Int(s.stats().comparisons as i64),
+                    ),
+                ])
+            })
+            .collect();
+        vec![
+            ("records".into(), Json::Int(self.route.len() as i64)),
+            ("stitched".into(), Json::Int(self.stitcher.len() as i64)),
+            ("pending".into(), Json::Int(self.pending.len() as i64)),
+            ("schemas".into(), Json::Int(self.schemas.len() as i64)),
+            ("shards".into(), Json::Arr(shard_stats)),
+            (
+                "stitcher_merges".into(),
+                Json::Int(self.stitcher.stats().merges as i64),
+            ),
+        ]
+    }
+
+    /// Checkpoints the whole service: one snapshot per shard
+    /// (`<path>.shard<i>`), one for the stitcher (`<path>.stitcher`),
+    /// then the manifest at `path` — all atomic, CRC-checked, and
+    /// retried under the builder's policy. The manifest is written last,
+    /// so a crash mid-checkpoint never leaves a manifest pointing at
+    /// missing session snapshots.
+    pub fn checkpoint(&mut self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        for i in 0..self.shards.len() {
+            let p = shard_path(path, i);
+            self.shards[i].checkpoint(p)?;
+        }
+        self.stitcher.checkpoint(stitcher_path(path))?;
+
+        let mut manifest = Snapshot::new();
+        manifest.insert(
+            "service",
+            Json::Obj(vec![
+                ("shards".into(), Json::Int(self.shards.len() as i64)),
+                (
+                    "stitch_every".into(),
+                    Json::Int(self.builder.stitch_every as i64),
+                ),
+            ]),
+        );
+        manifest.insert(
+            "schemas",
+            Json::Arr(
+                self.schemas
+                    .iter()
+                    .map(|(name, attrs)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(name.clone())),
+                            (
+                                "attrs".into(),
+                                Json::Arr(attrs.iter().map(|a| Json::Str(a.clone())).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        manifest.insert(
+            "route",
+            Json::Arr(
+                self.route
+                    .iter()
+                    .map(|&(shard, _)| Json::Int(shard as i64))
+                    .collect(),
+            ),
+        );
+        manifest.insert(
+            "pending",
+            Json::Arr(
+                self.pending
+                    .iter()
+                    .map(|(schema, values)| {
+                        Json::Obj(vec![
+                            ("schema".into(), Json::Int(schema.index() as i64)),
+                            (
+                                "values".into(),
+                                Json::Arr(values.iter().map(Value::to_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        hera_faults::retry(
+            &self.builder.retry,
+            self.builder.clock.as_ref(),
+            |_| manifest.write_with(path, &self.builder.faults),
+            io_retryable,
+        )
+        .map_err(|e| HeraError::CheckpointFailed {
+            attempts: e.attempts,
+            cause: Box::new(e.error),
+        })?;
+        Ok(())
+    }
+
+    /// Handles one protocol request, returning the response object and
+    /// whether the service should keep running. Every request lands one
+    /// `serve_request` audit line in the journal.
+    pub fn handle(&mut self, request: &Request) -> (Json, bool) {
+        let (response, keep_going) = self.dispatch(request);
+        let outcome = matches!(response.get("ok"), Some(Json::Bool(true)));
+        self.builder.recorder.emit(
+            "serve_request",
+            vec![
+                ("cmd", Json::Str(cmd_name(request).into())),
+                ("ok", Json::Bool(outcome)),
+            ],
+        );
+        self.builder.recorder.flush();
+        (response, keep_going)
+    }
+
+    fn dispatch(&mut self, request: &Request) -> (Json, bool) {
+        let response = match request {
+            Request::Schema { name, attrs } => {
+                let id = self.add_schema(name, attrs);
+                ok(vec![("schema".into(), Json::Int(id.index() as i64))])
+            }
+            Request::Ingest { schema, values } => {
+                match self.ingest(SchemaId::new(*schema), values.clone()) {
+                    Ok(r) => ingest_fields(&[r]),
+                    Err(e) => err(e),
+                }
+            }
+            Request::Batch { records } => {
+                let mut replies = Vec::with_capacity(records.len());
+                let mut failed = None;
+                for (schema, values) in records {
+                    match self.ingest(SchemaId::new(*schema), values.clone()) {
+                        Ok(r) => replies.push(r),
+                        Err(e) => {
+                            failed = Some((replies.len(), e));
+                            break;
+                        }
+                    }
+                }
+                match failed {
+                    // Ingest is per-record: a mid-batch failure keeps the
+                    // accepted prefix and reports where it stopped.
+                    Some((at, e)) => err(format!("record {at}: {e} ({at} accepted)")),
+                    None => ingest_fields(&replies),
+                }
+            }
+            Request::Resolve { budget } => {
+                let r = self.resolve(*budget);
+                ok(vec![
+                    ("merges".into(), Json::Int(r.merges as i64)),
+                    ("comparisons".into(), Json::Int(r.comparisons as i64)),
+                    ("exhausted".into(), Json::Bool(r.exhausted)),
+                ])
+            }
+            Request::Stitch => {
+                let r = self.stitch();
+                ok(vec![
+                    ("ingested".into(), Json::Int(r.ingested as i64)),
+                    ("merges".into(), Json::Int(r.report.merges as i64)),
+                    ("stitched".into(), Json::Int(self.stitcher.len() as i64)),
+                ])
+            }
+            Request::Lookup { id } => match self.lookup(*id) {
+                Ok(r) => ok(vec![
+                    ("entity".into(), Json::Int(r.entity as i64)),
+                    ("provisional".into(), Json::Bool(r.provisional)),
+                    (
+                        "members".into(),
+                        Json::Arr(r.members.iter().map(|&m| Json::Int(m as i64)).collect()),
+                    ),
+                ]),
+                Err(e) => err(e),
+            },
+            Request::Entity { label } => match self.entity(*label) {
+                Ok(members) => ok(vec![(
+                    "members".into(),
+                    Json::Arr(members.iter().map(|&m| Json::Int(m as i64)).collect()),
+                )]),
+                Err(e) => err(e),
+            },
+            Request::Stats => ok(self.stats()),
+            Request::Checkpoint { path } => match self.checkpoint(path) {
+                Ok(()) => ok(vec![("path".into(), Json::Str(path.clone()))]),
+                Err(e) => err(e),
+            },
+            Request::Shutdown => return (ok(vec![("bye".into(), Json::Bool(true))]), false),
+        };
+        (response, true)
+    }
+}
+
+fn cmd_name(request: &Request) -> &'static str {
+    match request {
+        Request::Schema { .. } => "schema",
+        Request::Ingest { .. } => "ingest",
+        Request::Batch { .. } => "batch",
+        Request::Resolve { .. } => "resolve",
+        Request::Stitch => "stitch",
+        Request::Lookup { .. } => "lookup",
+        Request::Entity { .. } => "entity",
+        Request::Stats => "stats",
+        Request::Checkpoint { .. } => "checkpoint",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+fn ingest_fields(replies: &[IngestReply]) -> Json {
+    let mut fields = vec![(
+        "ids".to_string(),
+        Json::Arr(replies.iter().map(|r| Json::Int(r.id as i64)).collect()),
+    )];
+    if let [only] = replies {
+        fields.push(("id".into(), Json::Int(only.id as i64)));
+        fields.push(("shard".into(), Json::Int(only.shard as i64)));
+    }
+    if replies.iter().any(|r| r.stitched) {
+        fields.push(("stitched".into(), Json::Bool(true)));
+    }
+    ok(fields)
+}

@@ -16,6 +16,7 @@
 //! | [`matching`] | `hera-matching` | Kuhn–Munkres max-weight bipartite matching, simplification, greedy |
 //! | [`index`] | `hera-index` | the value-pair index, Algorithm-1 bounds, union–find, merge maintenance |
 //! | [`obs`] | `hera-obs` | structured run journal: spans, counters, merge/promotion events (JSON Lines) |
+//! | [`serve`] | `hera-serve` | long-lived sharded ER service: incremental ingest, boundary stitching, JSON-lines protocol over stdio/TCP |
 //! | [`faults`] | `hera-faults` | deterministic fault injection: seeded failpoint plans, retry/backoff, injectable clocks |
 //! | [`core`] | `hera-core` | super records, instance-/schema-based verification, the HERA driver, the chaos harness |
 //! | [`store`] | `hera-store` | versioned, CRC-checked session snapshots (checkpoint/restore) |
@@ -66,6 +67,7 @@ pub use hera_index as index;
 pub use hera_join as join;
 pub use hera_matching as matching;
 pub use hera_obs as obs;
+pub use hera_serve as serve;
 pub use hera_sim as sim;
 pub use hera_store as store;
 pub use hera_types as types;
@@ -78,8 +80,8 @@ pub use hera_block::{Blocker, BlockingScheme};
 pub use hera_core::{
     check_no_torn_state, run_chaos, BoundMode, ChaosConfig, ChaosReport, ChaosVerdict, Hera,
     HeraBuilder, HeraConfig, HeraResult, HeraSession, HeraSessionBuilder, InstanceVerifier,
-    ProgressiveReport, ResolveBudget, RunStats, SchemaVoter, SimCache, SimDelta, SuperRecord,
-    Verification, VerifyScratch,
+    MergeEvent, ProgressiveReport, ResolveBudget, ResolveStream, RunStats, SchemaVoter, SimCache,
+    SimDelta, SuperRecord, Verification, VerifyScratch,
 };
 pub use hera_datagen::{table1_dataset, DatagenConfig, Domain, Generator};
 pub use hera_eval::{adjusted_rand_index, bcubed, v_measure, PairMetrics};
@@ -94,6 +96,9 @@ pub use hera_faults::{
 pub use hera_index::{FlatIndex, UnionFind, ValuePair, ValuePairIndex};
 pub use hera_join::{IncrementalJoin, JoinConfig, SimilarityJoin};
 pub use hera_obs::{JournalBuffer, Recorder};
+pub use hera_serve::{
+    ErService, ErServiceBuilder, IngestReply, LookupReply, ServeClient, TcpClient,
+};
 pub use hera_sim::{
     CosineTf, DiceQGram, EditSimilarity, ExactMatch, Jaro, JaroWinkler, MongeElkan,
     NumericProximity, OverlapQGram, QGramJaccard, SoftTfIdf, TokenJaccard, TypeDispatch,

@@ -1,14 +1,12 @@
-//! API-compatibility coverage: the `#[deprecated]` constructor shims
-//! must stay behaviorally identical to their builder replacements for
-//! the whole deprecation window, and `run_with_pairs` must reject every
-//! malformed pair shape with the documented typed error — never a panic
-//! and never a silently wrong result.
+//! API-contract coverage for the batch driver's pair-injection entry
+//! point: `run_with_pairs` must reject every malformed pair shape with
+//! the documented typed error — never a panic and never a silently
+//! wrong result. (The `#[deprecated]` pre-builder constructor shims
+//! this file used to pin were removed once the builder migration
+//! finished; `Hera::builder` / `HeraSession::builder` are the only
+//! construction paths now.)
 
-use hera::{
-    motivating_example, Hera, HeraConfig, HeraError, HeraSession, Label, Recorder, SchemaId,
-    TypeDispatch,
-};
-use std::sync::Arc;
+use hera::{motivating_example, Hera, HeraConfig, HeraError, Label};
 
 fn pair(a: u32, b: u32) -> hera::join::ValuePair {
     hera::join::ValuePair {
@@ -16,100 +14,6 @@ fn pair(a: u32, b: u32) -> hera::join::ValuePair {
         b: Label::new(b, 0, 0),
         sim: 1.0,
     }
-}
-
-/// Streams the motivating example through a session and returns its
-/// final labels — the observable a shim must reproduce exactly.
-fn session_labels(mut session: HeraSession) -> Vec<u32> {
-    let ds = motivating_example();
-    let schemas: Vec<SchemaId> = ds
-        .registry
-        .schemas()
-        .map(|s| {
-            session.add_schema(
-                s.name.clone(),
-                s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
-            )
-        })
-        .collect();
-    for rec in ds.iter() {
-        session
-            .add_record(schemas[rec.schema.index()], rec.values.clone())
-            .unwrap();
-        session.resolve();
-    }
-    (0..ds.len() as u32)
-        .map(|rid| session.entity_of(hera::RecordId::new(rid)))
-        .collect()
-}
-
-#[test]
-#[allow(deprecated)]
-fn hera_new_matches_builder() {
-    let ds = motivating_example();
-    let cfg = HeraConfig::paper_example();
-    let old = Hera::new(cfg.clone()).run(&ds).unwrap();
-    let new = Hera::builder(cfg).build().run(&ds).unwrap();
-    assert_eq!(old.entity_of, new.entity_of);
-    assert_eq!(old.stats.merges, new.stats.merges);
-    assert_eq!(old.stats.iterations, new.stats.iterations);
-}
-
-#[test]
-#[allow(deprecated)]
-fn hera_with_metric_matches_builder_metric() {
-    let ds = motivating_example();
-    let cfg = HeraConfig::paper_example();
-    let metric = Arc::new(TypeDispatch::paper_default());
-    let old = Hera::with_metric(cfg.clone(), metric.clone())
-        .run(&ds)
-        .unwrap();
-    let new = Hera::builder(cfg).metric(metric).build().run(&ds).unwrap();
-    assert_eq!(old.entity_of, new.entity_of);
-}
-
-#[test]
-#[allow(deprecated)]
-fn hera_with_recorder_matches_builder_recorder() {
-    let ds = motivating_example();
-    let cfg = HeraConfig::paper_example();
-    let (rec_old, buf_old) = Recorder::to_memory();
-    let (rec_new, buf_new) = Recorder::to_memory();
-    let old = Hera::new(cfg.clone())
-        .with_recorder(rec_old.deterministic())
-        .run(&ds)
-        .unwrap();
-    let new = Hera::builder(cfg)
-        .recorder(rec_new.deterministic())
-        .build()
-        .run(&ds)
-        .unwrap();
-    assert_eq!(old.entity_of, new.entity_of);
-    // Both paths journal identically (deterministic mode strips clocks).
-    assert_eq!(
-        hera::obs::deterministic_view(&buf_old.contents()),
-        hera::obs::deterministic_view(&buf_new.contents())
-    );
-}
-
-#[test]
-#[allow(deprecated)]
-fn session_shims_match_builder() {
-    let cfg = HeraConfig::paper_example();
-    let via_new = session_labels(HeraSession::new(cfg.clone()));
-    let via_builder = session_labels(HeraSession::builder(cfg.clone()).build());
-    assert_eq!(via_new, via_builder);
-
-    let metric = Arc::new(TypeDispatch::paper_default());
-    let via_with_metric = session_labels(HeraSession::with_metric(cfg.clone(), metric.clone()));
-    let via_builder_metric =
-        session_labels(HeraSession::builder(cfg.clone()).metric(metric).build());
-    assert_eq!(via_with_metric, via_builder_metric);
-    assert_eq!(via_new, via_with_metric);
-
-    let via_with_recorder =
-        session_labels(HeraSession::new(cfg).with_recorder(Recorder::disabled()));
-    assert_eq!(via_with_recorder, via_new);
 }
 
 #[test]

@@ -505,3 +505,131 @@ fn merge_budget_stops_cleanly() {
     assert!(rz.exhausted);
     assert!(rz.frontier > 0, "untouched dirty roots are the frontier");
 }
+
+// ---------------------------------------------------------------------
+// 5. Streaming resolve (ROADMAP item 3(a)): callback + iterator forms.
+// ---------------------------------------------------------------------
+
+/// The callback form sees exactly the journal's merge sequence —
+/// winner, loser, confidence, in order — and leaves a report and
+/// journal bit-identical to `resolve_progressive` under the same
+/// budget.
+#[test]
+fn resolve_progressive_with_streams_the_merge_sequence() {
+    let ds = dataset(23, 40, 7, 1);
+    for budget in [
+        ResolveBudget::unlimited(),
+        ResolveBudget::comparisons(40),
+        ResolveBudget::merges(5),
+    ] {
+        let (mut polled, polled_buf) = ingest_all(HeraConfig::new(0.5, 0.5), &ds);
+        let polled_report = polled.resolve_progressive(budget);
+
+        let (mut streamed, streamed_buf) = ingest_all(HeraConfig::new(0.5, 0.5), &ds);
+        let mut events: Vec<hera::MergeEvent> = Vec::new();
+        let streamed_report = streamed.resolve_progressive_with(budget, |e| events.push(e));
+
+        assert_eq!(streamed_report, polled_report);
+        assert_eq!(streamed_buf.contents(), polled_buf.contents());
+        assert_eq!(events.len(), streamed_report.merges);
+        let journal_merges = merge_lines(&streamed_buf.contents());
+        assert_eq!(events.len(), journal_merges.len());
+        for (e, line) in events.iter().zip(&journal_merges) {
+            assert!(
+                line.contains(&format!("\"winner\":{}", e.winner))
+                    && line.contains(&format!("\"loser\":{}", e.loser)),
+                "event {e:?} does not match journal line {line}"
+            );
+            assert!(e.confidence >= 0.5, "merges never land below δ");
+            assert!(e.comparisons_spent <= streamed_report.comparisons_spent);
+        }
+        // comparisons_spent is non-decreasing along the stream — the
+        // x-axis of a progressive-recall curve.
+        for w in events.windows(2) {
+            assert!(w[0].comparisons_spent <= w[1].comparisons_spent);
+        }
+        assert_eq!(labels_of(&streamed), labels_of(&polled));
+    }
+}
+
+/// The pull-based iterator yields the same events as the callback form,
+/// and abandoning it early leaves the session at a clean budget-cut
+/// boundary: resolving the rest lands on the full run's answer.
+#[test]
+fn resolve_stream_matches_callback_and_survives_early_drop() {
+    let ds = dataset(29, 40, 7, 1);
+
+    let (mut by_cb, _) = ingest_all(HeraConfig::new(0.5, 0.5), &ds);
+    let mut cb_events: Vec<hera::MergeEvent> = Vec::new();
+    let cb_report = by_cb.resolve_progressive_with(ResolveBudget::unlimited(), |e| {
+        cb_events.push(e);
+    });
+
+    let (mut by_iter, _) = ingest_all(HeraConfig::new(0.5, 0.5), &ds);
+    let mut stream = by_iter.resolve_stream(ResolveBudget::unlimited());
+    let iter_events: Vec<hera::MergeEvent> = stream.by_ref().collect();
+    let iter_report = stream.report();
+    drop(stream);
+    assert_eq!(iter_events, cb_events);
+    assert_eq!(iter_report, cb_report);
+    assert_eq!(labels_of(&by_iter), labels_of(&by_cb));
+    assert!(cb_events.len() >= 2, "workload must actually merge");
+
+    // Early drop: consume only the first event, abandon the stream.
+    let (mut partial, _) = ingest_all(HeraConfig::new(0.5, 0.5), &ds);
+    {
+        let mut stream = partial.resolve_stream(ResolveBudget::unlimited());
+        let first = stream.next().expect("at least one merge");
+        assert_eq!(first, cb_events[0]);
+    }
+    // The drop sealed the call; the session continues to the same
+    // fixpoint from its clean boundary.
+    partial.resolve();
+    assert_eq!(labels_of(&partial), labels_of(&by_cb));
+
+    // finish() drains and returns the full report.
+    let (mut fin, _) = ingest_all(HeraConfig::new(0.5, 0.5), &ds);
+    let fin_report = fin.resolve_stream(ResolveBudget::unlimited()).finish();
+    assert_eq!(fin_report, cb_report);
+}
+
+// ---------------------------------------------------------------------
+// 6. Wall-clock budgets (ROADMAP item 3(b)) — best-effort by contract.
+// ---------------------------------------------------------------------
+
+/// A zero wall-clock budget stops at the first round boundary without
+/// reaching the fixpoint; a generous one reaches exactly resolve()'s
+/// answer. (No assertion relates spent time to the budget — wall-clock
+/// cuts are best-effort, not bit-exact; see `ResolveBudget::wall_clock`.)
+#[test]
+fn wall_clock_budget_cuts_and_completes() {
+    use std::time::Duration;
+    let ds = dataset(41, 48, 7, 1);
+    let (mut full, _) = ingest_all(HeraConfig::new(0.5, 0.5), &ds);
+    let full_merges = full.resolve();
+    assert!(full_merges > 0);
+
+    let zero = ResolveBudget::wall_clock(Duration::ZERO);
+    assert!(zero.is_bounded());
+    let (mut starved, _) = ingest_all(HeraConfig::new(0.5, 0.5), &ds);
+    let r = starved.resolve_progressive(zero);
+    assert!(r.exhausted, "zero time must report exhaustion");
+    assert_eq!(r.comparisons_spent, 0, "deadline met before any round");
+    assert!(r.frontier > 0);
+    // The cut is a clean boundary: the rest of the schedule still lands
+    // on the full answer.
+    let rest = starved.resolve_progressive(ResolveBudget::unlimited());
+    assert_eq!(r.merges + rest.merges, full_merges);
+    assert_eq!(labels_of(&starved), labels_of(&full));
+
+    let generous = ResolveBudget::unlimited().with_wall_clock(Duration::from_secs(3600));
+    let (mut relaxed, _) = ingest_all(HeraConfig::new(0.5, 0.5), &ds);
+    let rr = relaxed.resolve_progressive(generous);
+    assert!(!rr.exhausted);
+    assert_eq!(rr.merges, full_merges);
+    assert_eq!(labels_of(&relaxed), labels_of(&full));
+
+    // The cost model exists once comparisons were spent, and is sane.
+    assert!(relaxed.per_comparison_cost().is_some());
+    assert!(starved.per_comparison_cost().unwrap() > Duration::ZERO);
+}

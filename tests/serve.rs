@@ -1,0 +1,354 @@
+//! hera-serve integration tests: the line protocol end to end (in
+//! process and over TCP), checkpoint → kill → restore continuity, and
+//! the sharding equivalence property — sharded ingest plus boundary
+//! stitching lands on exactly the partition a single-shard session
+//! produces on the same stream, at any shard count and thread count.
+
+use hera::serve::{serve_lines, serve_tcp, ErService, TcpClient};
+use hera::types::json::{parse, Json};
+use hera::{HeraConfig, HeraSession, ResolveBudget, SchemaId};
+use hera_datagen::{CorruptionConfig, DatagenConfig, Generator};
+use std::io::Cursor;
+
+const DELTA: f64 = 0.5;
+const XI: f64 = 0.5;
+
+fn dataset(seed: u64, n_records: usize) -> hera::Dataset {
+    Generator::new(DatagenConfig {
+        name: format!("serve-test-{seed}"),
+        seed,
+        n_records,
+        n_entities: (n_records / 6).max(2),
+        n_attrs: 12,
+        n_sources: 4,
+        min_source_attrs: 6,
+        max_source_attrs: 10,
+        corruption: CorruptionConfig::moderate(),
+        domain: Default::default(),
+    })
+    .generate()
+}
+
+/// Registers a dataset's schemas in a service; service ids mirror
+/// dataset ids (dense registration order).
+fn mirror_schemas(service: &mut ErService, ds: &hera::Dataset) -> Vec<SchemaId> {
+    ds.registry
+        .schemas()
+        .map(|s| {
+            service.add_schema(
+                &s.name,
+                &s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+/// Runs a request script through an in-process service and returns the
+/// parsed response lines.
+fn run_script(service: &mut ErService, script: &str) -> Vec<Json> {
+    let mut out = Vec::new();
+    let shutdown = serve_lines(service, Cursor::new(script.to_string()), &mut out).unwrap();
+    assert!(!shutdown || script.contains("shutdown"));
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| parse(l).unwrap())
+        .collect()
+}
+
+fn is_ok(reply: &Json) -> bool {
+    matches!(reply.get("ok"), Some(Json::Bool(true)))
+}
+
+/// The protocol end to end over an in-process byte stream: schema →
+/// ingest → resolve → stitch → lookup → entity → stats, plus error
+/// responses for bad input, with the connection surviving every error.
+#[test]
+fn protocol_round_trips_in_process() {
+    let mut service = ErService::builder(HeraConfig::new(DELTA, XI), 2).build();
+    let script = r#"{"cmd":"schema","name":"crm","attrs":["name","city"]}
+{"cmd":"ingest","schema":0,"values":[{"Str":"alice example"},{"Str":"berlin"}]}
+not even json
+{"cmd":"lookup","id":99}
+{"cmd":"ingest","schema":0,"values":[{"Str":"alice example"},{"Str":"berlin"}]}
+{"cmd":"resolve","budget":{}}
+{"cmd":"stitch"}
+{"cmd":"lookup","id":0}
+{"cmd":"stats"}
+{"cmd":"shutdown"}
+"#;
+    // Values ride the wire in hera_types::Value::to_json's tagged shape.
+    let probe = hera::Value::from("alice example")
+        .to_json()
+        .to_string_compact();
+    assert_eq!(probe, r#"{"Str":"alice example"}"#, "wire shape drifted");
+
+    let replies = run_script(&mut service, script);
+    assert_eq!(replies.len(), 10);
+    assert!(is_ok(&replies[0]), "schema");
+    assert_eq!(replies[0].expect("schema").unwrap().as_u32().unwrap(), 0);
+    assert!(is_ok(&replies[1]), "first ingest");
+    assert!(!is_ok(&replies[2]), "garbage line must error, not kill");
+    assert!(!is_ok(&replies[3]), "unknown id must error");
+    assert!(is_ok(&replies[4]) && is_ok(&replies[5]) && is_ok(&replies[6]));
+    let lookup = &replies[7];
+    assert!(is_ok(lookup));
+    assert_eq!(
+        lookup.expect("provisional").unwrap(),
+        &Json::Bool(false),
+        "stitched lookup is authoritative"
+    );
+    let members = lookup.expect("members").unwrap().as_arr().unwrap();
+    assert_eq!(members.len(), 2, "identical records must have merged");
+    let stats = &replies[8];
+    assert_eq!(stats.expect("records").unwrap().as_i64().unwrap(), 2);
+    assert_eq!(stats.expect("pending").unwrap().as_i64().unwrap(), 0);
+    assert!(is_ok(&replies[9]), "shutdown acks");
+}
+
+/// Sharded ingest + boundary stitching reproduces the single-shard
+/// partition exactly — same clusters, same entity labels — for every
+/// shard count and thread count, with periodic budgeted shard resolves
+/// and stitches along the way. (ISSUE satellite 5.)
+#[test]
+fn sharded_stitching_matches_single_shard_partition() {
+    let ds = dataset(91, 180);
+    // Single-shard reference: resolve at the same stitch boundaries.
+    let stitch_every = 45;
+    let mut reference = HeraSession::builder(HeraConfig::new(DELTA, XI)).build();
+    let ref_schemas: Vec<SchemaId> = ds
+        .registry
+        .schemas()
+        .map(|s| {
+            reference.add_schema(
+                s.name.clone(),
+                s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    for (i, rec) in ds.iter().enumerate() {
+        reference
+            .add_record(ref_schemas[rec.schema.index()], rec.values.clone())
+            .unwrap();
+        if (i + 1) % stitch_every == 0 {
+            reference.resolve();
+        }
+    }
+    reference.resolve();
+    let want = reference.clusters();
+
+    for shards in [1, 2, 4] {
+        for threads in [1, 8] {
+            let mut service =
+                ErService::builder(HeraConfig::new(DELTA, XI).with_threads(threads), shards)
+                    .stitch_every(stitch_every)
+                    .build();
+            let schemas = mirror_schemas(&mut service, &ds);
+            for rec in ds.iter() {
+                service
+                    .ingest(schemas[rec.schema.index()], rec.values.clone())
+                    .unwrap();
+                // Shard-level resolution between boundaries: provisional
+                // work that must never change the stitched answer.
+                if service.len() % 10 == 0 {
+                    service.resolve(ResolveBudget::comparisons(200));
+                }
+            }
+            service.stitch();
+            assert_eq!(
+                service.stitched_partition(),
+                want,
+                "{shards} shard(s), {threads} thread(s)"
+            );
+            // Every lookup agrees with the reference session bit for bit.
+            for rid in 0..ds.len() as u32 {
+                let reply = service.lookup(rid).unwrap();
+                assert!(!reply.provisional, "all records stitched");
+                assert_eq!(
+                    reply.entity,
+                    reference.entity_of(hera::RecordId::new(rid)),
+                    "rid {rid} at {shards} shard(s), {threads} thread(s)"
+                );
+            }
+        }
+    }
+}
+
+// Property version over random streams: ingest order, shard count, and
+// stitch cadence never change the stitched partition.
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+    #[test]
+    fn stitched_partition_is_shard_invariant(
+        seed in 0u64..1_000,
+        shards in 1usize..=4,
+        threads in 1usize..=8,
+        stitch_every in 20usize..=60,
+    ) {
+        let ds = dataset(seed, 120);
+        let mut reference = HeraSession::builder(HeraConfig::new(DELTA, XI)).build();
+        let ref_schemas: Vec<SchemaId> = ds
+            .registry
+            .schemas()
+            .map(|s| {
+                reference.add_schema(
+                    s.name.clone(),
+                    s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        for (i, rec) in ds.iter().enumerate() {
+            reference
+                .add_record(ref_schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+            if (i + 1) % stitch_every == 0 {
+                reference.resolve();
+            }
+        }
+        reference.resolve();
+
+        let mut service = ErService::builder(
+            HeraConfig::new(DELTA, XI).with_threads(threads),
+            shards,
+        )
+        .stitch_every(stitch_every)
+        .build();
+        let schemas = mirror_schemas(&mut service, &ds);
+        for rec in ds.iter() {
+            service
+                .ingest(schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+        }
+        service.resolve(ResolveBudget::merges(5));
+        service.stitch();
+        proptest::prop_assert_eq!(service.stitched_partition(), reference.clusters());
+    }
+}
+
+/// Checkpoint → drop → restore: the restored service answers lookups
+/// identically, keeps its pending suffix, and continues ingesting +
+/// stitching to the same final partition as a never-interrupted twin.
+#[test]
+fn checkpoint_restore_preserves_answers_and_continuation() {
+    let ds = dataset(92, 160);
+    let cut = 100;
+    let dir = std::env::temp_dir().join(format!("hera-serve-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("service.hera");
+
+    let build = || ErService::builder(HeraConfig::new(DELTA, XI), 3).stitch_every(40);
+
+    // Uninterrupted twin.
+    let mut whole = build().build();
+    let schemas = mirror_schemas(&mut whole, &ds);
+    for rec in ds.iter() {
+        whole
+            .ingest(schemas[rec.schema.index()], rec.values.clone())
+            .unwrap();
+    }
+    whole.stitch();
+
+    // Interrupted twin: ingest a prefix, checkpoint mid-pending, drop.
+    let (pre_lookup, pre_pending) = {
+        let mut first = build().build();
+        let schemas = mirror_schemas(&mut first, &ds);
+        for rec in ds.iter().take(cut) {
+            first
+                .ingest(schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+        }
+        assert!(first.pending_len() > 0, "cut must land mid-pending");
+        first.checkpoint(&path).unwrap();
+        (first.lookup(0).unwrap(), first.pending_len())
+    };
+
+    let mut resumed = build().restore(&path).unwrap();
+    assert_eq!(resumed.len(), cut);
+    assert_eq!(resumed.pending_len(), pre_pending);
+    assert_eq!(
+        resumed.lookup(0).unwrap(),
+        pre_lookup,
+        "restored answers agree"
+    );
+
+    for rec in ds.iter().skip(cut) {
+        resumed
+            .ingest(schemas[rec.schema.index()], rec.values.clone())
+            .unwrap();
+    }
+    resumed.stitch();
+    assert_eq!(
+        resumed.stitched_partition(),
+        whole.stitched_partition(),
+        "continuation matches the uninterrupted run"
+    );
+
+    // Shard-count mismatch is a typed config error, not silent rerouting.
+    let err = ErService::builder(HeraConfig::new(DELTA, XI), 2)
+        .restore(&path)
+        .err()
+        .expect("wrong shard count must fail");
+    assert!(matches!(err, hera::HeraError::InvalidConfig(_)), "{err}");
+
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        std::fs::remove_file(entry.unwrap().path()).ok();
+    }
+    std::fs::remove_dir(&dir).ok();
+}
+
+/// The TCP transport end to end with the typed client: two sequential
+/// connections share service state, and `shutdown` stops the server.
+#[test]
+fn tcp_server_and_typed_client() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let mut service = ErService::builder(HeraConfig::new(DELTA, XI), 2).build();
+        serve_tcp(&mut service, listener).unwrap();
+    });
+
+    // Connection 1: register + ingest, then hang up (no shutdown).
+    {
+        let mut c = TcpClient::connect(addr).unwrap();
+        let schema = c
+            .schema("crm", &["name".to_string(), "city".to_string()])
+            .unwrap();
+        assert_eq!(schema.raw(), 0);
+        let a = c
+            .ingest(
+                schema,
+                vec![hera::Value::from("bob stone"), hera::Value::from("paris")],
+            )
+            .unwrap();
+        assert_eq!(a.id, 0);
+        let ids = c
+            .batch(vec![
+                (
+                    schema,
+                    vec![hera::Value::from("bob stone"), hera::Value::from("paris")],
+                ),
+                (
+                    schema,
+                    vec![hera::Value::from("someone else"), hera::Value::from("lyon")],
+                ),
+            ])
+            .unwrap();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    // Connection 2: state survived; resolve, stitch, look up, shut down.
+    {
+        let mut c = TcpClient::connect(addr).unwrap();
+        let (_, exhausted) = c.resolve(ResolveBudget::unlimited()).unwrap();
+        assert!(!exhausted);
+        assert_eq!(c.stitch().unwrap(), 3);
+        let hit = c.lookup(0).unwrap();
+        assert!(!hit.provisional);
+        assert_eq!(hit.members, vec![0, 1], "the two bobs merged");
+        assert_eq!(c.entity(hit.entity).unwrap(), hit.members);
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.expect("records").unwrap().as_i64().unwrap(), 3);
+        c.shutdown().unwrap();
+    }
+    server.join().unwrap();
+}
