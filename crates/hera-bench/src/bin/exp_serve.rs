@@ -1,15 +1,17 @@
 //! hera-serve throughput/latency sweep: ingest rate, lookup latency,
-//! and boundary-pass cost across shard counts on the scale-tier stream.
+//! and boundary-pass cost across (shard, worker-thread) counts on the
+//! scale-tier stream.
 //!
-//! For each shard count the harness builds an `ErService`, streams the
-//! seeded scale dataset through it (budget-free shard resolves every
-//! `RESOLVE_EVERY` records — the latency-oriented serving pattern),
-//! samples provisional lookup latency, runs the cross-shard boundary
-//! pass, samples stitched lookup latency, and scores the stitched
-//! partition against ground truth. The stitched partition must be
-//! identical at every shard count — the harness asserts it, so the
-//! sweep doubles as a large-scale run of the sharding-equivalence
-//! property.
+//! For each (shards, workers) pair the harness builds an `ErService`,
+//! streams the seeded scale dataset through it (budget-free shard
+//! resolves every `RESOLVE_EVERY` records — the latency-oriented
+//! serving pattern), samples provisional lookup latency, runs the
+//! cross-shard boundary pass, samples stitched lookup latency both
+//! single-client and from `MC_CLIENTS` concurrent client threads, and
+//! scores the stitched partition against ground truth. The stitched
+//! partition must be identical at every shard *and worker* count — the
+//! harness asserts it, so the sweep doubles as a large-scale run of
+//! both the sharding-equivalence and the worker-determinism property.
 //!
 //! With streaming blocking on (`--blocking`, default token), the
 //! incremental join verifies each record against its co-blocked
@@ -46,7 +48,13 @@ const FULL_RECORDS: usize = 100_000;
 const SMOKE_RECORDS: usize = 5_000;
 const SEED: u64 = 52;
 
-const SHARD_COUNTS: &[usize] = &[1, 2, 4];
+/// (shards, worker threads) pairs swept. Workers beyond the shard
+/// count are clamped by the service, so only `workers <= shards`
+/// combinations appear.
+const CONFIGS: &[(usize, usize)] = &[(1, 1), (2, 1), (2, 2), (4, 1), (4, 2), (4, 4)];
+
+/// Concurrent client threads for the multi-client lookup sample.
+const MC_CLIENTS: usize = 4;
 
 /// Budget-free shard resolve cadence during ingest.
 const RESOLVE_EVERY: usize = 5_000;
@@ -87,19 +95,21 @@ fn main() {
     );
     header(&[
         "shards",
+        "workers",
         "ingest_ms",
         "rec/s",
         "lookup_us(prov)",
         "stitch_ms",
         "lookup_us(stitched)",
+        &format!("lookup_us(mc{MC_CLIENTS})"),
         "f1",
         "entities",
     ]);
 
     let mut entries: Vec<Json> = Vec::new();
     let mut reference: Option<Vec<Vec<u32>>> = None;
-    for &shards in SHARD_COUNTS {
-        let e = run_shard_count(&ds, scheme.clone(), shards, &mut reference);
+    for &(shards, workers) in CONFIGS {
+        let e = run_config(&ds, scheme.clone(), shards, workers, &mut reference);
         entries.push(e);
     }
 
@@ -112,23 +122,27 @@ fn main() {
              cost is universe-independent and shard counts land within noise — the sweep shows \
              sharding costs nothing while bounding per-shard state; shard resolves run \
              budget-free every {RESOLVE_EVERY} records; lookup latency is the mean over \
-             {LOOKUP_SAMPLE} strided probes; the stitched partition is asserted identical \
-             across shard counts"
+             {LOOKUP_SAMPLE} strided probes (the mc column: {MC_CLIENTS} concurrent client \
+             threads, all probes pooled — on this single-core host it measures lock/channel \
+             overhead, not parallel speedup); the stitched partition is asserted identical \
+             across every (shards, workers) pair"
         ))
         .section("shard_counts", Json::Arr(entries))
         .write(&out);
 }
 
-/// Runs the full serve lifecycle at one shard count; returns its JSON
-/// entry and checks the stitched partition against the first run's.
-fn run_shard_count(
+/// Runs the full serve lifecycle at one (shards, workers) pair; returns
+/// its JSON entry and checks the stitched partition against the first
+/// run's.
+fn run_config(
     ds: &Dataset,
     scheme: BlockingScheme,
     shards: usize,
+    workers: usize,
     reference: &mut Option<Vec<Vec<u32>>>,
 ) -> Json {
     let config = HeraConfig::new(DELTA, XI).with_blocking(scheme);
-    let mut service = ErService::builder(config, shards).build();
+    let service = std::sync::Arc::new(ErService::builder(config, shards).workers(workers).build());
     let schemas: Vec<SchemaId> = ds
         .registry
         .schemas()
@@ -140,7 +154,7 @@ fn run_shard_count(
         })
         .collect();
 
-    eprintln!("[{shards} shard(s)] ingesting…");
+    eprintln!("[{shards} shard(s) / {workers} worker(s)] ingesting…");
     let t0 = Instant::now();
     let mut resolve_ms = 0.0f64;
     for (i, r) in ds.records.iter().enumerate() {
@@ -160,12 +174,13 @@ fn run_shard_count(
 
     let lookup_prov_us = sample_lookup_us(&service, ds.len());
 
-    eprintln!("[{shards} shard(s)] stitching…");
+    eprintln!("[{shards} shard(s) / {workers} worker(s)] stitching…");
     let t0 = Instant::now();
     let stitch = service.stitch();
     let stitch_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let lookup_stitched_us = sample_lookup_us(&service, ds.len());
+    let lookup_mc_us = sample_lookup_multiclient_us(&service, ds.len());
 
     let partition = service.stitched_partition();
     let f1 = PairMetrics::score(&partition, &ds.truth).f1();
@@ -173,24 +188,28 @@ fn run_shard_count(
     match reference {
         Some(want) => assert_eq!(
             *want, partition,
-            "{shards} shard(s): stitched partition diverged from the 1-shard run"
+            "{shards} shard(s) / {workers} worker(s): stitched partition diverged \
+             from the first run"
         ),
         None => *reference = Some(partition),
     }
 
     row(&[
         shards.to_string(),
+        service.worker_count().to_string(),
         format!("{ingest_ms:.0}"),
         format!("{per_sec:.0}"),
         format!("{lookup_prov_us:.1}"),
         format!("{stitch_ms:.0}"),
         format!("{lookup_stitched_us:.1}"),
+        format!("{lookup_mc_us:.1}"),
         format!("{f1:.4}"),
         entities.to_string(),
     ]);
 
     Json::Obj(vec![
         ("shards".into(), Json::Int(shards as i64)),
+        ("workers".into(), Json::Int(service.worker_count() as i64)),
         ("ingest_ms".into(), Json::Float(ingest_ms)),
         ("shard_resolve_ms".into(), Json::Float(resolve_ms)),
         ("ingest_records_per_sec".into(), Json::Float(per_sec)),
@@ -201,6 +220,8 @@ fn run_shard_count(
             Json::Int(stitch.report.merges as i64),
         ),
         ("lookup_stitched_us".into(), Json::Float(lookup_stitched_us)),
+        ("lookup_multiclient_us".into(), Json::Float(lookup_mc_us)),
+        ("multiclient_clients".into(), Json::Int(MC_CLIENTS as i64)),
         ("f1".into(), Json::Float(f1)),
         ("entities".into(), Json::Int(entities as i64)),
     ])
@@ -219,4 +240,40 @@ fn sample_lookup_us(service: &ErService, n: usize) -> f64 {
     let us = t0.elapsed().as_secs_f64() * 1e6 / ids.len() as f64;
     std::hint::black_box(touched);
     us
+}
+
+/// Mean lookup latency with `MC_CLIENTS` client threads probing
+/// concurrently — each thread takes a disjoint stride offset so the
+/// pooled probes cover the same id range as the single-client sample.
+/// On a single-core host this measures contention (the service's
+/// bookkeeping lock + reply channels), not parallel speedup.
+fn sample_lookup_multiclient_us(service: &std::sync::Arc<ErService>, n: usize) -> f64 {
+    let stride = (n / LOOKUP_SAMPLE).max(1) * MC_CLIENTS;
+    let t0 = Instant::now();
+    let mut probes = 0usize;
+    let threads: Vec<_> = (0..MC_CLIENTS)
+        .map(|c| {
+            let service = service.clone();
+            std::thread::spawn(move || {
+                let mut touched = 0usize;
+                let mut count = 0usize;
+                let mut id = c * stride / MC_CLIENTS;
+                while id < n {
+                    touched += service
+                        .lookup(id as u32)
+                        .expect("sampled id exists")
+                        .members
+                        .len();
+                    count += 1;
+                    id += stride;
+                }
+                std::hint::black_box(touched);
+                count
+            })
+        })
+        .collect();
+    for t in threads {
+        probes += t.join().expect("lookup client");
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / probes.max(1) as f64
 }

@@ -40,7 +40,8 @@ USAGE:
   hera-cli faults replay --input FILE --plan FILE.json [--checkpoint-every N]
                 [--crash-after N] [--strict-checkpoints] [--upto N] [--resolve-budget N]
                 [--delta 0.5] [--xi 0.5] [--threads N] [--no-sim-cache]
-  hera-cli serve    [--shards N] [--listen ADDR | (stdio default)] [--restore FILE.hera]
+  hera-cli serve    [--shards N] [--workers N] [--listen ADDR | (stdio default)]
+                [--restore FILE.hera]
                 [--stitch-every N] [--delta 0.5] [--xi 0.5] [--threads N]
                 [--no-sim-cache] [--blocking <none|token|qgram|lsh>]
                 [--trace FILE.jsonl] [--trace-deterministic]
@@ -111,7 +112,13 @@ sessions by blocking key, resolve incrementally under per-request
 budgets, and stay queryable (`lookup` / `entity` / `stats`).
 `--stitch-every N` runs the cross-shard boundary pass automatically
 every N ingested records (or send `{\"cmd\":\"stitch\"}` manually). The
-`checkpoint` request snapshots every shard plus a manifest;
+service is concurrent: `--workers N` sets the shard-worker thread count
+(default: one per shard; clamped to the shard count), shards ingest and
+resolve in parallel, the boundary stitch runs double-buffered on its own
+thread while lookups answer from the last published partition, and the
+TCP listener serves any number of simultaneous clients — answers stay
+bit-identical at every worker count. The `checkpoint` request snapshots
+every shard plus a manifest (safe to race with live ingest);
 `serve --restore FILE.hera` brings the whole service back. `client`
 forwards request lines to a running server and prints the responses.
 
@@ -918,28 +925,32 @@ fn serve(args: &Args) -> Result<(), String> {
         return Err("--shards must be at least 1".into());
     }
     let stitch_every = args.get_u64("stitch-every", 0)? as usize;
+    let workers = args.get_u64("workers", 0)? as usize;
     let recorder = build_recorder(args)?;
     let injector = fault_injector(args)?;
     let mut builder = hera_serve::ErService::builder(config, shards)
         .stitch_every(stitch_every)
+        .workers(workers)
         .recorder(recorder.clone())
         .faults(injector);
     if args.has("no-retry") {
         builder = builder.retry(hera_faults::BackoffPolicy::none());
     }
-    let mut service = match args.get("restore") {
+    let service = match args.get("restore") {
         Some(path) => builder
             .restore(path)
             .map_err(|e| format!("restoring {path}: {e}"))?,
         None => builder.build(),
     };
     eprintln!(
-        "hera-serve: {} shard(s), {} record(s) restored, stitch-every {}",
+        "hera-serve: {} shard(s) on {} worker thread(s), {} record(s) restored, stitch-every {}",
         service.shard_count(),
+        service.worker_count(),
         service.len(),
         stitch_every
     );
 
+    let service = std::sync::Arc::new(service);
     let shutdown = match args.get("listen") {
         Some(addr) => {
             let listener =
@@ -948,13 +959,13 @@ fn serve(args: &Args) -> Result<(), String> {
                 "listening on {}",
                 listener.local_addr().map_err(|e| e.to_string())?
             );
-            hera_serve::serve_tcp(&mut service, listener).map(|_| true)
+            hera_serve::serve_tcp(service.clone(), listener).map(|_| true)
         }
         None => {
             // stdio mode: requests on stdin, responses on stdout.
             let stdin = std::io::stdin();
             let mut stdout = std::io::stdout();
-            hera_serve::serve_lines(&mut service, stdin.lock(), &mut stdout)
+            hera_serve::serve_lines(&service, stdin.lock(), &mut stdout)
         }
     }
     .map_err(|e| e.to_string())?;

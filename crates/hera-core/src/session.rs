@@ -213,6 +213,14 @@ struct ProgressiveState {
 }
 
 /// Incremental HERA: owns the schema registry and all algorithm state.
+///
+/// A session is [`Send`]: every field is owned data or an
+/// `Arc` of a `Send + Sync` trait object, so a built (or restored)
+/// session can be handed to a dedicated worker thread — the ownership
+/// model `hera-serve` uses to run one session per shard worker. It is
+/// deliberately *not* `Sync`: all mutation goes through `&mut self`, so
+/// concurrent access is structured as message passing to the owning
+/// thread, never shared-memory mutation.
 pub struct HeraSession {
     config: HeraConfig,
     metric: Arc<dyn ValueSimilarity>,
@@ -1367,6 +1375,18 @@ impl Drop for ResolveStream<'_> {
         self.session.progressive_finish(self.budget, &mut self.st);
     }
 }
+
+/// Compile-time proof of the worker-thread handoff contract: a session
+/// (and everything a worker needs to return) crosses thread boundaries.
+/// Breaking this — say by caching a `Rc` or a raw sink handle in a new
+/// field — fails the build here rather than in hera-serve.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<HeraSession>();
+    assert_send::<ProgressiveReport>();
+    assert_send::<MergeEvent>();
+    assert_send::<ResolveBudget>();
+};
 
 #[cfg(test)]
 mod tests {

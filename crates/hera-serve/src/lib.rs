@@ -19,24 +19,40 @@
 //! journal attached ([`ErServiceBuilder::recorder`]), every protocol
 //! request lands an audit line next to the sessions' own events.
 //!
+//! The service is concurrent: each shard session lives on a dedicated
+//! worker thread (ingest and budgeted resolve run in parallel across
+//! shards via per-shard command channels), the boundary stitch is a
+//! double-buffered pass on its own worker (lookups answer from the last
+//! *published* stitched view while the next one builds, then swap
+//! atomically), and the TCP transport serves any number of simultaneous
+//! clients over one shared `Arc<ErService>`. The [`harness`] module
+//! ships the seeded schedule driver the concurrency test suite uses to
+//! make interleavings reproducible.
+//!
 //! | module | contents |
 //! |---|---|
 //! | [`service`] | [`ErService`]: sharding, stitching, checkpointing |
+//! | `worker` | per-shard/stitch worker threads (crate-private) |
 //! | [`protocol`] | [`Request`] and the JSON-lines wire format |
 //! | [`server`] | [`serve_lines`] (stdio) and [`serve_tcp`] loops |
 //! | [`client`] | [`ServeClient`] / [`TcpClient`] typed client |
+//! | [`harness`] | seeded schedule driver for concurrency tests |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod harness;
 pub mod protocol;
 pub mod server;
 pub mod service;
+mod worker;
 
 pub use client::{ServeClient, TcpClient};
+pub use harness::{LookupSample, RunLog, Schedule, ScheduledOp};
 pub use protocol::Request;
 pub use server::{serve_lines, serve_tcp};
 pub use service::{
-    ErService, ErServiceBuilder, IngestReply, LookupReply, ResolveReply, StitchReply,
+    ErService, ErServiceBuilder, IngestReply, LookupReply, ResolveHandle, ResolveReply,
+    StitchHandle, StitchReply,
 };

@@ -1,17 +1,33 @@
 //! Transport loops: drive an [`ErService`] from any line-delimited byte
 //! stream (stdio) or a TCP listener.
 //!
-//! Both loops are single-threaded and process requests strictly in
-//! arrival order — determinism comes for free, and the sessions inside
-//! the service still parallelize their resolve rounds internally
-//! (`HeraConfig::num_threads`).
+//! The stdio loop is single-threaded. The TCP loop accepts any number
+//! of simultaneous clients, one thread per connection, all sharing one
+//! `Arc<ErService>` — the service is `&self` end to end, so a
+//! connection thread never blocks another except at the service's
+//! bookkeeping lock (held only for routing-table pushes and channel
+//! sends, never across session work).
+//!
+//! Client disconnects are connection-local: a socket that dies mid-line
+//! or mid-request (reset, kill, half-close) ends only its own thread —
+//! the partial line parses to an error reply whose write fails with a
+//! broken pipe, which the thread absorbs and exits. Nothing panics,
+//! nothing leaks, and the service keeps serving everyone else.
+//!
+//! Shutdown is cooperative: when any client's `shutdown` request is
+//! acknowledged, the acceptor is woken by a loopback connection, every
+//! live client socket is shut down (unblocking readers parked in
+//! `read`), and all connection threads are joined before
+//! [`serve_tcp`] returns.
 
 use crate::protocol::{err, Request};
 use crate::service::ErService;
 use hera_types::json::parse;
 use hera_types::{HeraError, Result};
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Serves line-delimited JSON requests from `input`, writing one
 /// response line each to `output`, until the stream ends or a
@@ -19,10 +35,12 @@ use std::net::TcpListener;
 /// explicit shutdown (the TCP loop uses this to distinguish "client
 /// hung up" from "stop the server").
 ///
-/// Malformed lines get an error response and the loop continues; blank
-/// lines are ignored.
+/// Malformed lines — including a final partial line from a client that
+/// died mid-request — get an error response and the loop continues;
+/// blank lines are ignored. A failed reply write (broken pipe) surfaces
+/// as `HeraError::Io`, never a panic.
 pub fn serve_lines<R: BufRead, W: Write>(
-    service: &mut ErService,
+    service: &ErService,
     input: R,
     output: &mut W,
 ) -> Result<bool> {
@@ -45,23 +63,146 @@ pub fn serve_lines<R: BufRead, W: Write>(
     Ok(false)
 }
 
-/// Accepts TCP connections sequentially and serves each with
-/// [`serve_lines`] until some client sends `shutdown`. A disconnecting
-/// client ends only its own connection; the service state persists
-/// across connections.
-pub fn serve_tcp(service: &mut ErService, listener: TcpListener) -> Result<()> {
-    for conn in listener.incoming() {
-        let conn = conn.map_err(|e| HeraError::Io(e.to_string()))?;
-        let reader = BufReader::new(conn.try_clone().map_err(|e| HeraError::Io(e.to_string()))?);
-        let mut writer = conn;
-        match serve_lines(service, reader, &mut writer) {
-            Ok(true) => return Ok(()),
-            Ok(false) => continue,
-            // A connection-level IO error (e.g. reset mid-line) drops
-            // that client; the service keeps running.
-            Err(HeraError::Io(_)) => continue,
-            Err(e) => return Err(e),
+/// Live-connection registry: socket clones the shutdown path uses to
+/// unblock readers, keyed so each thread can deregister itself. The
+/// `stopping` flag is only ever flipped while this registry's lock is
+/// held, which closes the register/shutdown race: a socket either makes
+/// it into `shutdown_all`'s sweep or observes the flag at registration
+/// and is closed on the spot.
+struct Connections {
+    next_id: u64,
+    open: Vec<(u64, TcpStream)>,
+}
+
+impl Connections {
+    fn register(&mut self, stream: TcpStream, stopping: &AtomicBool) -> u64 {
+        if stopping.load(Ordering::SeqCst) {
+            stream.shutdown(Shutdown::Both).ok();
         }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.open.push((id, stream));
+        id
+    }
+
+    fn deregister(&mut self, id: u64) {
+        self.open.retain(|(open_id, _)| *open_id != id);
+    }
+
+    fn shutdown_all(&self) {
+        for (_, stream) in &self.open {
+            stream.shutdown(Shutdown::Both).ok();
+        }
+    }
+}
+
+/// Runs when a connection thread exits for *any* reason — clean close,
+/// IO error, or a panic inside the service — so a dead handler can
+/// never leave its registered socket clone holding the client open.
+/// Shutting the socket down here makes the client see EOF immediately.
+struct DeregisterGuard {
+    connections: Arc<Mutex<Connections>>,
+    id: u64,
+}
+
+impl Drop for DeregisterGuard {
+    fn drop(&mut self) {
+        let mut registry = self.connections.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some((_, stream)) = registry.open.iter().find(|(id, _)| *id == self.id) {
+            stream.shutdown(Shutdown::Both).ok();
+        }
+        registry.deregister(self.id);
+    }
+}
+
+/// Connection-thread epilogue (deregistration is the guard's job): if
+/// this client requested shutdown, flip the flag, close every live
+/// socket (unblocking their readers), and wake the acceptor.
+fn finish_connection(
+    connections: &Mutex<Connections>,
+    outcome: Result<bool>,
+    stopping: &AtomicBool,
+    addr: SocketAddr,
+) {
+    match outcome {
+        Ok(true) => {
+            let registry = connections.lock().unwrap_or_else(|p| p.into_inner());
+            stopping.store(true, Ordering::SeqCst);
+            registry.shutdown_all();
+            drop(registry);
+            // Wake the acceptor so it observes the flag; harmless if a
+            // real client races in first — that client is served until
+            // the socket shutdown above reaches it.
+            TcpStream::connect(addr).ok();
+        }
+        // Client hung up (clean close or mid-line): nothing to do, the
+        // thread just ends.
+        Ok(false) | Err(HeraError::Io(_)) => {}
+        Err(e) => {
+            // Non-IO errors out of serve_lines are service-level bugs;
+            // surface them without taking the server down.
+            eprintln!("hera-serve: connection error: {e}");
+        }
+    }
+}
+
+/// Accepts TCP connections concurrently — one thread per client, all
+/// sharing `service` — until some client sends `shutdown`. A
+/// disconnecting client (clean close, reset, or death mid-line) ends
+/// only its own connection thread; the service state persists across
+/// connections. On shutdown every live client socket is closed and
+/// every connection thread joined before this returns.
+pub fn serve_tcp(service: Arc<ErService>, listener: TcpListener) -> Result<()> {
+    let io_err = |e: std::io::Error| HeraError::Io(e.to_string());
+    let addr = listener.local_addr().map_err(io_err)?;
+    let stopping = Arc::new(AtomicBool::new(false));
+    let connections = Arc::new(Mutex::new(Connections {
+        next_id: 0,
+        open: Vec::new(),
+    }));
+    let mut threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+    for conn in listener.incoming() {
+        let conn = conn.map_err(io_err)?;
+        // The shutdown path wakes this acceptor with a loopback
+        // connection; the flag is set before that connect, so seeing
+        // the wake-up connection implies seeing the flag.
+        if stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        threads.retain(|t| !t.is_finished());
+        let Ok(read_half) = conn.try_clone() else {
+            continue;
+        };
+        let id = connections
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .register(read_half, &stopping);
+
+        let service = service.clone();
+        let stopping = stopping.clone();
+        let connections = connections.clone();
+        threads.push(std::thread::spawn(move || {
+            let _guard = DeregisterGuard {
+                connections: connections.clone(),
+                id,
+            };
+            let outcome = conn
+                .try_clone()
+                .map_err(|e| HeraError::Io(e.to_string()))
+                .and_then(|reader| {
+                    let mut writer = conn;
+                    serve_lines(&service, BufReader::new(reader), &mut writer)
+                });
+            finish_connection(&connections, outcome, &stopping, addr);
+        }));
+    }
+
+    // The acceptor saw the wake-up connection and broke out. Client
+    // sockets are already shut down, so every reader unblocks and its
+    // thread exits; join them all before returning.
+    for thread in threads {
+        thread.join().ok();
     }
     Ok(())
 }

@@ -22,26 +22,58 @@
 //! when they arrive. Shards answer between passes (flagged
 //! `provisional`); the stitcher answers for everything it has seen.
 //!
-//! Determinism carries over from the sessions: the same request
-//! sequence produces the same replies, entities, and journal at any
-//! thread count.
+//! # Concurrency model
+//!
+//! The service is `&self` end to end and safe to share across threads
+//! (`Arc<ErService>` behind any number of connections). Sessions live
+//! on dedicated worker threads (see the crate-private `worker`
+//! module for the ownership map and channel topology); the service
+//! front end keeps only bookkeeping — the routing table, the pending
+//! suffix, the schema list — behind one mutex, and *every channel send
+//! happens while that mutex is held*. That single rule is what makes
+//! the concurrent service deterministic where it matters:
+//!
+//! * The bookkeeping lock's acquisition order defines **the** global
+//!   arrival order. Each shard's command stream and the stitcher's
+//!   replay stream are projections of it, so per-shard session state
+//!   and every stitched partition are pure functions of that order —
+//!   independent of worker count and OS scheduling.
+//! * The stitcher ingests drained suffixes in global order, so the
+//!   stitched partition is bit-identical to what a sequential
+//!   single-shard session produces on the same stream — at any worker
+//!   count, under any interleaving. `tests/serve_concurrent.rs` holds
+//!   this as a property over seeded schedules.
+//!
+//! Lookups are lock-light and never wait on a boundary pass: stitched
+//! answers come from the last *published* stitched view (an
+//! immutable generation swapped in atomically after each pass), and
+//! pre-stitch answers come from the owning shard, flagged provisional.
+//! A reply is always one consistent generation or one shard's coherent
+//! view — bounded staleness, never a torn value.
 
 use crate::protocol::{err, ok, Request};
+use crate::worker::{
+    spawn_shard_workers, spawn_stitch_worker, Published, ShardCmd, ShardMsg, StitchCmd,
+    StitchedView,
+};
 use hera_block::route_shard;
 use hera_core::{HeraConfig, HeraSession, ProgressiveReport, ResolveBudget};
 use hera_faults::{io_retryable, BackoffPolicy, Clock, FaultInjector, SystemClock};
 use hera_obs::Recorder;
 use hera_store::Snapshot;
 use hera_types::json::Json;
-use hera_types::{HeraError, RecordId, Result, SchemaId, Value};
+use hera_types::{HeraError, Result, SchemaId, Value};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 
-/// Builder for [`ErService`] — shard count, cadence, and the fault /
-/// journal plumbing threaded into every session.
+/// Builder for [`ErService`] — shard count, worker threads, cadence,
+/// and the fault / journal plumbing threaded into every session.
 pub struct ErServiceBuilder {
     config: HeraConfig,
     shards: usize,
+    workers: usize,
     stitch_every: usize,
     recorder: Recorder,
     faults: FaultInjector,
@@ -54,6 +86,7 @@ impl ErServiceBuilder {
         Self {
             config,
             shards,
+            workers: 0,
             stitch_every: 0,
             recorder: Recorder::disabled(),
             faults: FaultInjector::disabled(),
@@ -64,13 +97,27 @@ impl ErServiceBuilder {
 
     /// Runs the boundary pass automatically once this many records are
     /// pending (0, the default, stitches only on explicit request).
+    /// Automatic passes are dispatched asynchronously: the triggering
+    /// ingest returns as soon as the pass is queued.
     pub fn stitch_every(mut self, records: usize) -> Self {
         self.stitch_every = records;
         self
     }
 
+    /// Shard-worker thread count. Shard `i` lives on worker
+    /// `i % workers`, so workers resolve and ingest in parallel up to
+    /// the shard count; the value is clamped to `[1, shards]`.
+    /// 0 (the default) means one dedicated worker per shard.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
     /// Attaches the audit journal: every protocol request and boundary
-    /// pass emits through it, alongside the sessions' own events.
+    /// pass emits through it, alongside the sessions' own events. Each
+    /// shard session journals under a `shard<i>` scope and the stitcher
+    /// under `stitcher`, so interleaved worker output stays
+    /// per-scope-checkable (`hera trace-check`).
     pub fn recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
         self
@@ -95,28 +142,32 @@ impl ErServiceBuilder {
         self
     }
 
-    fn session(&self) -> HeraSession {
+    fn session(&self, scope: &str) -> HeraSession {
         HeraSession::builder(self.config.clone())
-            .recorder(self.recorder.clone())
+            .recorder(self.recorder.scoped(scope))
             .faults(self.faults.clone())
             .retry(self.retry)
             .clock(self.clock.clone())
             .build()
     }
 
-    /// Builds an empty service.
+    fn worker_count(&self) -> usize {
+        let requested = if self.workers == 0 {
+            self.shards
+        } else {
+            self.workers
+        };
+        requested.clamp(1, self.shards)
+    }
+
+    /// Builds an empty service and spawns its worker threads.
     pub fn build(self) -> ErService {
-        let shards = (0..self.shards).map(|_| self.session()).collect();
-        let stitcher = self.session();
-        ErService {
-            shards,
-            stitcher,
-            schemas: Vec::new(),
-            route: Vec::new(),
-            local_to_global: vec![Vec::new(); self.shards],
-            pending: Vec::new(),
-            builder: self,
-        }
+        let shards: Vec<HeraSession> = (0..self.shards)
+            .map(|i| self.session(&format!("shard{i}")))
+            .collect();
+        let stitcher = self.session("stitcher");
+        let local_to_global = vec![Vec::new(); self.shards];
+        self.assemble(shards, stitcher, Vec::new(), local_to_global, Vec::new())
     }
 
     /// Builds a service whose state is loaded from a checkpoint written
@@ -172,9 +223,9 @@ impl ErServiceBuilder {
         }
 
         let shards = (0..self.shards)
-            .map(|i| self.restore_session(&shard_path(path, i)))
+            .map(|i| self.restore_session(&shard_path(path, i), &format!("shard{i}")))
             .collect::<Result<Vec<_>>>()?;
-        let stitcher = self.restore_session(&stitcher_path(path))?;
+        let stitcher = self.restore_session(&stitcher_path(path), "stitcher")?;
 
         for (i, shard) in shards.iter().enumerate() {
             if shard.len() != local_to_global[i].len() {
@@ -194,20 +245,53 @@ impl ErServiceBuilder {
             )));
         }
 
-        Ok(ErService {
-            shards,
-            stitcher,
-            schemas,
-            route,
-            local_to_global,
-            pending,
-            builder: self,
-        })
+        let mut service = self.assemble(shards, stitcher, route, local_to_global, pending);
+        service.replay_schemas(schemas);
+        Ok(service)
     }
 
-    fn restore_session(&self, path: &std::path::PathBuf) -> Result<HeraSession> {
+    /// Hands the sessions off to their worker threads and wires the
+    /// front end around the channels.
+    fn assemble(
+        self,
+        shards: Vec<HeraSession>,
+        stitcher: HeraSession,
+        route: Vec<(u32, u32)>,
+        local_to_global: Vec<Vec<u32>>,
+        pending: Vec<(SchemaId, Vec<Value>)>,
+    ) -> ErService {
+        let drained = route.len() - pending.len();
+        let workers = self.worker_count();
+        let (shard_txs, worker_txs, mut handles) = spawn_shard_workers(shards, workers);
+        let (stitch_tx, published, stitch_handle) =
+            spawn_stitch_worker(stitcher, self.recorder.scoped("stitcher"));
+        handles.push(stitch_handle);
+        ErService {
+            state: Mutex::new(ServiceState {
+                shard_txs,
+                worker_txs,
+                stitch_tx,
+                schemas: Vec::new(),
+                route,
+                local_to_global,
+                pending,
+                drained,
+            }),
+            published,
+            handles,
+            workers,
+            shards: self.shards,
+            stitch_every: self.stitch_every,
+            recorder: self.recorder,
+            faults: self.faults,
+            retry: self.retry,
+            clock: self.clock,
+        }
+    }
+
+    fn restore_session(&self, path: &std::path::PathBuf, scope: &str) -> Result<HeraSession> {
         HeraSession::builder(self.config.clone())
-            .recorder(self.recorder.clone())
+            .recorder(self.recorder.scoped(scope))
             .faults(self.faults.clone())
             .retry(self.retry)
             .clock(self.clock.clone())
@@ -227,6 +311,13 @@ fn stitcher_path(manifest: &Path) -> std::path::PathBuf {
     p.into()
 }
 
+/// The error every channel operation maps a dead worker thread to: the
+/// only way a worker exits early is a panic, so the service is broken,
+/// not the request.
+fn worker_gone<T>(_: T) -> HeraError {
+    HeraError::Io("service worker thread terminated".into())
+}
+
 /// Reply to [`ErService::ingest`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngestReply {
@@ -234,7 +325,8 @@ pub struct IngestReply {
     pub id: u32,
     /// Shard the record routed to.
     pub shard: u32,
-    /// Whether this ingest tripped the automatic boundary pass.
+    /// Whether this ingest tripped the automatic boundary pass. The
+    /// pass is dispatched, not complete: it publishes asynchronously.
     pub stitched: bool,
 }
 
@@ -244,9 +336,10 @@ pub struct LookupReply {
     /// Entity label: a global record id — the cluster representative's
     /// id when stitched, the shard-root's global id when provisional.
     pub entity: u32,
-    /// True when the record has not been through a boundary pass yet:
-    /// the entity reflects one shard's view and may change (only by
-    /// growing or relabeling, never splitting) at the next stitch.
+    /// True when the record was not covered by the last published
+    /// boundary pass: the entity reflects one shard's view and may
+    /// change (only by growing or relabeling, never splitting) at the
+    /// next stitch.
     pub provisional: bool,
     /// Global ids of the entity's known members, ascending.
     pub members: Vec<u32>,
@@ -274,23 +367,100 @@ pub struct StitchReply {
     pub report: ProgressiveReport,
 }
 
-/// A long-lived sharded ER service — see the module docs for the model.
-pub struct ErService {
-    shards: Vec<HeraSession>,
-    /// Single-shard session over the whole global stream, fed lazily at
-    /// boundary passes; its record ids *are* the global ids.
-    stitcher: HeraSession,
-    /// Registered schemas (name, attrs), id-ordered — kept for the
-    /// checkpoint manifest so a restored service can validate requests.
+/// An in-flight boundary pass (from [`ErService::stitch_async`]). The
+/// pass runs on the stitch worker; [`StitchHandle::wait`] blocks until
+/// its view is published. Dropping the handle abandons the wait, not
+/// the pass.
+pub struct StitchHandle {
+    boundary: usize,
+    rx: Receiver<StitchReply>,
+}
+
+impl StitchHandle {
+    /// Global-stream prefix length this pass covers once published.
+    pub fn boundary(&self) -> usize {
+        self.boundary
+    }
+
+    /// Blocks until the pass has published its stitched view.
+    ///
+    /// # Panics
+    /// When the stitch worker thread died (a service-level bug).
+    pub fn wait(self) -> StitchReply {
+        self.rx.recv().expect("stitch worker terminated")
+    }
+}
+
+/// An in-flight cross-shard resolve (from [`ErService::resolve_async`]).
+/// Shards work in parallel; [`ResolveHandle::wait`] gathers the
+/// shard-ordered reports.
+pub struct ResolveHandle {
+    rxs: Vec<Receiver<ProgressiveReport>>,
+}
+
+impl ResolveHandle {
+    /// Blocks until every shard finished its budgeted pass.
+    ///
+    /// # Panics
+    /// When a shard worker thread died (a service-level bug).
+    pub fn wait(self) -> ResolveReply {
+        let per_shard: Vec<ProgressiveReport> = self
+            .rxs
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker terminated"))
+            .collect();
+        ResolveReply {
+            merges: per_shard.iter().map(|r| r.merges).sum(),
+            comparisons: per_shard.iter().map(|r| r.comparisons_spent).sum(),
+            exhausted: per_shard.iter().any(|r| r.exhausted),
+            per_shard,
+        }
+    }
+}
+
+/// Front-end bookkeeping, guarded by the service's one mutex. Every
+/// channel send happens under this lock — see the module docs for why
+/// that ordering rule is the whole determinism argument.
+struct ServiceState {
+    /// One sender per shard (shards on the same worker share a channel).
+    shard_txs: Vec<Sender<ShardMsg>>,
+    /// One sender per worker thread, for shutdown.
+    worker_txs: Vec<Sender<ShardMsg>>,
+    /// The stitch worker's channel.
+    stitch_tx: Sender<StitchCmd>,
+    /// Registered schemas (name, attrs), id-ordered — kept for request
+    /// validation and the checkpoint manifest.
     schemas: Vec<(String, Vec<String>)>,
     /// Global id → (shard, local id).
     route: Vec<(u32, u32)>,
-    /// Per-shard local id → global id.
+    /// Per-shard local id → global id. Append-only, so a provisional
+    /// lookup can translate a shard reply after re-acquiring the lock.
     local_to_global: Vec<Vec<u32>>,
-    /// Records ingested since the last boundary pass, global-id-ordered
-    /// (global id = stitcher.len() + position).
+    /// Records ingested since the last dispatched boundary pass,
+    /// global-id-ordered (global id = drained + position).
     pending: Vec<(SchemaId, Vec<Value>)>,
-    builder: ErServiceBuilder,
+    /// Global-stream prefix already handed to the stitch worker
+    /// (`route.len() - pending.len()` at all times).
+    drained: usize,
+}
+
+/// A long-lived sharded ER service — see the module docs for the model.
+/// All methods take `&self`; share it as `Arc<ErService>` across
+/// connection threads. Dropping the service shuts its workers down and
+/// joins them.
+pub struct ErService {
+    state: Mutex<ServiceState>,
+    /// The double-buffered stitched view (see the worker module docs).
+    published: Published,
+    /// Shard workers + the stitch worker, joined on drop.
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    shards: usize,
+    stitch_every: usize,
+    recorder: Recorder,
+    faults: FaultInjector,
+    retry: BackoffPolicy,
+    clock: Arc<dyn Clock>,
 }
 
 impl ErService {
@@ -303,55 +473,127 @@ impl ErService {
         ErServiceBuilder::new(config, shards)
     }
 
+    fn state(&self) -> MutexGuard<'_, ServiceState> {
+        self.state.lock().expect("service state poisoned")
+    }
+
+    /// One consistent snapshot of the published stitched view.
+    fn view(&self) -> Arc<StitchedView> {
+        self.published
+            .read()
+            .expect("published view poisoned")
+            .clone()
+    }
+
     /// Shard count.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.shards
+    }
+
+    /// Shard-worker thread count.
+    pub fn worker_count(&self) -> usize {
+        self.workers
     }
 
     /// Records ingested over the service's lifetime.
     pub fn len(&self) -> usize {
-        self.route.len()
+        self.state().route.len()
     }
 
     /// True before the first ingest.
     pub fn is_empty(&self) -> bool {
-        self.route.is_empty()
+        self.len() == 0
     }
 
-    /// Records awaiting their first boundary pass.
+    /// Records awaiting dispatch to a boundary pass.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.state().pending.len()
+    }
+
+    /// Boundary passes published so far.
+    pub fn passes(&self) -> u64 {
+        self.view().passes()
+    }
+
+    /// Records covered by the last published boundary pass.
+    pub fn stitched_len(&self) -> usize {
+        self.view().len()
     }
 
     /// Registers a schema in every shard and the stitcher; ids are
     /// assigned densely in registration order, identical across all
-    /// sessions.
-    pub fn add_schema(&mut self, name: &str, attrs: &[String]) -> SchemaId {
-        let id = self.stitcher.add_schema(name.to_string(), attrs.to_vec());
-        for shard in &mut self.shards {
-            let shard_id = shard.add_schema(name.to_string(), attrs.to_vec());
-            debug_assert_eq!(shard_id, id);
+    /// sessions (every session sees registrations and ingests in the
+    /// same lock-defined global order).
+    pub fn add_schema(&self, name: &str, attrs: &[String]) -> SchemaId {
+        let mut st = self.state();
+        let id = SchemaId::new(st.schemas.len() as u32);
+        for (shard, tx) in st.shard_txs.iter().enumerate() {
+            tx.send((
+                shard,
+                ShardCmd::Schema {
+                    name: name.to_string(),
+                    attrs: attrs.to_vec(),
+                },
+            ))
+            .expect("shard worker terminated");
         }
-        self.schemas.push((name.to_string(), attrs.to_vec()));
+        st.stitch_tx
+            .send(StitchCmd::Schema {
+                name: name.to_string(),
+                attrs: attrs.to_vec(),
+            })
+            .expect("stitch worker terminated");
+        st.schemas.push((name.to_string(), attrs.to_vec()));
         id
     }
 
-    /// Ingests one record: routes it by blocking key, joins it into its
-    /// shard, and queues it for the next boundary pass. Trips an
-    /// automatic stitch when the builder's `stitch_every` threshold
-    /// fills.
-    pub fn ingest(&mut self, schema: SchemaId, values: Vec<Value>) -> Result<IngestReply> {
-        let shard = route_shard(&values, self.shards.len());
-        // The shard session validates schema and arity; bookkeeping only
-        // happens once it has accepted the record.
-        let local = self.shards[shard].add_record(schema, values.clone())?;
-        let global = self.route.len() as u32;
-        self.route.push((shard as u32, local.raw()));
-        self.local_to_global[shard].push(global);
-        self.pending.push((schema, values));
+    /// Installs the manifest's schema list after a restore. The
+    /// restored sessions persist their own registries, so nothing is
+    /// re-sent to the workers — only the front-end validation list
+    /// needs filling.
+    fn replay_schemas(&mut self, schemas: Vec<(String, Vec<String>)>) {
+        self.state().schemas = schemas;
+    }
+
+    /// Ingests one record: routes it by blocking key, dispatches it to
+    /// its shard worker, and queues it for the next boundary pass.
+    /// Validation (schema id, arity) happens here on the front end so
+    /// the fire-and-forget shard command cannot fail. Trips an
+    /// automatic stitch dispatch when the builder's `stitch_every`
+    /// threshold fills.
+    pub fn ingest(&self, schema: SchemaId, values: Vec<Value>) -> Result<IngestReply> {
+        let shard = route_shard(&values, self.shards);
+        let mut st = self.state();
+        let global = st.route.len() as u32;
+        match st.schemas.get(schema.index()) {
+            None => return Err(HeraError::UnknownId(format!("{schema}"))),
+            Some((_, attrs)) if attrs.len() != values.len() => {
+                return Err(HeraError::ArityMismatch {
+                    record: global,
+                    expected: attrs.len(),
+                    actual: values.len(),
+                })
+            }
+            Some(_) => {}
+        }
+        st.shard_txs[shard]
+            .send((
+                shard,
+                ShardCmd::Ingest {
+                    schema,
+                    values: values.clone(),
+                },
+            ))
+            .map_err(worker_gone)?;
+        let local = st.local_to_global[shard].len() as u32;
+        st.route.push((shard as u32, local));
+        st.local_to_global[shard].push(global);
+        st.pending.push((schema, values));
         let mut stitched = false;
-        if self.builder.stitch_every > 0 && self.pending.len() >= self.builder.stitch_every {
-            self.stitch();
+        if self.stitch_every > 0 && st.pending.len() >= self.stitch_every {
+            // Fire-and-forget: dropping the handle abandons the wait,
+            // not the pass.
+            let _ = self.dispatch_stitch(&mut st);
             stitched = true;
         }
         Ok(IngestReply {
@@ -361,80 +603,101 @@ impl ErService {
         })
     }
 
-    /// Runs budgeted incremental resolution on every shard (each shard
-    /// gets the full `budget` — the schedule inside a shard is the
-    /// session's usual deterministic one).
-    pub fn resolve(&mut self, budget: ResolveBudget) -> ResolveReply {
-        let per_shard: Vec<ProgressiveReport> = self
-            .shards
-            .iter_mut()
-            .map(|s| s.resolve_progressive(budget))
-            .collect();
-        ResolveReply {
-            merges: per_shard.iter().map(|r| r.merges).sum(),
-            comparisons: per_shard.iter().map(|r| r.comparisons_spent).sum(),
-            exhausted: per_shard.iter().any(|r| r.exhausted),
-            per_shard,
-        }
+    /// Drains the pending suffix to the stitch worker. Must run under
+    /// the state lock so the drained batch is a contiguous prefix of
+    /// the global order.
+    fn dispatch_stitch(&self, st: &mut ServiceState) -> StitchHandle {
+        let records = std::mem::take(&mut st.pending);
+        st.drained += records.len();
+        let boundary = st.drained;
+        let (tx, rx) = channel();
+        st.stitch_tx
+            .send(StitchCmd::Stitch { records, reply: tx })
+            .expect("stitch worker terminated");
+        StitchHandle { boundary, rx }
     }
 
-    /// The cross-shard boundary pass: the stitcher ingests the pending
-    /// suffix of the global stream and resolves to a fixpoint, making
-    /// every record seen so far part of the authoritative partition.
-    pub fn stitch(&mut self) -> StitchReply {
-        let pending = std::mem::take(&mut self.pending);
-        let ingested = pending.len();
-        for (schema, values) in pending {
-            self.stitcher
-                .add_record(schema, values)
-                .expect("stitcher schemas mirror the shards'");
-        }
-        let report = self
-            .stitcher
-            .resolve_progressive(ResolveBudget::unlimited());
-        self.builder.recorder.emit(
-            "serve_stitch",
-            vec![
-                ("ingested", Json::Int(ingested as i64)),
-                ("merges", Json::Int(report.merges as i64)),
-                ("stitched_total", Json::Int(self.stitcher.len() as i64)),
-            ],
-        );
-        self.builder.recorder.flush();
-        StitchReply { ingested, report }
-    }
-
-    /// Looks up the entity of a record by global id. Stitched records
-    /// answer from the authoritative partition; records still awaiting a
-    /// boundary pass answer from their shard, flagged provisional, with
-    /// member ids translated to global ids.
-    pub fn lookup(&self, id: u32) -> Result<LookupReply> {
-        if (id as usize) >= self.route.len() {
-            return Err(HeraError::UnknownId(format!("record {id}")));
-        }
-        if (id as usize) < self.stitcher.len() {
-            let entity = self.stitcher.entity_of(RecordId::new(id));
-            let members = self
-                .stitcher
-                .entity_members(entity)
-                .expect("stitched root has a super record")
-                .to_vec();
-            return Ok(LookupReply {
-                entity,
-                provisional: false,
-                members,
-            });
-        }
-        let (shard, local) = self.route[id as usize];
-        let session = &self.shards[shard as usize];
-        let root = session.entity_of(RecordId::new(local));
-        let map = &self.local_to_global[shard as usize];
-        let mut members: Vec<u32> = session
-            .entity_members(root)
-            .expect("shard root has a super record")
+    /// Dispatches a budgeted incremental resolve to every shard (each
+    /// shard gets the full `budget`) and returns without waiting;
+    /// shards work in parallel.
+    pub fn resolve_async(&self, budget: ResolveBudget) -> ResolveHandle {
+        let st = self.state();
+        let rxs = st
+            .shard_txs
             .iter()
-            .map(|&l| map[l as usize])
+            .enumerate()
+            .map(|(shard, tx)| {
+                let (rtx, rrx) = channel();
+                tx.send((shard, ShardCmd::Resolve { budget, reply: rtx }))
+                    .expect("shard worker terminated");
+                rrx
+            })
             .collect();
+        ResolveHandle { rxs }
+    }
+
+    /// Runs budgeted incremental resolution on every shard in parallel
+    /// and waits for all of them.
+    pub fn resolve(&self, budget: ResolveBudget) -> ResolveReply {
+        self.resolve_async(budget).wait()
+    }
+
+    /// Dispatches the cross-shard boundary pass — the stitcher ingests
+    /// the pending suffix of the global stream and resolves to a
+    /// fixpoint on its own thread — and returns without waiting.
+    /// Lookups keep answering from the previous published view until
+    /// the pass swaps its generation in.
+    pub fn stitch_async(&self) -> StitchHandle {
+        let mut st = self.state();
+        self.dispatch_stitch(&mut st)
+    }
+
+    /// Runs the boundary pass and waits for its view to publish; once
+    /// this returns, every record ingested before the call is part of
+    /// the authoritative partition.
+    pub fn stitch(&self) -> StitchReply {
+        self.stitch_async().wait()
+    }
+
+    /// Looks up the entity of a record by global id. Records covered by
+    /// the last published boundary pass answer from that immutable
+    /// view; records still awaiting one answer from their shard,
+    /// flagged provisional, with member ids translated to global ids.
+    /// Never blocks on an in-flight stitch.
+    pub fn lookup(&self, id: u32) -> Result<LookupReply> {
+        let (shard, local, tx) = {
+            let st = self.state();
+            if (id as usize) >= st.route.len() {
+                return Err(HeraError::UnknownId(format!("record {id}")));
+            }
+            let view = self.view();
+            if (id as usize) < view.len() {
+                let entity = view.entity_of(id);
+                let members = view
+                    .members_of(entity)
+                    .expect("stitched root has a member list")
+                    .to_vec();
+                return Ok(LookupReply {
+                    entity,
+                    provisional: false,
+                    members,
+                });
+            }
+            let (shard, local) = st.route[id as usize];
+            (shard as usize, local, st.shard_txs[shard as usize].clone())
+        };
+        // Outside the lock: the shard answers from whatever coherent
+        // state its own command stream has reached — at least as new as
+        // our bookkeeping read, possibly newer, never torn.
+        let (rtx, rrx) = channel();
+        tx.send((shard, ShardCmd::Lookup { local, reply: rtx }))
+            .map_err(worker_gone)?;
+        let (root, local_members) = rrx.recv().map_err(worker_gone)?;
+        // Re-acquire to translate: the map is append-only, so every
+        // local id the shard can name already has a global mapping.
+        let st = self.state();
+        let map = &st.local_to_global[shard];
+        let mut members: Vec<u32> = local_members.iter().map(|&l| map[l as usize]).collect();
         members.sort_unstable();
         Ok(LookupReply {
             entity: map[root as usize],
@@ -444,45 +707,71 @@ impl ErService {
     }
 
     /// Members of a stitched entity by label (a stitched `Lookup`'s
-    /// `entity` field).
-    pub fn entity(&self, label: u32) -> Result<&[u32]> {
-        self.stitcher
-            .entity_members(label)
+    /// `entity` field), from the last published view.
+    pub fn entity(&self, label: u32) -> Result<Vec<u32>> {
+        self.view()
+            .members_of(label)
+            .map(<[u32]>::to_vec)
             .ok_or_else(|| HeraError::UnknownId(format!("entity {label}")))
     }
 
     /// The authoritative stitched partition (one vec of global ids per
-    /// entity). Runs no resolution — call [`ErService::stitch`] first
-    /// for full coverage.
-    pub fn stitched_partition(&mut self) -> Vec<Vec<u32>> {
-        self.stitcher.clusters()
+    /// entity) as of the last published boundary pass — call
+    /// [`ErService::stitch`] first for full coverage.
+    pub fn stitched_partition(&self) -> Vec<Vec<u32>> {
+        self.view().partition()
     }
 
     /// Service-wide counters as a JSON object (the `stats` reply body).
     pub fn stats(&self) -> Vec<(String, Json)> {
-        let shard_stats: Vec<Json> = self
-            .shards
-            .iter()
-            .map(|s| {
+        let (records, pending, drained, schemas, rxs) = {
+            let st = self.state();
+            let rxs: Vec<Receiver<(usize, usize, u64)>> = st
+                .shard_txs
+                .iter()
+                .enumerate()
+                .map(|(shard, tx)| {
+                    let (rtx, rrx) = channel();
+                    tx.send((shard, ShardCmd::Stats { reply: rtx }))
+                        .expect("shard worker terminated");
+                    rrx
+                })
+                .collect();
+            (
+                st.route.len(),
+                st.pending.len(),
+                st.drained,
+                st.schemas.len(),
+                rxs,
+            )
+        };
+        let shard_stats: Vec<Json> = rxs
+            .into_iter()
+            .map(|rx| {
+                let (records, merges, comparisons) = rx.recv().expect("shard worker terminated");
                 Json::Obj(vec![
-                    ("records".into(), Json::Int(s.len() as i64)),
-                    ("merges".into(), Json::Int(s.stats().merges as i64)),
-                    (
-                        "comparisons".into(),
-                        Json::Int(s.stats().comparisons as i64),
-                    ),
+                    ("records".into(), Json::Int(records as i64)),
+                    ("merges".into(), Json::Int(merges as i64)),
+                    ("comparisons".into(), Json::Int(comparisons as i64)),
                 ])
             })
             .collect();
+        let view = self.view();
         vec![
-            ("records".into(), Json::Int(self.route.len() as i64)),
-            ("stitched".into(), Json::Int(self.stitcher.len() as i64)),
-            ("pending".into(), Json::Int(self.pending.len() as i64)),
-            ("schemas".into(), Json::Int(self.schemas.len() as i64)),
+            ("records".into(), Json::Int(records as i64)),
+            ("stitched".into(), Json::Int(view.len() as i64)),
+            ("pending".into(), Json::Int(pending as i64)),
+            (
+                "stitching".into(),
+                Json::Int(drained.saturating_sub(view.len()) as i64),
+            ),
+            ("schemas".into(), Json::Int(schemas as i64)),
+            ("workers".into(), Json::Int(self.workers as i64)),
+            ("passes".into(), Json::Int(view.passes() as i64)),
             ("shards".into(), Json::Arr(shard_stats)),
             (
                 "stitcher_merges".into(),
-                Json::Int(self.stitcher.stats().merges as i64),
+                Json::Int(view.stitcher_merges() as i64),
             ),
         ]
     }
@@ -490,32 +779,70 @@ impl ErService {
     /// Checkpoints the whole service: one snapshot per shard
     /// (`<path>.shard<i>`), one for the stitcher (`<path>.stitcher`),
     /// then the manifest at `path` — all atomic, CRC-checked, and
-    /// retried under the builder's policy. The manifest is written last,
-    /// so a crash mid-checkpoint never leaves a manifest pointing at
-    /// missing session snapshots.
-    pub fn checkpoint(&mut self, path: impl AsRef<Path>) -> Result<()> {
+    /// retried under the builder's policy.
+    ///
+    /// Safe to race with live ingest: the snapshot commands and the
+    /// manifest's bookkeeping clone are taken under **one** hold of the
+    /// state lock, and each worker channel is FIFO — so every session
+    /// snapshot captures exactly the records the manifest's routing
+    /// table says it should, no matter what other threads ingest while
+    /// the snapshots are being written. The manifest is written last,
+    /// after every session snapshot has succeeded, so a crash or
+    /// injected fault mid-checkpoint never publishes a manifest
+    /// pointing at a torn shard set.
+    pub fn checkpoint(&self, path: impl AsRef<Path>) -> Result<()> {
         let path = path.as_ref();
-        for i in 0..self.shards.len() {
-            let p = shard_path(path, i);
-            self.shards[i].checkpoint(p)?;
+        let (rxs, stitch_rx, schemas, route, pending) = {
+            let st = self.state();
+            let rxs: Vec<Receiver<Result<()>>> = st
+                .shard_txs
+                .iter()
+                .enumerate()
+                .map(|(shard, tx)| {
+                    let (rtx, rrx) = channel();
+                    tx.send((
+                        shard,
+                        ShardCmd::Checkpoint {
+                            path: shard_path(path, shard),
+                            reply: rtx,
+                        },
+                    ))
+                    .map_err(worker_gone)?;
+                    Ok(rrx)
+                })
+                .collect::<Result<_>>()?;
+            let (rtx, rrx) = channel();
+            st.stitch_tx
+                .send(StitchCmd::Checkpoint {
+                    path: stitcher_path(path),
+                    reply: rtx,
+                })
+                .map_err(worker_gone)?;
+            (
+                rxs,
+                rrx,
+                st.schemas.clone(),
+                st.route.clone(),
+                st.pending.clone(),
+            )
+        };
+        for rx in rxs {
+            rx.recv().map_err(worker_gone)??;
         }
-        self.stitcher.checkpoint(stitcher_path(path))?;
+        stitch_rx.recv().map_err(worker_gone)??;
 
         let mut manifest = Snapshot::new();
         manifest.insert(
             "service",
             Json::Obj(vec![
-                ("shards".into(), Json::Int(self.shards.len() as i64)),
-                (
-                    "stitch_every".into(),
-                    Json::Int(self.builder.stitch_every as i64),
-                ),
+                ("shards".into(), Json::Int(self.shards as i64)),
+                ("stitch_every".into(), Json::Int(self.stitch_every as i64)),
             ]),
         );
         manifest.insert(
             "schemas",
             Json::Arr(
-                self.schemas
+                schemas
                     .iter()
                     .map(|(name, attrs)| {
                         Json::Obj(vec![
@@ -532,7 +859,7 @@ impl ErService {
         manifest.insert(
             "route",
             Json::Arr(
-                self.route
+                route
                     .iter()
                     .map(|&(shard, _)| Json::Int(shard as i64))
                     .collect(),
@@ -541,7 +868,7 @@ impl ErService {
         manifest.insert(
             "pending",
             Json::Arr(
-                self.pending
+                pending
                     .iter()
                     .map(|(schema, values)| {
                         Json::Obj(vec![
@@ -556,9 +883,9 @@ impl ErService {
             ),
         );
         hera_faults::retry(
-            &self.builder.retry,
-            self.builder.clock.as_ref(),
-            |_| manifest.write_with(path, &self.builder.faults),
+            &self.retry,
+            self.clock.as_ref(),
+            |_| manifest.write_with(path, &self.faults),
             io_retryable,
         )
         .map_err(|e| HeraError::CheckpointFailed {
@@ -571,21 +898,21 @@ impl ErService {
     /// Handles one protocol request, returning the response object and
     /// whether the service should keep running. Every request lands one
     /// `serve_request` audit line in the journal.
-    pub fn handle(&mut self, request: &Request) -> (Json, bool) {
+    pub fn handle(&self, request: &Request) -> (Json, bool) {
         let (response, keep_going) = self.dispatch(request);
         let outcome = matches!(response.get("ok"), Some(Json::Bool(true)));
-        self.builder.recorder.emit(
+        self.recorder.emit(
             "serve_request",
             vec![
                 ("cmd", Json::Str(cmd_name(request).into())),
                 ("ok", Json::Bool(outcome)),
             ],
         );
-        self.builder.recorder.flush();
+        self.recorder.flush();
         (response, keep_going)
     }
 
-    fn dispatch(&mut self, request: &Request) -> (Json, bool) {
+    fn dispatch(&self, request: &Request) -> (Json, bool) {
         let response = match request {
             Request::Schema { name, attrs } => {
                 let id = self.add_schema(name, attrs);
@@ -629,7 +956,7 @@ impl ErService {
                 ok(vec![
                     ("ingested".into(), Json::Int(r.ingested as i64)),
                     ("merges".into(), Json::Int(r.report.merges as i64)),
-                    ("stitched".into(), Json::Int(self.stitcher.len() as i64)),
+                    ("stitched".into(), Json::Int(self.stitched_len() as i64)),
                 ])
             }
             Request::Lookup { id } => match self.lookup(*id) {
@@ -658,6 +985,27 @@ impl ErService {
             Request::Shutdown => return (ok(vec![("bye".into(), Json::Bool(true))]), false),
         };
         (response, true)
+    }
+}
+
+impl Drop for ErService {
+    /// Shuts the workers down and joins them. A worker mid-command
+    /// (e.g. a long stitch) finishes it first — `Shutdown` queues
+    /// behind everything already sent.
+    fn drop(&mut self) {
+        {
+            let st = self
+                .state
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            for tx in &st.worker_txs {
+                tx.send((usize::MAX, ShardCmd::Shutdown)).ok();
+            }
+            st.stitch_tx.send(StitchCmd::Shutdown).ok();
+        }
+        for handle in self.handles.drain(..) {
+            handle.join().ok();
+        }
     }
 }
 

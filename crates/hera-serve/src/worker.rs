@@ -1,0 +1,359 @@
+//! Worker threads behind the concurrent [`ErService`]: per-shard
+//! session ownership, command channels, and the double-buffered
+//! stitched view.
+//!
+//! # Ownership map
+//!
+//! * Each **shard worker thread** exclusively owns one or more shard
+//!   [`HeraSession`]s (shard *i* lives on worker `i % workers`). Nothing
+//!   else ever touches a shard session: ingest, budgeted resolve,
+//!   provisional lookup, and checkpoint all arrive as [`ShardCmd`]
+//!   messages on the worker's channel and are executed by the owning
+//!   thread. `HeraSession` is `Send` but deliberately not `Sync`, so
+//!   this is the only shape concurrent access can take — the compiler
+//!   enforces the ownership map.
+//! * The **stitch worker thread** exclusively owns the stitcher session
+//!   and is the only writer of the published [`StitchedView`].
+//! * The **front end** ([`ErService`](crate::service::ErService)) owns
+//!   only bookkeeping (routing table, pending suffix, schema list)
+//!   behind a mutex, and the read side of the published view.
+//!
+//! # Channel topology
+//!
+//! One unbounded mpsc channel per worker thread; the service holds one
+//! sender *per shard* (shards on the same worker share a channel), so a
+//! shard's command stream is FIFO. All sends happen while the service's
+//! bookkeeping lock is held, which makes every channel's order a
+//! projection of one global arrival order — per-shard determinism needs
+//! nothing more.
+//!
+//! # Stitch double buffer
+//!
+//! The boundary pass never blocks lookups. The stitch worker replays
+//! the drained pending suffix into the stitcher, resolves to fixpoint,
+//! builds a complete [`StitchedView`] (entity labels, member lists, the
+//! full partition), and *then* swaps it into the published slot under a
+//! write lock held only for the pointer swap. Readers clone the `Arc`
+//! out under the read lock and answer from an immutable generation —
+//! a lookup can observe the pass-*k* or pass-*k+1* view, never a
+//! mixture.
+
+use crate::service::StitchReply;
+use hera_core::{HeraSession, ProgressiveReport, ResolveBudget};
+use hera_obs::Recorder;
+use hera_types::json::Json;
+use hera_types::{RecordId, Result, SchemaId, Value};
+use rustc_hash::FxHashMap;
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+/// Commands a shard worker executes against the sessions it owns.
+/// Every variant but `Shutdown` names its shard (workers can own
+/// several); replies ride one-shot mpsc channels.
+pub(crate) enum ShardCmd {
+    /// Ingest one record. Pre-validated by the front end (schema id and
+    /// arity checked against the service's schema list), so the
+    /// worker-side `add_record` cannot fail; fire-and-forget.
+    Ingest {
+        /// Schema the record arrives under.
+        schema: SchemaId,
+        /// The record's values.
+        values: Vec<Value>,
+    },
+    /// Run one budgeted progressive resolve on the shard.
+    Resolve {
+        /// Per-request budget.
+        budget: ResolveBudget,
+        /// Where the report goes.
+        reply: Sender<ProgressiveReport>,
+    },
+    /// Provisional lookup: local root and members, in local ids.
+    Lookup {
+        /// Shard-local record id.
+        local: u32,
+        /// `(root local id, member local ids ascending)`.
+        reply: Sender<(u32, Vec<u32>)>,
+    },
+    /// Shard-session counters for the `stats` reply.
+    Stats {
+        /// `(records, merges, comparisons)`.
+        reply: Sender<(usize, usize, u64)>,
+    },
+    /// Snapshot the shard session at `path`.
+    Checkpoint {
+        /// Snapshot path (the service derives it from the manifest path).
+        path: PathBuf,
+        /// Outcome of the (internally retried) write.
+        reply: Sender<Result<()>>,
+    },
+    /// Mirror a schema registration (ids stay dense and identical
+    /// across sessions because all sends happen under the service's
+    /// bookkeeping lock, in one global order).
+    Schema {
+        /// Source name.
+        name: String,
+        /// Attribute names.
+        attrs: Vec<String>,
+    },
+    /// Stop the worker thread (sent once per worker, on service drop).
+    Shutdown,
+}
+
+/// A message on a worker channel: which shard, and what to do.
+pub(crate) type ShardMsg = (usize, ShardCmd);
+
+/// What [`spawn_shard_workers`] hands back: one sender per *shard*
+/// (shards on the same worker share a channel), one sender per *worker*
+/// (for shutdown), and the worker join handles.
+pub(crate) type ShardWorkers = (
+    Vec<Sender<ShardMsg>>,
+    Vec<Sender<ShardMsg>>,
+    Vec<JoinHandle<()>>,
+);
+
+/// Spawns `workers` shard-worker threads owning `sessions` (shard `i`
+/// on worker `i % workers`).
+pub(crate) fn spawn_shard_workers(sessions: Vec<HeraSession>, workers: usize) -> ShardWorkers {
+    let shards = sessions.len();
+    let workers = workers.clamp(1, shards.max(1));
+    let mut owned: Vec<FxHashMap<usize, HeraSession>> =
+        (0..workers).map(|_| FxHashMap::default()).collect();
+    for (i, s) in sessions.into_iter().enumerate() {
+        owned[i % workers].insert(i, s);
+    }
+    let mut worker_txs = Vec::with_capacity(workers);
+    let mut handles = Vec::with_capacity(workers);
+    for (w, sessions) in owned.into_iter().enumerate() {
+        let (tx, rx) = channel::<ShardMsg>();
+        worker_txs.push(tx);
+        let handle = std::thread::Builder::new()
+            .name(format!("hera-shard-{w}"))
+            .spawn(move || shard_worker_loop(sessions, rx))
+            .expect("spawn shard worker");
+        handles.push(handle);
+    }
+    let shard_txs = (0..shards)
+        .map(|i| worker_txs[i % workers].clone())
+        .collect();
+    (shard_txs, worker_txs, handles)
+}
+
+/// The shard worker body: drain commands until `Shutdown` or every
+/// sender is gone. Replies to droped callers are discarded (`.ok()`),
+/// so an abandoned request can never wedge the worker.
+fn shard_worker_loop(mut sessions: FxHashMap<usize, HeraSession>, rx: Receiver<ShardMsg>) {
+    while let Ok((shard, cmd)) = rx.recv() {
+        if matches!(cmd, ShardCmd::Shutdown) {
+            break;
+        }
+        let session = sessions
+            .get_mut(&shard)
+            .expect("command routed to a worker that owns the shard");
+        match cmd {
+            ShardCmd::Ingest { schema, values } => {
+                // The front end validated schema + arity under its
+                // bookkeeping lock before routing, so failure here is a
+                // service-level bug, not bad client input.
+                session
+                    .add_record(schema, values)
+                    .expect("front-end-validated ingest");
+            }
+            ShardCmd::Resolve { budget, reply } => {
+                reply.send(session.resolve_progressive(budget)).ok();
+            }
+            ShardCmd::Lookup { local, reply } => {
+                let root = session.entity_of(RecordId::new(local));
+                let members = session
+                    .entity_members(root)
+                    .expect("shard root has a super record")
+                    .to_vec();
+                reply.send((root, members)).ok();
+            }
+            ShardCmd::Stats { reply } => {
+                let stats = session.stats();
+                reply
+                    .send((session.len(), stats.merges, stats.comparisons as u64))
+                    .ok();
+            }
+            ShardCmd::Checkpoint { path, reply } => {
+                reply.send(session.checkpoint(path)).ok();
+            }
+            ShardCmd::Schema { name, attrs } => {
+                session.add_schema(name, attrs);
+            }
+            ShardCmd::Shutdown => unreachable!("handled above"),
+        }
+    }
+}
+
+/// Commands for the stitch worker.
+pub(crate) enum StitchCmd {
+    /// Mirror a schema registration.
+    Schema {
+        /// Source name.
+        name: String,
+        /// Attribute names.
+        attrs: Vec<String>,
+    },
+    /// One boundary pass: replay `records` (the drained pending suffix,
+    /// in global arrival order), resolve to fixpoint, publish a fresh
+    /// [`StitchedView`], then reply.
+    Stitch {
+        /// The drained global-stream suffix.
+        records: Vec<(SchemaId, Vec<Value>)>,
+        /// Where the pass report goes (auto-stitches drop the receiver).
+        reply: Sender<StitchReply>,
+    },
+    /// Snapshot the stitcher session at `path`.
+    Checkpoint {
+        /// Snapshot path.
+        path: PathBuf,
+        /// Outcome of the write.
+        reply: Sender<Result<()>>,
+    },
+    /// Stop the stitch worker (on service drop).
+    Shutdown,
+}
+
+/// One published generation of the authoritative cross-shard partition:
+/// everything a lookup needs, immutable, behind an `Arc`. Built by the
+/// stitch worker after each boundary pass and swapped in atomically.
+pub(crate) struct StitchedView {
+    /// Global ids `< entity.len()` are covered by this generation.
+    entity: Vec<u32>,
+    /// Entity label → member global ids, ascending.
+    members: FxHashMap<u32, Vec<u32>>,
+    /// The full partition, in [`HeraSession::clusters`] order.
+    partition: Vec<Vec<u32>>,
+    /// Stitcher-session lifetime merge count at publish time.
+    stitcher_merges: usize,
+    /// Boundary passes published so far (generation counter).
+    passes: u64,
+}
+
+impl StitchedView {
+    /// Records this generation covers.
+    pub(crate) fn len(&self) -> usize {
+        self.entity.len()
+    }
+
+    /// Entity label of a covered global id.
+    pub(crate) fn entity_of(&self, id: u32) -> u32 {
+        self.entity[id as usize]
+    }
+
+    /// Members of an entity by label.
+    pub(crate) fn members_of(&self, label: u32) -> Option<&[u32]> {
+        self.members.get(&label).map(|m| m.as_slice())
+    }
+
+    /// The whole partition (cloned).
+    pub(crate) fn partition(&self) -> Vec<Vec<u32>> {
+        self.partition.clone()
+    }
+
+    /// Stitcher merges at publish time.
+    pub(crate) fn stitcher_merges(&self) -> usize {
+        self.stitcher_merges
+    }
+
+    /// Published boundary passes.
+    pub(crate) fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Captures the stitcher's current partition as generation `passes`.
+    fn capture(stitcher: &mut HeraSession, passes: u64) -> Self {
+        let partition = stitcher.clusters();
+        let len = stitcher.len();
+        let entity: Vec<u32> = (0..len as u32)
+            .map(|id| stitcher.entity_of(RecordId::new(id)))
+            .collect();
+        let mut members = FxHashMap::default();
+        for cluster in &partition {
+            members.insert(entity[cluster[0] as usize], cluster.clone());
+        }
+        StitchedView {
+            entity,
+            members,
+            partition,
+            stitcher_merges: stitcher.stats().merges,
+            passes,
+        }
+    }
+}
+
+/// The published-view slot: readers clone the inner `Arc` under a read
+/// lock; the stitch worker swaps a fresh generation in under a write
+/// lock held only for the assignment.
+pub(crate) type Published = Arc<RwLock<Arc<StitchedView>>>;
+
+/// Spawns the stitch worker owning `stitcher`. The initial published
+/// view is captured from the session *before* the handoff, so a
+/// restored service answers stitched lookups immediately.
+pub(crate) fn spawn_stitch_worker(
+    mut stitcher: HeraSession,
+    recorder: Recorder,
+) -> (Sender<StitchCmd>, Published, JoinHandle<()>) {
+    let initial_passes = u64::from(!stitcher.is_empty());
+    let published: Published = Arc::new(RwLock::new(Arc::new(StitchedView::capture(
+        &mut stitcher,
+        initial_passes,
+    ))));
+    let slot = published.clone();
+    let (tx, rx) = channel::<StitchCmd>();
+    let handle = std::thread::Builder::new()
+        .name("hera-stitcher".into())
+        .spawn(move || stitch_worker_loop(stitcher, slot, recorder, rx, initial_passes))
+        .expect("spawn stitch worker");
+    (tx, published, handle)
+}
+
+fn stitch_worker_loop(
+    mut stitcher: HeraSession,
+    published: Published,
+    recorder: Recorder,
+    rx: Receiver<StitchCmd>,
+    mut passes: u64,
+) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            StitchCmd::Schema { name, attrs } => {
+                stitcher.add_schema(name, attrs);
+            }
+            StitchCmd::Stitch { records, reply } => {
+                let ingested = records.len();
+                for (schema, values) in records {
+                    stitcher
+                        .add_record(schema, values)
+                        .expect("stitcher schemas mirror the shards'");
+                }
+                let report = stitcher.resolve_progressive(ResolveBudget::unlimited());
+                passes += 1;
+                let view = Arc::new(StitchedView::capture(&mut stitcher, passes));
+                let merges = report.merges;
+                let total = view.len();
+                // Publish: the only write the slot ever sees, held just
+                // long enough to swap the pointer.
+                *published.write().expect("published view poisoned") = view;
+                recorder.emit(
+                    "serve_stitch",
+                    vec![
+                        ("ingested", Json::Int(ingested as i64)),
+                        ("merges", Json::Int(merges as i64)),
+                        ("stitched_total", Json::Int(total as i64)),
+                        ("pass", Json::Int(passes as i64)),
+                    ],
+                );
+                recorder.flush();
+                reply.send(StitchReply { ingested, report }).ok();
+            }
+            StitchCmd::Checkpoint { path, reply } => {
+                reply.send(stitcher.checkpoint(path)).ok();
+            }
+            StitchCmd::Shutdown => break,
+        }
+    }
+}

@@ -97,7 +97,8 @@ pub use hera_index::{FlatIndex, UnionFind, ValuePair, ValuePairIndex};
 pub use hera_join::{IncrementalJoin, JoinConfig, SimilarityJoin};
 pub use hera_obs::{JournalBuffer, Recorder};
 pub use hera_serve::{
-    ErService, ErServiceBuilder, IngestReply, LookupReply, ServeClient, TcpClient,
+    ErService, ErServiceBuilder, IngestReply, LookupReply, LookupSample, RunLog, Schedule,
+    ScheduledOp, ServeClient, TcpClient,
 };
 pub use hera_sim::{
     CosineTf, DiceQGram, EditSimilarity, ExactMatch, Jaro, JaroWinkler, MongeElkan,

@@ -31,7 +31,7 @@ fn dataset(seed: u64, n_records: usize) -> hera::Dataset {
 
 /// Registers a dataset's schemas in a service; service ids mirror
 /// dataset ids (dense registration order).
-fn mirror_schemas(service: &mut ErService, ds: &hera::Dataset) -> Vec<SchemaId> {
+fn mirror_schemas(service: &ErService, ds: &hera::Dataset) -> Vec<SchemaId> {
     ds.registry
         .schemas()
         .map(|s| {
@@ -45,7 +45,7 @@ fn mirror_schemas(service: &mut ErService, ds: &hera::Dataset) -> Vec<SchemaId> 
 
 /// Runs a request script through an in-process service and returns the
 /// parsed response lines.
-fn run_script(service: &mut ErService, script: &str) -> Vec<Json> {
+fn run_script(service: &ErService, script: &str) -> Vec<Json> {
     let mut out = Vec::new();
     let shutdown = serve_lines(service, Cursor::new(script.to_string()), &mut out).unwrap();
     assert!(!shutdown || script.contains("shutdown"));
@@ -65,7 +65,7 @@ fn is_ok(reply: &Json) -> bool {
 /// responses for bad input, with the connection surviving every error.
 #[test]
 fn protocol_round_trips_in_process() {
-    let mut service = ErService::builder(HeraConfig::new(DELTA, XI), 2).build();
+    let service = ErService::builder(HeraConfig::new(DELTA, XI), 2).build();
     let script = r#"{"cmd":"schema","name":"crm","attrs":["name","city"]}
 {"cmd":"ingest","schema":0,"values":[{"Str":"alice example"},{"Str":"berlin"}]}
 not even json
@@ -83,7 +83,7 @@ not even json
         .to_string_compact();
     assert_eq!(probe, r#"{"Str":"alice example"}"#, "wire shape drifted");
 
-    let replies = run_script(&mut service, script);
+    let replies = run_script(&service, script);
     assert_eq!(replies.len(), 10);
     assert!(is_ok(&replies[0]), "schema");
     assert_eq!(replies[0].expect("schema").unwrap().as_u32().unwrap(), 0);
@@ -139,11 +139,11 @@ fn sharded_stitching_matches_single_shard_partition() {
 
     for shards in [1, 2, 4] {
         for threads in [1, 8] {
-            let mut service =
+            let service =
                 ErService::builder(HeraConfig::new(DELTA, XI).with_threads(threads), shards)
                     .stitch_every(stitch_every)
                     .build();
-            let schemas = mirror_schemas(&mut service, &ds);
+            let schemas = mirror_schemas(&service, &ds);
             for rec in ds.iter() {
                 service
                     .ingest(schemas[rec.schema.index()], rec.values.clone())
@@ -207,13 +207,13 @@ proptest::proptest! {
         }
         reference.resolve();
 
-        let mut service = ErService::builder(
+        let service = ErService::builder(
             HeraConfig::new(DELTA, XI).with_threads(threads),
             shards,
         )
         .stitch_every(stitch_every)
         .build();
-        let schemas = mirror_schemas(&mut service, &ds);
+        let schemas = mirror_schemas(&service, &ds);
         for rec in ds.iter() {
             service
                 .ingest(schemas[rec.schema.index()], rec.values.clone())
@@ -239,8 +239,8 @@ fn checkpoint_restore_preserves_answers_and_continuation() {
     let build = || ErService::builder(HeraConfig::new(DELTA, XI), 3).stitch_every(40);
 
     // Uninterrupted twin.
-    let mut whole = build().build();
-    let schemas = mirror_schemas(&mut whole, &ds);
+    let whole = build().build();
+    let schemas = mirror_schemas(&whole, &ds);
     for rec in ds.iter() {
         whole
             .ingest(schemas[rec.schema.index()], rec.values.clone())
@@ -250,8 +250,8 @@ fn checkpoint_restore_preserves_answers_and_continuation() {
 
     // Interrupted twin: ingest a prefix, checkpoint mid-pending, drop.
     let (pre_lookup, pre_pending) = {
-        let mut first = build().build();
-        let schemas = mirror_schemas(&mut first, &ds);
+        let first = build().build();
+        let schemas = mirror_schemas(&first, &ds);
         for rec in ds.iter().take(cut) {
             first
                 .ingest(schemas[rec.schema.index()], rec.values.clone())
@@ -262,7 +262,7 @@ fn checkpoint_restore_preserves_answers_and_continuation() {
         (first.lookup(0).unwrap(), first.pending_len())
     };
 
-    let mut resumed = build().restore(&path).unwrap();
+    let resumed = build().restore(&path).unwrap();
     assert_eq!(resumed.len(), cut);
     assert_eq!(resumed.pending_len(), pre_pending);
     assert_eq!(
@@ -303,8 +303,9 @@ fn tcp_server_and_typed_client() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let server = std::thread::spawn(move || {
-        let mut service = ErService::builder(HeraConfig::new(DELTA, XI), 2).build();
-        serve_tcp(&mut service, listener).unwrap();
+        let service =
+            std::sync::Arc::new(ErService::builder(HeraConfig::new(DELTA, XI), 2).build());
+        serve_tcp(service, listener).unwrap();
     });
 
     // Connection 1: register + ingest, then hang up (no shutdown).

@@ -1,0 +1,519 @@
+//! Concurrency properties of the sharded service, held under the
+//! deterministic schedule harness (`hera::serve::harness`):
+//!
+//! 1. **Sequential equivalence** — under random seeded schedules of
+//!    interleaved ingest / lookup / budgeted resolve / stitch, across
+//!    1–8 worker threads and 1–4 shards, the final stitched partition
+//!    is bit-identical to a sequential single-shard reference session
+//!    replaying the same arrival stream.
+//! 2. **Bounded staleness, never torn** — every lookup the schedule
+//!    issued returned either a provisional per-shard answer or the
+//!    reference partition *at one of the boundary passes dispatched by
+//!    then* — never a mixture of generations, never a pass that had not
+//!    been dispatched.
+//! 3. **Connection robustness** — a TCP client dying at every protocol
+//!    stage (pre-request, mid-line, mid-request, between requests)
+//!    neither panics the server nor leaks its connection thread; the
+//!    server keeps serving and still shuts down cleanly (joining all
+//!    threads — a leaked thread would hang the shutdown).
+//! 4. **Routing stability** — `route_shard` is a pure function of the
+//!    record, so any arrival order routes identically; shard counts 1–4
+//!    stitch to the same partition (one pinned seed per count).
+//!
+//! Failing schedule seeds are persisted under
+//! `/tmp/hera-serve-sched-<seed>/` (dataset + schedule parameters), the
+//! same pattern the chaos suite uses, so CI can upload them.
+
+use hera::block::route_shard;
+use hera::serve::harness::{drive, Schedule, ScheduledOp};
+use hera::serve::{serve_tcp, ErService, LookupReply, TcpClient};
+use hera::{HeraConfig, HeraSession, ResolveBudget, SchemaId};
+use hera_datagen::{CorruptionConfig, DatagenConfig, Generator};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::Arc;
+
+const DELTA: f64 = 0.5;
+const XI: f64 = 0.5;
+
+/// splitmix64 — same per-case seed fan-out as the chaos suite.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn dataset(seed: u64, n_records: usize) -> hera::Dataset {
+    Generator::new(DatagenConfig {
+        name: format!("serve-conc-{seed}"),
+        seed,
+        n_records,
+        n_entities: (n_records / 5).max(2),
+        n_attrs: 10,
+        n_sources: 3,
+        min_source_attrs: 5,
+        max_source_attrs: 8,
+        corruption: CorruptionConfig::moderate(),
+        domain: Default::default(),
+    })
+    .generate()
+}
+
+/// Everything one master seed expands to.
+struct Case {
+    ds: hera::Dataset,
+    shards: usize,
+    workers: usize,
+    stitch_every: usize,
+    schedule: Schedule,
+    lookups: usize,
+    resolves: usize,
+    stitches: usize,
+}
+
+fn expand(master_seed: u64) -> Case {
+    let mut s = master_seed;
+    let n_records = 36 + (next(&mut s) % 29) as usize; // 36..=64
+    let ds = dataset(next(&mut s), n_records);
+    let shards = 1 + (next(&mut s) % 4) as usize; // 1..=4
+    let workers = 1 + (next(&mut s) % 8) as usize; // 1..=8
+                                                   // Half the cases stitch automatically mid-stream, half only on the
+                                                   // schedule's explicit stitch ops.
+    let stitch_every = if next(&mut s).is_multiple_of(2) {
+        8 + (next(&mut s) % 16) as usize
+    } else {
+        0
+    };
+    Case {
+        ds,
+        shards,
+        workers,
+        stitch_every,
+        schedule: Schedule {
+            seed: next(&mut s),
+            clients: 1 + (next(&mut s) % 4) as usize,
+        },
+        lookups: n_records / 2,
+        resolves: 3,
+        stitches: 2,
+    }
+}
+
+/// Builds the op list: every dataset record once, plus lookups,
+/// budgeted resolves, and explicit stitches for the scheduler to
+/// interleave.
+fn ops_for(case: &Case, seed: u64) -> Vec<ScheduledOp> {
+    let mut s = seed ^ 0x5eed;
+    let mut ops: Vec<ScheduledOp> = case
+        .ds
+        .iter()
+        .map(|rec| ScheduledOp::Ingest(rec.schema, rec.values.clone()))
+        .collect();
+    for _ in 0..case.lookups {
+        ops.push(ScheduledOp::Lookup);
+    }
+    for _ in 0..case.resolves {
+        ops.push(ScheduledOp::Resolve(ResolveBudget::comparisons(
+            50 + next(&mut s) % 350,
+        )));
+    }
+    for _ in 0..case.stitches {
+        ops.push(ScheduledOp::Stitch);
+    }
+    ops
+}
+
+/// One reference generation: the sequential partition after resolving
+/// at a boundary.
+struct RefView {
+    boundary: usize,
+    entity: Vec<u32>,
+    members: HashMap<u32, Vec<u32>>,
+}
+
+/// Replays `arrivals` through a sequential single-shard session,
+/// resolving at exactly the dispatched boundaries, and snapshots the
+/// partition at each one. Returns the per-boundary views and the final
+/// clusters (after a final full resolve, mirroring the service's final
+/// stitch).
+fn reference_run(
+    service_schemas: &[(String, Vec<String>)],
+    arrivals: &[(SchemaId, Vec<hera::Value>)],
+    boundaries: &[usize],
+) -> (Vec<RefView>, Vec<Vec<u32>>, HeraSession) {
+    let mut reference = HeraSession::builder(HeraConfig::new(DELTA, XI)).build();
+    for (name, attrs) in service_schemas {
+        reference.add_schema(name.clone(), attrs.clone());
+    }
+    let mut views = Vec::new();
+    let mut at = 0usize;
+    for &boundary in boundaries {
+        assert!(boundary >= at, "boundaries are monotone");
+        while at < boundary {
+            let (schema, values) = &arrivals[at];
+            reference.add_record(*schema, values.clone()).unwrap();
+            at += 1;
+        }
+        reference.resolve();
+        let entity: Vec<u32> = (0..at as u32)
+            .map(|id| reference.entity_of(hera::RecordId::new(id)))
+            .collect();
+        let mut members: HashMap<u32, Vec<u32>> = HashMap::new();
+        for cluster in reference.clusters() {
+            members.insert(entity[cluster[0] as usize], cluster);
+        }
+        views.push(RefView {
+            boundary,
+            entity,
+            members,
+        });
+    }
+    while at < arrivals.len() {
+        let (schema, values) = &arrivals[at];
+        reference.add_record(*schema, values.clone()).unwrap();
+        at += 1;
+    }
+    reference.resolve();
+    let finals = reference.clusters();
+    (views, finals, reference)
+}
+
+/// Persists a failing case for CI artifact upload; returns the dir.
+fn persist_failure(master_seed: u64, case: &Case) -> String {
+    let dir = std::env::temp_dir().join(format!("hera-serve-sched-{master_seed}"));
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(
+        dir.join("dataset.json"),
+        case.ds.to_json().unwrap_or_default(),
+    );
+    let params = format!(
+        "master_seed={master_seed}\nshards={}\nworkers={}\nstitch_every={}\nschedule_seed={}\nclients={}\n",
+        case.shards, case.workers, case.stitch_every, case.schedule.seed, case.schedule.clients,
+    );
+    let _ = std::fs::write(dir.join("params.txt"), params);
+    dir.display().to_string()
+}
+
+/// Runs one schedule case end to end and checks every property.
+fn run_case(master_seed: u64) -> Result<(), String> {
+    let case = expand(master_seed);
+    let fail = |detail: String| {
+        let dir = persist_failure(master_seed, &case);
+        Err(format!(
+            "seed {master_seed} ({} shard(s), {} worker(s), stitch_every {}, {} client(s)): \
+             {detail}\ncase persisted at {dir}",
+            case.shards, case.workers, case.stitch_every, case.schedule.clients
+        ))
+    };
+
+    let service = ErService::builder(HeraConfig::new(DELTA, XI), case.shards)
+        .workers(case.workers)
+        .stitch_every(case.stitch_every)
+        .build();
+    let schemas: Vec<(String, Vec<String>)> = case
+        .ds
+        .registry
+        .schemas()
+        .map(|s| {
+            (
+                s.name.clone(),
+                s.attrs.iter().map(|a| a.name.clone()).collect(),
+            )
+        })
+        .collect();
+    for (name, attrs) in &schemas {
+        service.add_schema(name, attrs);
+    }
+
+    let log = drive(&service, ops_for(&case, master_seed), &case.schedule)
+        .map_err(|e| format!("seed {master_seed}: drive failed: {e}"))?;
+    // Cover the tail: the final boundary pass every deployment would run.
+    service.stitch();
+
+    let mut boundaries = log.boundaries.clone();
+    boundaries.push(log.arrivals.len());
+    let (views, want, reference) = reference_run(&schemas, &log.arrivals, &boundaries);
+
+    // Property 1: final stitched partition == sequential reference.
+    let got = service.stitched_partition();
+    if got != want {
+        return fail(format!(
+            "stitched partition diverged from the sequential reference \
+             ({} vs {} cluster(s))",
+            got.len(),
+            want.len()
+        ));
+    }
+    for id in 0..log.arrivals.len() as u32 {
+        let reply = service
+            .lookup(id)
+            .map_err(|e| format!("lookup {id}: {e}"))?;
+        if reply.provisional || reply.entity != reference.entity_of(hera::RecordId::new(id)) {
+            return fail(format!("final lookup {id} diverged: {reply:?}"));
+        }
+    }
+
+    // Property 2: every mid-schedule lookup was provisional or one of
+    // the generations dispatched by then — never torn, never future.
+    for sample in &log.lookups {
+        let reply = &sample.reply;
+        if !reply.members.contains(&sample.id) {
+            return fail(format!(
+                "lookup {} returned members {:?} not containing the record",
+                sample.id, reply.members
+            ));
+        }
+        if reply.provisional {
+            // Provisional labels come from one shard's coherent view;
+            // the label must itself be a member.
+            if !reply.members.contains(&reply.entity) {
+                return fail(format!(
+                    "provisional lookup {} label {} outside its members {:?}",
+                    sample.id, reply.entity, reply.members
+                ));
+            }
+            continue;
+        }
+        let candidates: Vec<&RefView> = views[..sample.dispatched]
+            .iter()
+            .filter(|v| v.boundary > sample.id as usize)
+            .collect();
+        let matched = candidates.iter().any(|v| {
+            v.entity[sample.id as usize] == reply.entity
+                && v.members.get(&reply.entity) == Some(&reply.members)
+        });
+        if !matched {
+            return fail(format!(
+                "stitched lookup {} = {:?} matches none of the {} dispatched \
+                 generation(s) covering it (torn or future value)",
+                sample.id,
+                reply,
+                candidates.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// The acceptance criterion: ≥128 seeded schedules, every worker
+    /// count 1–8, stitched partition bit-identical to the sequential
+    /// reference, every lookup provisional-or-published.
+    #[test]
+    fn schedules_match_sequential_reference(master_seed in any::<u64>()) {
+        let outcome = run_case(master_seed);
+        prop_assert!(outcome.is_ok(), "{}", outcome.err().unwrap_or_default());
+    }
+}
+
+/// Pinned sweep: one dataset, every worker count 1–8 (clamped by the
+/// service to the shard count where applicable), identical partition —
+/// the tentpole's determinism claim without proptest in the loop.
+#[test]
+fn worker_count_never_changes_the_partition() {
+    let ds = dataset(1206, 90);
+    let schedule = Schedule {
+        seed: 77,
+        clients: 3,
+    };
+    let mut partitions = Vec::new();
+    for workers in 1..=8 {
+        let service = ErService::builder(HeraConfig::new(DELTA, XI), 4)
+            .workers(workers)
+            .stitch_every(25)
+            .build();
+        let schemas: Vec<SchemaId> = ds
+            .registry
+            .schemas()
+            .map(|s| {
+                service.add_schema(
+                    &s.name,
+                    &s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let ops: Vec<ScheduledOp> = ds
+            .iter()
+            .map(|rec| ScheduledOp::Ingest(schemas[rec.schema.index()], rec.values.clone()))
+            .chain((0..30).map(|_| ScheduledOp::Lookup))
+            .chain(std::iter::once(ScheduledOp::Resolve(
+                ResolveBudget::comparisons(200),
+            )))
+            .collect();
+        drive(&service, ops, &schedule).unwrap();
+        service.stitch();
+        partitions.push(service.stitched_partition());
+    }
+    for (i, p) in partitions.iter().enumerate().skip(1) {
+        assert_eq!(
+            p,
+            &partitions[0],
+            "workers={} diverged from workers=1",
+            i + 1
+        );
+    }
+}
+
+/// Satellite: a client dying at every protocol stage must not panic the
+/// server or leak its connection thread. After each death a fresh
+/// client verifies the server still answers, and the final `shutdown`
+/// joins every connection thread — a leaked thread would hang here.
+#[test]
+fn tcp_client_death_at_every_stage_leaves_server_serving() {
+    use std::io::{BufRead as _, BufReader};
+    use std::net::TcpStream;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let service = Arc::new(ErService::builder(HeraConfig::new(DELTA, XI), 2).build());
+        serve_tcp(service, listener).unwrap();
+    });
+
+    // Stage 0: connect, say nothing, die.
+    drop(TcpStream::connect(addr).unwrap());
+
+    // Stage 1: die mid-line (no trailing newline — the server sees a
+    // partial request when the socket closes).
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"{\"cmd\":\"sta").unwrap();
+        drop(s);
+    }
+
+    // Stage 2: complete request, die without reading the reply (the
+    // server's reply write hits a closed socket).
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"{\"cmd\":\"stats\"}\n").unwrap();
+        drop(s);
+    }
+
+    // Stage 3: one full request, then a partial second one, then death.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"{\"cmd\":\"schema\",\"name\":\"crm\",\"attrs\":[\"name\"]}\n")
+            .unwrap();
+        let mut line = String::new();
+        BufReader::new(s.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        s.write_all(b"{\"cmd\":\"ingest\",\"schema\":0,\"va")
+            .unwrap();
+        drop(s);
+    }
+
+    // Stage 4: garbage then death — the error reply path must also
+    // survive the closed socket.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"not json at all\n").unwrap();
+        drop(s);
+    }
+
+    // After all five deaths the server still serves new clients with
+    // intact state (the schema from stage 3 survived).
+    let mut c = TcpClient::connect(addr).unwrap();
+    let id = c
+        .ingest(SchemaId::new(0), vec![hera::Value::from("carol stone")])
+        .unwrap();
+    assert_eq!(id.id, 0, "state survived the client deaths");
+    assert_eq!(c.stitch().unwrap(), 1);
+    let hit: LookupReply = c.lookup(0).unwrap();
+    assert!(!hit.provisional);
+    c.shutdown().unwrap();
+
+    // Shutdown joins every connection thread; a leaked thread from any
+    // of the dead clients would deadlock this join.
+    server.join().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite: `route_shard` is a pure function of the record —
+    /// re-ingesting the same stream in any arrival order routes every
+    /// record to the same shard.
+    #[test]
+    fn route_shard_is_arrival_order_invariant(
+        seed in any::<u64>(),
+        shards in 1usize..=4,
+    ) {
+        let ds = dataset(seed % 1000, 40);
+        let baseline: Vec<usize> = ds
+            .iter()
+            .map(|rec| route_shard(&rec.values, shards))
+            .collect();
+        // A seeded permutation of the same records.
+        let mut order: Vec<usize> = (0..ds.len()).collect();
+        let mut s = seed ^ 0x0dd_5eed;
+        for i in (1..order.len()).rev() {
+            let j = (next(&mut s) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let records: Vec<_> = ds.iter().collect();
+        for &i in &order {
+            prop_assert_eq!(
+                route_shard(&records[i].values, shards),
+                baseline[i],
+                "record {} routed differently on re-ingest", i
+            );
+        }
+    }
+}
+
+/// Satellite: shard counts 1–4 all stitch to the same partition — one
+/// pinned seed per shard count, so every count is exercised regardless
+/// of what proptest draws elsewhere.
+#[test]
+fn every_shard_count_stitches_to_the_same_partition() {
+    for (shards, seed) in [(1usize, 301u64), (2, 302), (3, 303), (4, 304)] {
+        let ds = dataset(seed, 72);
+        let mut reference = HeraSession::builder(HeraConfig::new(DELTA, XI)).build();
+        let ref_schemas: Vec<SchemaId> = ds
+            .registry
+            .schemas()
+            .map(|s| {
+                reference.add_schema(
+                    s.name.clone(),
+                    s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        for rec in ds.iter() {
+            reference
+                .add_record(ref_schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+        }
+        reference.resolve();
+
+        let service = ErService::builder(HeraConfig::new(DELTA, XI), shards).build();
+        let schemas: Vec<SchemaId> = ds
+            .registry
+            .schemas()
+            .map(|s| {
+                service.add_schema(
+                    &s.name,
+                    &s.attrs.iter().map(|a| a.name.clone()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        for rec in ds.iter() {
+            service
+                .ingest(schemas[rec.schema.index()], rec.values.clone())
+                .unwrap();
+        }
+        service.stitch();
+        assert_eq!(
+            service.stitched_partition(),
+            reference.clusters(),
+            "shards={shards} seed={seed}"
+        );
+    }
+}
